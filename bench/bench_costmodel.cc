@@ -1,0 +1,74 @@
+// Analytical cost model vs measured disk accesses (the paper's future-work
+// "analytical study of CPQs"). Uniform data, HEAP algorithm, no buffer.
+// Two sweeps: overlap at fixed cardinality, and K at fixed overlap.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cpq/cost_model.h"
+
+namespace kcpq {
+namespace bench {
+namespace {
+
+void Main() {
+  PrintFigureHeader("Cost model",
+                    "Analytical estimate vs measured disk accesses "
+                    "(uniform data, HEAP, no buffer)");
+  const size_t n = Scaled(40000);
+
+  std::printf("\nOverlap sweep (n = %zu x %zu, K = 1):\n", n, n);
+  {
+    auto store_p = MakeStore(DataKind::kUniform, n, 1.0, 4001);
+    Table table({"overlap", "measured", "model", "model/measured"});
+    for (const double overlap : {0.0, 0.03, 0.12, 0.25, 0.50, 1.0}) {
+      auto store_q = MakeStore(DataKind::kUniform, n, overlap, 4002);
+      CpqOptions options;
+      options.algorithm = CpqAlgorithm::kHeap;
+      const uint64_t measured =
+          RunCpq(*store_p, *store_q, options, 0).stats.disk_accesses();
+      CostModelInput input;
+      input.n_p = n;
+      input.n_q = n;
+      input.overlap = overlap;
+      const double model =
+          EstimateCpqCost(input).value().disk_accesses;
+      table.AddRow({Table::Percent(overlap), Table::Count(measured),
+                    Table::Num(model, 0),
+                    Table::Num(model / (measured > 0 ? measured : 1), 2)});
+    }
+    table.Print(stdout);
+  }
+
+  std::printf("\nK sweep (n = %zu x %zu, overlap = 100%%):\n", n, n);
+  {
+    auto store_p = MakeStore(DataKind::kUniform, n, 1.0, 4003);
+    auto store_q = MakeStore(DataKind::kUniform, n, 1.0, 4004);
+    Table table({"K", "measured", "model", "model/measured"});
+    for (const uint64_t k : {1, 10, 100, 1000, 10000}) {
+      CpqOptions options;
+      options.algorithm = CpqAlgorithm::kHeap;
+      options.k = k;
+      const uint64_t measured =
+          RunCpq(*store_p, *store_q, options, 0).stats.disk_accesses();
+      CostModelInput input;
+      input.n_p = n;
+      input.n_q = n;
+      input.k = k;
+      const double model = EstimateCpqCost(input).value().disk_accesses;
+      table.AddRow({Table::Count(k), Table::Count(measured),
+                    Table::Num(model, 0),
+                    Table::Num(model / (measured > 0 ? measured : 1), 2)});
+    }
+    table.Print(stdout);
+  }
+  std::printf(
+      "\nThe model is a coarse uniformity-based estimate intended for plan "
+      "choice: rankings must match; absolute ratios within ~3x.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kcpq
+
+int main() { kcpq::bench::Main(); }

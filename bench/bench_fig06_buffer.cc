@@ -1,0 +1,58 @@
+// Figure 6: the effect of the LRU buffer on the four 1-CPQ algorithms.
+// Real (Sequoia-like) data vs random 40K/80K, buffer B = 0..256 pages
+// (split B/2 per tree), overlap 0% (panel a) and 100% (panel b).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace kcpq {
+namespace bench {
+namespace {
+
+constexpr size_t kBufferSizes[] = {0, 4, 16, 64, 256};
+
+void RunPanel(const char* panel, double overlap, TreeStore& real_store) {
+  std::printf("\nFigure 6%s: %.0f%% overlapping workspaces, disk accesses\n",
+              panel, overlap * 100);
+  for (const size_t n : {40000, 80000}) {
+    std::printf("R/%zuK:\n", n / 1000);
+    auto store_q = MakeStore(DataKind::kUniform, Scaled(n), overlap, 2005);
+    Table table({"B(pages)", "EXH", "SIM", "STD", "HEAP"});
+    for (const size_t buffer_pages : kBufferSizes) {
+      std::vector<std::string> row = {Table::Count(buffer_pages)};
+      for (const CpqAlgorithm algorithm :
+           {CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+            CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+        CpqOptions options;
+        options.algorithm = algorithm;
+        options.k = 1;
+        row.push_back(Table::Count(
+            RunCpq(real_store, *store_q, options, buffer_pages)
+                .stats.disk_accesses()));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(stdout);
+  }
+}
+
+void Main() {
+  PrintFigureHeader("Figure 6",
+                    "LRU buffer sweep for the four 1-CPQ algorithms; real "
+                    "vs random data");
+  auto real_store =
+      MakeStore(DataKind::kSequoiaLike, Scaled(kSequoiaCardinality), 1.0, 77);
+  RunPanel("a", 0.0, *real_store);
+  RunPanel("b", 1.0, *real_store);
+  std::printf(
+      "\nPaper expectation: EXH/SIM improve 2-3x with growing buffer but "
+      "never catch STD/HEAP at 0%% overlap; at 100%% overlap HEAP is "
+      "insensitive to the buffer and loses its lead beyond B = 4.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kcpq
+
+int main() { kcpq::bench::Main(); }

@@ -1,0 +1,85 @@
+// Figure 8: the overlap x K surface — relative cost of (a) STD and
+// (b) HEAP with respect to EXH for overlap 0..100% and K = 1..100,000.
+// Real (Sequoia-like) vs uniform 62,536 points, no buffer.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace kcpq {
+namespace bench {
+namespace {
+
+constexpr size_t kKs[] = {1, 10, 100, 1000, 10000, 100000};
+constexpr double kOverlaps[] = {0.0, 0.03, 0.06, 0.12, 0.25, 0.50, 1.0};
+
+void Main() {
+  PrintFigureHeader("Figure 8",
+                    "Overlap x K surface: STD and HEAP cost relative to "
+                    "EXH; R vs uniform 62,536, no buffer");
+  auto real_store =
+      MakeStore(DataKind::kSequoiaLike, Scaled(kSequoiaCardinality), 1.0, 77);
+
+  // One pass over the grid measuring all three algorithms; two tables out.
+  std::map<std::pair<int, size_t>, double> rel_std, rel_heap;
+  for (size_t oi = 0; oi < std::size(kOverlaps); ++oi) {
+    auto store_q = MakeStore(DataKind::kUniform, Scaled(kSequoiaCardinality),
+                             kOverlaps[oi], 2007);
+    for (const size_t k : kKs) {
+      uint64_t exh = 0, std_cost = 0, heap_cost = 0;
+      for (const CpqAlgorithm algorithm :
+           {CpqAlgorithm::kExhaustive, CpqAlgorithm::kSortedDistances,
+            CpqAlgorithm::kHeap}) {
+        CpqOptions options;
+        options.algorithm = algorithm;
+        options.k = k;
+        const uint64_t accesses =
+            RunCpq(*real_store, *store_q, options, 0).stats.disk_accesses();
+        switch (algorithm) {
+          case CpqAlgorithm::kExhaustive:
+            exh = accesses;
+            break;
+          case CpqAlgorithm::kSortedDistances:
+            std_cost = accesses;
+            break;
+          default:
+            heap_cost = accesses;
+        }
+      }
+      const double denom = exh > 0 ? static_cast<double>(exh) : 1.0;
+      rel_std[{static_cast<int>(oi), k}] = std_cost / denom;
+      rel_heap[{static_cast<int>(oi), k}] = heap_cost / denom;
+    }
+  }
+
+  const auto print_surface =
+      [&](const char* panel, const char* name,
+          const std::map<std::pair<int, size_t>, double>& rel) {
+        std::printf("\nFigure 8%s: %s relative to EXH (rows: overlap; "
+                    "columns: K)\n",
+                    panel, name);
+        Table table({"overlap", "K=1", "K=10", "K=100", "K=1000", "K=10000",
+                     "K=100000"});
+        for (size_t oi = 0; oi < std::size(kOverlaps); ++oi) {
+          std::vector<std::string> row = {Table::Percent(kOverlaps[oi])};
+          for (const size_t k : kKs) {
+            row.push_back(Table::Percent(rel.at({static_cast<int>(oi), k})));
+          }
+          table.AddRow(std::move(row));
+        }
+        table.Print(stdout);
+      };
+  print_surface("a", "STD", rel_std);
+  print_surface("b", "HEAP", rel_heap);
+  std::printf(
+      "\nPaper expectation: STD and HEAP nearly equivalent (5-50x faster "
+      "than EXH) below ~10%% overlap; above ~50%% overlap HEAP keeps a "
+      "15-35%% edge that grows with K while STD converges toward EXH.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kcpq
+
+int main() { kcpq::bench::Main(); }

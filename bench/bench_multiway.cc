@@ -1,0 +1,74 @@
+// Multi-way closest tuples: scaling beyond the paper's m = 2 (Section 6
+// future work). Sweeps the number of inputs and the query-graph shape,
+// reporting disk accesses and the tuple-heap high-water mark.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cpq/multiway.h"
+
+namespace kcpq {
+namespace bench {
+namespace {
+
+std::vector<MultiwayEdge> MakeGraph(int m, const std::string& shape) {
+  std::vector<MultiwayEdge> graph;
+  if (shape == "chain") {
+    for (int i = 0; i + 1 < m; ++i) graph.push_back({i, i + 1});
+  } else if (shape == "clique") {
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) graph.push_back({i, j});
+    }
+  } else {
+    for (int i = 1; i < m; ++i) graph.push_back({0, i});
+  }
+  return graph;
+}
+
+void Main() {
+  PrintFigureHeader("Multiway",
+                    "K closest tuples over m trees (future work (a)); "
+                    "uniform data, no buffer");
+  const size_t n = Scaled(20000);
+  std::vector<std::unique_ptr<TreeStore>> stores;
+  std::vector<TreeStore::View> views;
+  std::vector<const RStarTree*> trees;
+  for (int i = 0; i < 4; ++i) {
+    stores.push_back(MakeStore(DataKind::kUniform, n, 1.0, 5000 + i));
+    views.push_back(stores.back()->OpenView(0));
+    trees.push_back(views.back().tree.get());
+  }
+
+  Table table({"m", "graph", "K", "disk accesses", "tuple heap max",
+               "seconds"});
+  for (const int m : {2, 3, 4}) {
+    for (const char* shape : {"chain", "clique", "star"}) {
+      if (m == 2 && shape != std::string("chain")) continue;
+      for (const size_t k : {1, 10, 100}) {
+        MultiwayOptions options;
+        options.k = k;
+        CpqStats stats;
+        Timer timer;
+        std::vector<const RStarTree*> subset(trees.begin(),
+                                             trees.begin() + m);
+        auto result = MultiwayKClosestTuples(subset, MakeGraph(m, shape),
+                                             options, &stats);
+        KCPQ_CHECK_OK(result.status());
+        table.AddRow({Table::Count(m), shape, Table::Count(k),
+                      Table::Count(stats.disk_accesses()),
+                      Table::Count(stats.max_heap_size),
+                      Table::Num(timer.ElapsedSeconds(), 3)});
+      }
+    }
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nNo paper baseline exists for this query; the table documents the "
+      "scaling of the synchronous best-first tuple traversal.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kcpq
+
+int main() { kcpq::bench::Main(); }

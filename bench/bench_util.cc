@@ -1,0 +1,94 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kcpq {
+namespace bench {
+
+double ReproScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("REPRO_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+size_t Scaled(size_t n) {
+  const double v = static_cast<double>(n) * ReproScale();
+  return std::max<size_t>(16, static_cast<size_t>(v));
+}
+
+TreeStore::TreeStore(DataKind kind, size_t n, const Rect& workspace,
+                     uint64_t seed, const RTreeOptions& options) {
+  const std::vector<Point> points =
+      kind == DataKind::kUniform ? GenerateUniform(n, workspace, seed)
+                                 : GenerateSequoiaLike(n, workspace, seed);
+  BufferManager build_buffer(&storage_, 0);
+  auto created = RStarTree::Create(&build_buffer, options);
+  KCPQ_CHECK_OK(created.status());
+  auto tree = std::move(created).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    KCPQ_CHECK_OK(tree->Insert(points[i], i));
+  }
+  KCPQ_CHECK_OK(tree->Flush());
+  meta_ = tree->meta_page();
+  size_ = tree->size();
+  height_ = tree->height();
+}
+
+TreeStore::View TreeStore::OpenView(size_t buffer_pages) {
+  View view;
+  view.buffer = std::make_unique<BufferManager>(&storage_, buffer_pages);
+  auto opened = RStarTree::Open(view.buffer.get(), meta_);
+  KCPQ_CHECK_OK(opened.status());
+  view.tree = std::move(opened).value();
+  return view;
+}
+
+std::unique_ptr<TreeStore> MakeStore(DataKind kind, size_t n, double overlap,
+                                     uint64_t seed) {
+  return std::make_unique<TreeStore>(
+      kind, n, ShiftedWorkspace(UnitWorkspace(), overlap), seed);
+}
+
+QueryOutcome RunCpq(TreeStore& p, TreeStore& q, const CpqOptions& options,
+                    size_t buffer_pages_total) {
+  TreeStore::View vp = p.OpenView(buffer_pages_total / 2);
+  TreeStore::View vq = q.OpenView(buffer_pages_total / 2);
+  QueryOutcome outcome;
+  Timer timer;
+  auto result = KClosestPairs(*vp.tree, *vq.tree, options, &outcome.stats);
+  KCPQ_CHECK_OK(result.status());
+  outcome.seconds = timer.ElapsedSeconds();
+  if (!result.value().empty()) {
+    outcome.result_distance = result.value().back().distance;
+  }
+  return outcome;
+}
+
+HsOutcome RunHs(TreeStore& p, TreeStore& q, size_t k, const HsOptions& options,
+                size_t buffer_pages_total) {
+  TreeStore::View vp = p.OpenView(buffer_pages_total / 2);
+  TreeStore::View vq = q.OpenView(buffer_pages_total / 2);
+  HsOutcome outcome;
+  Timer timer;
+  auto result = HsKClosestPairs(*vp.tree, *vq.tree, k, options, &outcome.stats);
+  KCPQ_CHECK_OK(result.status());
+  outcome.seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+void PrintFigureHeader(const std::string& figure,
+                       const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("(Corral et al., SIGMOD 2000; REPRO_SCALE=%.3g)\n", ReproScale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace kcpq

@@ -1,0 +1,100 @@
+// Shared infrastructure for the per-figure benchmark harnesses.
+//
+// Each harness reproduces one figure of the paper's evaluation (Sections 4
+// and 5): it builds the figure's data sets, runs the queries, and prints
+// the same rows/series the paper plots (disk accesses, or cost relative to
+// a baseline). Experiment configuration matches Section 4: 1 KiB pages
+// (M = 21, m = 7), trees built by one-by-one R* insertion, cost = R-tree
+// node disk accesses during the query only.
+//
+// Set REPRO_SCALE (e.g. 0.1) to shrink every data set for a quick smoke
+// run; the paper's shapes are stable under scaling.
+
+#ifndef KCPQ_BENCH_BENCH_UTIL_H_
+#define KCPQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "cpq/cpq.h"
+#include "datagen/datagen.h"
+#include "hs/hs.h"
+#include "rtree/rtree.h"
+#include "storage/memory_storage.h"
+
+namespace kcpq {
+namespace bench {
+
+/// REPRO_SCALE environment variable; 1.0 when unset.
+double ReproScale();
+
+/// n scaled by REPRO_SCALE (at least 16).
+size_t Scaled(size_t n);
+
+enum class DataKind { kUniform, kSequoiaLike };
+
+/// One data set built into one simulated disk. Construction inserts the
+/// points one by one through an unbuffered path (construction cost is not
+/// part of any experiment); OpenView then attaches a fresh buffer of any
+/// capacity for a measured query run.
+class TreeStore {
+ public:
+  TreeStore(DataKind kind, size_t n, const Rect& workspace, uint64_t seed,
+            const RTreeOptions& options = RTreeOptions());
+
+  /// A queryable view: its own buffer (cold) over the shared storage.
+  struct View {
+    std::unique_ptr<BufferManager> buffer;
+    std::unique_ptr<RStarTree> tree;
+  };
+  /// `buffer_pages` is the per-tree share (the paper's B/2).
+  View OpenView(size_t buffer_pages);
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+ private:
+  MemoryStorageManager storage_;
+  PageId meta_ = kInvalidPageId;
+  size_t size_ = 0;
+  int height_ = 0;
+};
+
+/// Builds the paper's standard data sets (unit workspace; Q data shifted to
+/// the requested overlap fraction).
+std::unique_ptr<TreeStore> MakeStore(DataKind kind, size_t n, double overlap,
+                                     uint64_t seed);
+
+/// One measured query: opens cold views with `buffer_pages_total / 2` per
+/// tree, runs KClosestPairs, returns the stats (disk accesses of the query
+/// only).
+struct QueryOutcome {
+  CpqStats stats;
+  double seconds = 0.0;
+  double result_distance = 0.0;  // distance of the K-th (last) pair
+};
+QueryOutcome RunCpq(TreeStore& p, TreeStore& q, const CpqOptions& options,
+                    size_t buffer_pages_total);
+
+/// Like RunCpq, for the Hjaltason-Samet incremental join retrieving k
+/// pairs.
+struct HsOutcome {
+  HsStats stats;
+  double seconds = 0.0;
+};
+HsOutcome RunHs(TreeStore& p, TreeStore& q, size_t k, const HsOptions& options,
+                size_t buffer_pages_total);
+
+/// Prints the standard header for a figure harness.
+void PrintFigureHeader(const std::string& figure,
+                       const std::string& description);
+
+}  // namespace bench
+}  // namespace kcpq
+
+#endif  // KCPQ_BENCH_BENCH_UTIL_H_

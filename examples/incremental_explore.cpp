@@ -1,0 +1,70 @@
+// Incremental exploration with the Hjaltason-Samet distance join: stream
+// closest pairs one at a time — without fixing K in advance — and stop on
+// a data-dependent condition (here: all pairs closer than a distance
+// threshold, plus a "stop after budget" guard). This is the workload shape
+// where incremental algorithms shine, complementing the paper's K-CPQ.
+
+#include <cstdio>
+
+#include "buffer/buffer_manager.h"
+#include "datagen/datagen.h"
+#include "hs/hs.h"
+#include "rtree/rtree.h"
+#include "storage/memory_storage.h"
+
+int main() {
+  using namespace kcpq;
+
+  MemoryStorageManager storage_p, storage_q;
+  BufferManager buffer_p(&storage_p, 64), buffer_q(&storage_q, 64);
+  auto tree_p = RStarTree::Create(&buffer_p).value();
+  auto tree_q = RStarTree::Create(&buffer_q).value();
+
+  const auto hydrants = GenerateUniform(15000, UnitWorkspace(), 31);
+  const auto buildings = GenerateSequoiaLike(15000, UnitWorkspace(), 32);
+  for (size_t i = 0; i < hydrants.size(); ++i) {
+    KCPQ_CHECK_OK(tree_p->Insert(hydrants[i], i));
+  }
+  for (size_t i = 0; i < buildings.size(); ++i) {
+    KCPQ_CHECK_OK(tree_q->Insert(buildings[i], i));
+  }
+
+  // "Report hydrant/building pairs from closest outward until pairs are
+  // farther than 0.2% of the map apart — we don't know how many that is."
+  constexpr double kThreshold = 0.002;
+  constexpr size_t kBudget = 1000000;
+
+  HsOptions options;
+  options.traversal = HsTraversal::kSimultaneous;
+  IncrementalDistanceJoin join(*tree_p, *tree_q, options);
+
+  size_t reported = 0;
+  double last = 0.0;
+  while (reported < kBudget) {
+    auto next = join.Next();
+    KCPQ_CHECK_OK(next.status());
+    if (!next.value().has_value()) break;           // cross product done
+    if (next.value()->distance > kThreshold) break;  // data-driven stop
+    last = next.value()->distance;
+    if (reported < 5) {
+      std::printf("pair %zu: hydrant #%llu <-> building #%llu at %.6f\n",
+                  reported + 1, (unsigned long long)next.value()->p_id,
+                  (unsigned long long)next.value()->q_id,
+                  next.value()->distance);
+    }
+    ++reported;
+  }
+
+  const HsStats& stats = join.stats();
+  std::printf("...\nstreamed %zu pairs below %.3f (last: %.6f)\n", reported,
+              kThreshold, last);
+  std::printf("cost: %llu disk accesses, queue peaked at %llu items "
+              "(%llu pushed)\n",
+              (unsigned long long)stats.disk_accesses(),
+              (unsigned long long)stats.max_queue_size,
+              (unsigned long long)stats.items_pushed);
+  std::printf("\nThe non-incremental algorithms of the paper need K up "
+              "front; the trade-off is queue size — compare the peak above "
+              "with bench_fig10_incremental's HEAP column.\n");
+  return 0;
+}

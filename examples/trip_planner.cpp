@@ -1,0 +1,93 @@
+// Multi-way closest tuples (the paper's Section 6 future-work query): plan
+// day trips that bundle a hotel, a beach, and a restaurant that are all
+// close to each other — the 3-way clique version of the closest pair.
+// Also shows the query planner choosing a 2-way plan and the epsilon join.
+
+#include <cstdio>
+
+#include "buffer/buffer_manager.h"
+#include "cpq/distance_join.h"
+#include "cpq/multiway.h"
+#include "cpq/planner.h"
+#include "datagen/datagen.h"
+#include "rtree/rtree.h"
+#include "storage/memory_storage.h"
+
+namespace {
+
+struct Indexed {
+  kcpq::MemoryStorageManager storage;
+  std::unique_ptr<kcpq::BufferManager> buffer;
+  std::unique_ptr<kcpq::RStarTree> tree;
+
+  void Build(const std::vector<kcpq::Point>& points) {
+    buffer = std::make_unique<kcpq::BufferManager>(&storage, 64);
+    tree = kcpq::RStarTree::Create(buffer.get()).value();
+    for (size_t i = 0; i < points.size(); ++i) {
+      KCPQ_CHECK_OK(tree->Insert(points[i], i));
+    }
+    KCPQ_CHECK_OK(tree->Flush());
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace kcpq;
+
+  Indexed hotels, beaches, restaurants;
+  hotels.Build(GenerateSequoiaLike(5000, UnitWorkspace(), 11));
+  beaches.Build(GenerateUniform(800, UnitWorkspace(), 12));
+  restaurants.Build(GenerateSequoiaLike(7000, UnitWorkspace(), 13));
+
+  // --- 3-way clique: hotel, beach and restaurant all pairwise close -------
+  const std::vector<MultiwayEdge> clique = {{0, 1}, {0, 2}, {1, 2}};
+  MultiwayOptions options;
+  options.k = 5;
+  CpqStats stats;
+  auto trips = MultiwayKClosestTuples(
+      {hotels.tree.get(), beaches.tree.get(), restaurants.tree.get()}, clique,
+      options, &stats);
+  KCPQ_CHECK_OK(trips.status());
+  std::printf("Top-%zu day-trip bundles (hotel + beach + restaurant):\n",
+              trips.value().size());
+  for (size_t i = 0; i < trips.value().size(); ++i) {
+    const TupleResult& t = trips.value()[i];
+    std::printf("  %zu. hotel #%llu, beach #%llu, restaurant #%llu — total "
+                "walking %.4f\n",
+                i + 1, (unsigned long long)t.ids[0],
+                (unsigned long long)t.ids[1], (unsigned long long)t.ids[2],
+                t.aggregate_distance);
+  }
+  std::printf("cost: %llu disk accesses over the three trees, tuple heap "
+              "peaked at %llu\n\n",
+              (unsigned long long)stats.disk_accesses(),
+              (unsigned long long)stats.max_heap_size);
+
+  // --- Let the planner pick the 2-way algorithm ---------------------------
+  auto plan = PlanKClosestPairs(*hotels.tree, *beaches.tree, 3,
+                                /*buffer_pages_total=*/128);
+  KCPQ_CHECK_OK(plan.status());
+  std::printf("Planner for hotels-vs-beaches (B=128): %s, overlap ~%.0f%%, "
+              "~%.0f accesses predicted\n  rationale: %s\n",
+              CpqAlgorithmName(plan.value().options.algorithm),
+              plan.value().estimated_overlap * 100,
+              plan.value().estimated_disk_accesses,
+              plan.value().rationale.c_str());
+  auto pairs = KClosestPairs(*hotels.tree, *beaches.tree,
+                             plan.value().options, &stats);
+  KCPQ_CHECK_OK(pairs.status());
+  std::printf("  executed: %llu actual accesses, best pair at %.4f\n\n",
+              (unsigned long long)stats.disk_accesses(),
+              pairs.value().front().distance);
+
+  // --- Epsilon join: beachfront restaurants -------------------------------
+  auto beachfront =
+      DistanceRangeJoin(*restaurants.tree, *beaches.tree, 0.004, {}, &stats);
+  KCPQ_CHECK_OK(beachfront.status());
+  std::printf("Restaurants within 0.004 of a beach: %zu pairs "
+              "(%llu disk accesses)\n",
+              beachfront.value().size(),
+              (unsigned long long)stats.disk_accesses());
+  return 0;
+}

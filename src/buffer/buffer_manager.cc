@@ -1,0 +1,96 @@
+#include "buffer/buffer_manager.h"
+
+namespace kcpq {
+
+BufferManager::BufferManager(StorageManager* storage, size_t capacity_pages,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : storage_(storage),
+      capacity_(capacity_pages),
+      policy_(std::move(policy)) {}
+
+BufferManager::~BufferManager() {
+  // Best effort; callers that care about durability call Flush themselves.
+  Flush();
+}
+
+Status BufferManager::Read(PageId id, Page* out) {
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return storage_->ReadPage(id, out);
+  }
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    policy_->OnAccess(id);
+    *out = it->second.page;
+    return Status::OK();
+  }
+  ++stats_.misses;
+  Page page;
+  KCPQ_RETURN_IF_ERROR(storage_->ReadPage(id, &page));
+  KCPQ_RETURN_IF_ERROR(EvictIfFull());
+  policy_->OnInsert(id);
+  *out = page;
+  frames_.emplace(id, Frame{std::move(page), /*dirty=*/false});
+  return Status::OK();
+}
+
+Status BufferManager::Write(PageId id, const Page& page) {
+  if (capacity_ == 0) {
+    return storage_->WritePage(id, page);
+  }
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    policy_->OnAccess(id);
+    it->second.page = page;
+    it->second.dirty = true;
+    return Status::OK();
+  }
+  KCPQ_RETURN_IF_ERROR(EvictIfFull());
+  policy_->OnInsert(id);
+  frames_.emplace(id, Frame{page, /*dirty=*/true});
+  return Status::OK();
+}
+
+Result<PageId> BufferManager::Allocate() { return storage_->Allocate(); }
+
+Status BufferManager::Free(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    policy_->OnErase(id);
+    frames_.erase(it);
+  }
+  return storage_->Free(id);
+}
+
+Status BufferManager::EvictIfFull() {
+  if (frames_.size() < capacity_) return Status::OK();
+  const PageId victim = policy_->ChooseVictim();
+  auto it = frames_.find(victim);
+  ++stats_.evictions;
+  if (it->second.dirty) {
+    ++stats_.writebacks;
+    KCPQ_RETURN_IF_ERROR(storage_->WritePage(victim, it->second.page));
+  }
+  frames_.erase(it);
+  return Status::OK();
+}
+
+Status BufferManager::Flush() {
+  for (auto& [id, frame] : frames_) {
+    if (!frame.dirty) continue;
+    ++stats_.writebacks;
+    KCPQ_RETURN_IF_ERROR(storage_->WritePage(id, frame.page));
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAndClear() {
+  KCPQ_RETURN_IF_ERROR(Flush());
+  for (const auto& [id, frame] : frames_) policy_->OnErase(id);
+  frames_.clear();
+  return Status::OK();
+}
+
+}  // namespace kcpq

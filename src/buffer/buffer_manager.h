@@ -1,0 +1,96 @@
+// Page buffer (cache) between the R-tree and its storage manager.
+//
+// Cost accounting, matching the paper: a query's "disk accesses" are the
+// ReadPage calls this buffer issues to the storage manager — i.e. its
+// misses. With capacity 0 the buffer is a pass-through and every node
+// access costs one disk access (the paper's "zero buffer" setting). The
+// paper dedicates B/2 pages to each of the two R-trees (Section 4.3.3):
+// here each tree simply owns a BufferManager of capacity B/2 over its own
+// storage manager.
+//
+// Semantics are copy-in/copy-out: Read copies the cached page into the
+// caller's buffer, so callers never hold pointers into frames and no pin
+// protocol is needed (queries are single-threaded; a 1 KiB copy per node
+// access is far below the cost of deserializing the node). Writes are
+// write-back: dirty frames reach storage on eviction or Flush.
+
+#ifndef KCPQ_BUFFER_BUFFER_MANAGER_H_
+#define KCPQ_BUFFER_BUFFER_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "buffer/replacement_policy.h"
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+/// Hit/miss accounting. `misses` equals the physical reads this buffer
+/// caused; `logical_reads = hits + misses`.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+
+  uint64_t logical_reads() const { return hits + misses; }
+  void Reset() { *this = BufferStats{}; }
+};
+
+class BufferManager {
+ public:
+  /// `storage` must outlive the buffer manager. `capacity_pages` may be 0
+  /// (pass-through). `policy` defaults to LRU, the paper's setting.
+  BufferManager(StorageManager* storage, size_t capacity_pages,
+                std::unique_ptr<ReplacementPolicy> policy = MakeLruPolicy());
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Reads page `id` into `*out`, from cache if resident.
+  Status Read(PageId id, Page* out);
+
+  /// Writes `page` to `id` (cached, write-back). Pass-through writes
+  /// directly when capacity is 0.
+  Status Write(PageId id, const Page& page);
+
+  /// Allocates a fresh page in the underlying storage.
+  Result<PageId> Allocate();
+
+  /// Drops any cached copy of `id` (discarding dirty data — the page is
+  /// gone) and frees it in storage.
+  Status Free(PageId id);
+
+  /// Writes back all dirty frames; frames stay resident.
+  Status Flush();
+
+  /// Flush, then drop all frames (cold cache; used between experiment runs).
+  Status FlushAndClear();
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  StorageManager* storage() const { return storage_; }
+
+ private:
+  struct Frame {
+    Page page;
+    bool dirty = false;
+  };
+
+  /// Ensures space for one more frame, evicting (with write-back) if full.
+  Status EvictIfFull();
+
+  StorageManager* storage_;
+  size_t capacity_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<PageId, Frame> frames_;
+  BufferStats stats_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_BUFFER_BUFFER_MANAGER_H_

@@ -1,0 +1,138 @@
+#include "buffer/replacement_policy.h"
+
+#include <cassert>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kcpq {
+
+namespace {
+
+// LRU via an intrusive recency list: front = most recent, back = victim.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(PageId id) override {
+    order_.push_front(id);
+    where_[id] = order_.begin();
+  }
+
+  void OnAccess(PageId id) override {
+    auto it = where_.find(id);
+    assert(it != where_.end());
+    order_.splice(order_.begin(), order_, it->second);
+  }
+
+  PageId ChooseVictim() override {
+    assert(!order_.empty());
+    const PageId victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    return victim;
+  }
+
+  void OnErase(PageId id) override {
+    auto it = where_.find(id);
+    if (it == where_.end()) return;
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+  const char* name() const override { return "lru"; }
+
+ private:
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+// FIFO: eviction in arrival order, accesses ignored.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(PageId id) override {
+    order_.push_front(id);
+    where_[id] = order_.begin();
+  }
+
+  void OnAccess(PageId /*id*/) override {}
+
+  PageId ChooseVictim() override {
+    assert(!order_.empty());
+    const PageId victim = order_.back();
+    order_.pop_back();
+    where_.erase(victim);
+    return victim;
+  }
+
+  void OnErase(PageId id) override {
+    auto it = where_.find(id);
+    if (it == where_.end()) return;
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+
+  const char* name() const override { return "fifo"; }
+
+ private:
+  std::list<PageId> order_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> where_;
+};
+
+// Random victim via a swap-with-last dense vector.
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+  void OnInsert(PageId id) override {
+    index_[id] = live_.size();
+    live_.push_back(id);
+  }
+
+  void OnAccess(PageId /*id*/) override {}
+
+  PageId ChooseVictim() override {
+    assert(!live_.empty());
+    const size_t slot = rng_.NextBounded(live_.size());
+    const PageId victim = live_[slot];
+    RemoveAt(slot);
+    return victim;
+  }
+
+  void OnErase(PageId id) override {
+    auto it = index_.find(id);
+    if (it == index_.end()) return;
+    RemoveAt(it->second);
+  }
+
+  const char* name() const override { return "random"; }
+
+ private:
+  void RemoveAt(size_t slot) {
+    const PageId moved = live_.back();
+    index_.erase(live_[slot]);
+    live_[slot] = moved;
+    live_.pop_back();
+    if (slot < live_.size()) index_[moved] = slot;
+  }
+
+  Xoshiro256pp rng_;
+  std::vector<PageId> live_;
+  std::unordered_map<PageId, size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> MakeLruPolicy() {
+  return std::make_unique<LruPolicy>();
+}
+
+std::unique_ptr<ReplacementPolicy> MakeFifoPolicy() {
+  return std::make_unique<FifoPolicy>();
+}
+
+std::unique_ptr<ReplacementPolicy> MakeRandomPolicy(uint64_t seed) {
+  return std::make_unique<RandomPolicy>(seed);
+}
+
+}  // namespace kcpq

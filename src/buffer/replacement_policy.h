@@ -1,0 +1,51 @@
+// Page replacement policies for the buffer manager.
+//
+// The paper's experiments use LRU (Section 4.3.3, following Leutenegger &
+// Lopez ICDE'98). FIFO and Random are provided for the ablation benchmarks.
+
+#ifndef KCPQ_BUFFER_REPLACEMENT_POLICY_H_
+#define KCPQ_BUFFER_REPLACEMENT_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/page.h"
+
+namespace kcpq {
+
+/// Tracks the set of resident pages and picks eviction victims. The buffer
+/// manager guarantees: every id is OnInsert-ed before OnAccess/OnErase;
+/// ChooseVictim is called only when at least one page is resident, and the
+/// returned victim is implicitly erased from the policy's tracking.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  ReplacementPolicy(const ReplacementPolicy&) = delete;
+  ReplacementPolicy& operator=(const ReplacementPolicy&) = delete;
+
+  /// `id` became resident.
+  virtual void OnInsert(PageId id) = 0;
+  /// `id` (resident) was hit.
+  virtual void OnAccess(PageId id) = 0;
+  /// Picks a victim among resident pages and stops tracking it.
+  virtual PageId ChooseVictim() = 0;
+  /// `id` was dropped without eviction (page freed / buffer cleared).
+  virtual void OnErase(PageId id) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  ReplacementPolicy() = default;
+};
+
+/// Least-recently-used (the paper's policy).
+std::unique_ptr<ReplacementPolicy> MakeLruPolicy();
+/// First-in-first-out.
+std::unique_ptr<ReplacementPolicy> MakeFifoPolicy();
+/// Uniform-random victim, deterministic from `seed`.
+std::unique_ptr<ReplacementPolicy> MakeRandomPolicy(uint64_t seed);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_BUFFER_REPLACEMENT_POLICY_H_

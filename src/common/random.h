@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// All data generators and property tests in this repository must be
+// reproducible from a single 64-bit seed, so we implement our own small,
+// well-known generators instead of relying on the (implementation-defined)
+// distributions of <random>:
+//
+//  * SplitMix64  — seeding / hashing; passes BigCrush, 64-bit state.
+//  * Xoshiro256pp — general-purpose stream; 256-bit state, period 2^256-1.
+//
+// Floating-point helpers produce identical values on every conforming
+// platform (they only use exact binary operations on uint64).
+
+#ifndef KCPQ_COMMON_RANDOM_H_
+#define KCPQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace kcpq {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used to expand one seed into many.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman, Vigna 2019).
+class Xoshiro256pp {
+ public:
+  /// Seeds the 256-bit state from a 64-bit seed via SplitMix64, as the
+  /// authors recommend.
+  explicit Xoshiro256pp(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 significant bits.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Standard normal variate (Marsaglia polar method, deterministic).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  // Cached second variate from the polar method; NaN-free flag encoding.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_COMMON_RANDOM_H_

@@ -1,0 +1,181 @@
+// Error handling primitives for the kcpq library.
+//
+// The library does not use exceptions (database-style codebase, see
+// README). Fallible operations return a `Status`, or a `Result<T>` when they
+// also produce a value. Both are cheap to move and OK-paths allocate nothing.
+//
+// Typical use:
+//
+//   kcpq::Result<PageId> id = storage->Allocate();
+//   if (!id.ok()) return id.status();
+//   Use(id.value());
+//
+// The KCPQ_RETURN_IF_ERROR / KCPQ_ASSIGN_OR_RETURN macros remove the
+// boilerplate inside the library.
+
+#ifndef KCPQ_COMMON_STATUS_H_
+#define KCPQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kcpq {
+
+// Broad error categories, modeled after the usual database-engine set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("IoError", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Immutable after construction.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Aborts the process with `status` printed to stderr. Used for programming
+/// errors (library invariant violations), never for data-dependent failures.
+[[noreturn]] void AbortWithStatus(const Status& status, const char* file,
+                                  int line);
+
+/// A value of type T or an error Status. `T` must be movable.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. `status.ok()` is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) AbortWithStatus(status_, __FILE__, __LINE__);
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kcpq
+
+/// Propagates a non-OK Status out of the current function.
+#define KCPQ_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::kcpq::Status kcpq_status_macro_s = (expr);  \
+    if (!kcpq_status_macro_s.ok()) return kcpq_status_macro_s; \
+  } while (false)
+
+#define KCPQ_CONCAT_IMPL_(x, y) x##y
+#define KCPQ_CONCAT_(x, y) KCPQ_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise moves the
+/// value into `lhs` (which may include a declaration, e.g. `auto v`).
+#define KCPQ_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  KCPQ_ASSIGN_OR_RETURN_IMPL_(KCPQ_CONCAT_(kcpq_result_, __LINE__), \
+                              lhs, rexpr)
+
+#define KCPQ_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+/// Aborts unless `expr` yields an OK status. For callers that cannot fail.
+#define KCPQ_CHECK_OK(expr)                                         \
+  do {                                                              \
+    ::kcpq::Status kcpq_status_macro_s = (expr);                    \
+    if (!kcpq_status_macro_s.ok())                                  \
+      ::kcpq::AbortWithStatus(kcpq_status_macro_s, __FILE__, __LINE__); \
+  } while (false)
+
+#endif  // KCPQ_COMMON_STATUS_H_

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <cstdio>
+
+namespace kcpq {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Count(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::Percent(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  // Column widths across header and all rows.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += cell;
+      out.append(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) out += "  ";
+    }
+    // Trim trailing spaces on the line.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(widths.size());
+  for (size_t w : widths) rule.emplace_back(w, '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::Print(std::FILE* out) const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace kcpq

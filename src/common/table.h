@@ -1,0 +1,47 @@
+// Aligned plain-text table printer used by the per-figure benchmark
+// harnesses to emit the same rows/series the paper's charts plot.
+
+#ifndef KCPQ_COMMON_TABLE_H_
+#define KCPQ_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kcpq {
+
+/// Collects rows of cells and renders them as an aligned monospace table.
+///
+///   Table t({"K", "EXH", "SIM"});
+///   t.AddRow({"1", "431", "402"});
+///   t.Print(stdout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row. Short rows are padded with empty cells; long rows
+  /// widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 1);
+  /// Convenience: formats an integer count.
+  static std::string Count(long long v);
+  /// Convenience: formats `v` as a percentage with one decimal ("87.5%").
+  static std::string Percent(double v);
+
+  /// Renders the table to `out` (header, separator, rows).
+  void Print(std::FILE* out) const;
+
+  /// Renders the table as a string (same layout as Print).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_COMMON_TABLE_H_

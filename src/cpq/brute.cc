@@ -1,0 +1,45 @@
+#include "cpq/brute.h"
+
+#include <cmath>
+
+#include "cpq/result_heap.h"
+
+namespace kcpq {
+
+std::vector<PairResult> BruteForceKClosestPairs(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
+    bool self_join, Metric metric) {
+  ResultHeap heap(k, metric);
+  for (const auto& [pp, pid] : p) {
+    for (const auto& [qq, qid] : q) {
+      if (self_join && pid >= qid) continue;
+      heap.Offer(PointDistancePow(pp, qq, metric), pp, qq, pid, qid);
+    }
+  }
+  return std::move(heap).Extract();
+}
+
+std::vector<PairResult> BruteForceSemiClosestPairs(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q) {
+  std::vector<PairResult> out;
+  if (q.empty()) return out;
+  out.reserve(p.size());
+  for (const auto& [pp, pid] : p) {
+    ResultHeap best(1);
+    for (const auto& [qq, qid] : q) {
+      best.Offer(SquaredDistance(pp, qq), pp, qq, pid, qid);
+    }
+    std::vector<PairResult> one = std::move(best).Extract();
+    out.push_back(one.front());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PairResult& a, const PairResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.p_id < b.p_id;
+            });
+  return out;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,33 @@
+// In-memory brute-force K closest pairs: the O(|P| * |Q|) reference that
+// every tree algorithm is validated against in the tests, and the honest
+// "no index" baseline in the benches.
+
+#ifndef KCPQ_CPQ_BRUTE_H_
+#define KCPQ_CPQ_BRUTE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cpq/cpq.h"
+#include "geometry/point.h"
+
+namespace kcpq {
+
+/// K closest pairs between two id-tagged point vectors, ascending distance.
+/// `self_join` skips reflexive pairs and reports each unordered pair once
+/// (p_id < q_id), matching SelfKClosestPairs.
+std::vector<PairResult> BruteForceKClosestPairs(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
+    bool self_join = false, Metric metric = Metric::kL2);
+
+/// For each point of `p`, its nearest point of `q`; ascending distance.
+/// The brute-force reference for SemiClosestPairs.
+std::vector<PairResult> BruteForceSemiClosestPairs(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_BRUTE_H_

@@ -1,0 +1,67 @@
+// Analytical cost model for K-CPQ disk accesses (the paper's future-work
+// direction (b), Section 6: "the analytical study of CPQs, extending
+// related work in spatial joins [Theodoridis et al., ICDE'98] and
+// nearest-neighbor queries").
+//
+// The model assumes two uniformly distributed point sets in unit-square
+// workspaces that share an `overlap` fraction of their width, indexed by
+// R*-trees of fanout M at fill factor f:
+//
+//  1. Expected K-th closest-pair distance d_K.
+//     Overlapping workspaces (area A = overlap): the number of point pairs
+//     within distance r is ~ n_p n_q pi r^2 overlap / A... which reduces to
+//     C(r) = n_p n_q pi r^2 overlap, so  d_K = sqrt(K / (pi n_p n_q o)).
+//     Disjoint-but-adjacent workspaces: only points near the shared border
+//     pair up; C(r) ~ n_p n_q r^3, so  d_K = (K / (n_p n_q))^(1/3).
+//
+//  2. Node pairs visited per level. A pruning algorithm must visit every
+//     node pair with MINMINDIST <= d_K. At level l the ~N_l(n) = n / (fM)^(l+1)
+//     nodes tile their workspace with square MBRs of side s_l = sqrt(1/N_l),
+//     so a given P-node interacts with Q-nodes whose centers fall in a
+//     square of side s_P + s_Q + 2 d_K. Integrating over the overlap region
+//     (or the border strip when disjoint) gives the per-level pair count;
+//     each visited pair costs two node reads.
+//
+// The model is deliberately coarse (uniformity, square MBRs, no buffer);
+// bench_costmodel compares it against measured runs and EXPERIMENTS.md
+// discusses the fit. Its intended use is what the paper names: query
+// optimization — choosing between CPQ plans without running them.
+
+#ifndef KCPQ_CPQ_COST_MODEL_H_
+#define KCPQ_CPQ_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kcpq {
+
+struct CostModelInput {
+  uint64_t n_p = 0;
+  uint64_t n_q = 0;
+  /// Shared fraction of the two unit workspaces' width, in [0, 1].
+  double overlap = 1.0;
+  uint64_t k = 1;
+  /// R-tree fanout (node capacity M); 21 for the paper's 1 KiB pages.
+  uint64_t fanout = 21;
+  /// Average node fill factor; ~0.70 for R*-trees built by insertion.
+  double fill = 0.70;
+};
+
+struct CostModelEstimate {
+  /// Predicted disk accesses (both trees, no buffer).
+  double disk_accesses = 0.0;
+  /// Predicted K-th closest-pair distance.
+  double kth_distance = 0.0;
+  /// Predicted node-pair visits per level (index 0 = leaf level).
+  std::vector<double> node_pairs_per_level;
+};
+
+/// Evaluates the model. Fails on invalid inputs (zero cardinalities,
+/// overlap outside [0,1], zero k/fanout, fill outside (0,1]).
+Result<CostModelEstimate> EstimateCpqCost(const CostModelInput& input);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_COST_MODEL_H_

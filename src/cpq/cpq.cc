@@ -1,0 +1,141 @@
+#include "cpq/cpq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "cpq/engine.h"
+
+namespace kcpq {
+
+const char* CpqAlgorithmName(CpqAlgorithm a) {
+  switch (a) {
+    case CpqAlgorithm::kNaive:
+      return "NAIVE";
+    case CpqAlgorithm::kExhaustive:
+      return "EXH";
+    case CpqAlgorithm::kSimple:
+      return "SIM";
+    case CpqAlgorithm::kSortedDistances:
+      return "STD";
+    case CpqAlgorithm::kHeap:
+      return "HEAP";
+  }
+  return "?";
+}
+
+Result<std::vector<PairResult>> KClosestPairs(const RStarTree& tree_p,
+                                              const RStarTree& tree_q,
+                                              const CpqOptions& options,
+                                              CpqStats* stats) {
+  cpq_internal::CpqEngine engine(tree_p, tree_q, options, stats);
+  std::vector<PairResult> out;
+  KCPQ_RETURN_IF_ERROR(engine.Run(&out));
+  return out;
+}
+
+Result<std::vector<PairResult>> SelfKClosestPairs(const RStarTree& tree,
+                                                  CpqOptions options,
+                                                  CpqStats* stats) {
+  options.self_join = true;
+  return KClosestPairs(tree, tree, options, stats);
+}
+
+namespace {
+
+// Group nearest-neighbor search for one P leaf: a single best-first
+// traversal of Q serves every point of the leaf at once. The queue key
+// MINMINDIST(leaf MBR, Q subtree MBR) lower-bounds the distance from
+// *every* leaf point to everything beneath the subtree, so the traversal
+// stops when the key exceeds the worst unresolved best. Amortizes one Q
+// descent over up to M points (vs. one descent per point).
+Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
+                           CpqStats* stats, std::vector<PairResult>* out) {
+  struct QueueItem {
+    double key;
+    PageId page;
+    bool operator>(const QueueItem& other) const { return key > other.key; }
+  };
+  const Rect leaf_mbr = leaf.ComputeMbr();
+  std::vector<double> best(leaf.entries.size(),
+                           std::numeric_limits<double>::infinity());
+  std::vector<Entry> best_entry(leaf.entries.size());
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+  queue.push(QueueItem{0.0, tree_q.root_page()});
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    const double worst = *std::max_element(best.begin(), best.end());
+    if (item.key > worst) break;  // no leaf point can improve
+    Node node;
+    KCPQ_RETURN_IF_ERROR(tree_q.ReadNode(item.page, &node));
+    ++stats->node_pairs_processed;
+    if (node.IsLeaf()) {
+      for (const Entry& eq : node.entries) {
+        for (size_t i = 0; i < leaf.entries.size(); ++i) {
+          ++stats->point_distance_computations;
+          // Entry rects: exact point distance for point data, object
+          // MINMINDIST for extended objects.
+          const double d2 = MinMinDistSquared(leaf.entries[i].rect, eq.rect);
+          if (d2 < best[i]) {
+            best[i] = d2;
+            best_entry[i] = eq;
+          }
+        }
+      }
+      continue;
+    }
+    for (const Entry& eq : node.entries) {
+      const double key = MinMinDistSquared(leaf_mbr, eq.rect);
+      // Re-test against the current worst: later insertions are useless
+      // once every point has a closer neighbor.
+      if (key <= worst) queue.push(QueueItem{key, eq.id});
+    }
+  }
+  for (size_t i = 0; i < leaf.entries.size(); ++i) {
+    Point p_witness, q_witness;
+    ClosestPoints(leaf.entries[i].rect, best_entry[i].rect, &p_witness,
+                  &q_witness);
+    out->push_back(PairResult{p_witness, q_witness, leaf.entries[i].id,
+                              best_entry[i].id, std::sqrt(best[i])});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
+                                                 const RStarTree& tree_q,
+                                                 CpqStats* stats) {
+  CpqStats local;
+  CpqStats* s = stats != nullptr ? stats : &local;
+  *s = CpqStats{};
+  const BufferStats before_p = tree_p.buffer()->stats();
+  const BufferStats before_q = tree_q.buffer()->stats();
+
+  std::vector<PairResult> out;
+  if (tree_p.size() == 0 || tree_q.size() == 0) return out;
+  out.reserve(tree_p.size());
+
+  Status inner = Status::OK();
+  KCPQ_RETURN_IF_ERROR(tree_p.ScanLeaves([&](const Node& leaf) {
+    inner = GroupNearestForLeaf(tree_q, leaf, s, &out);
+    return inner.ok();
+  }));
+  KCPQ_RETURN_IF_ERROR(inner);
+
+  std::sort(out.begin(), out.end(),
+            [](const PairResult& a, const PairResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.p_id < b.p_id;
+            });
+  s->disk_accesses_p = tree_p.buffer()->stats().misses - before_p.misses;
+  s->disk_accesses_q = tree_q.buffer()->stats().misses - before_q.misses;
+  return out;
+}
+
+}  // namespace kcpq

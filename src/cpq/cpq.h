@@ -1,0 +1,160 @@
+// K Closest Pair Queries over two R*-trees — the paper's contribution.
+//
+// Given point sets P and Q stored in R*-trees, find the K pairs
+// (p, q) in P x Q with the K smallest Euclidean distances (Section 2.1).
+// Five algorithms are provided (Section 3):
+//
+//   kNaive            exhaustive recursion, no pruning (baseline only)
+//   kExhaustive       prune node pairs with MINMINDIST > T
+//   kSimple           + tighten T from MINMAXDIST (K=1) / MAXMAXDIST (K>1)
+//   kSortedDistances  + visit child pairs in ascending MINMINDIST order
+//   kHeap             iterative: global min-heap of node pairs by MINMINDIST
+//
+// T is the pruning bound: an upper bound on the final K-th closest distance,
+// maintained from (a) the K-th best pair found so far and (b) Inequality-2
+// style guarantees. For K = 1 the MINMAXDIST of any node pair bounds the
+// closest distance (the paper's 1-CPQ special case); for K > 1 that is
+// unsound, and the implemented alternative (Section 3.8, detailed in the
+// companion TR) accumulates MAXMAXDIST-sorted node pairs until the
+// guaranteed number of point pairs beneath them reaches K.
+//
+// Usage:
+//
+//   CpqOptions options;
+//   options.algorithm = CpqAlgorithm::kHeap;
+//   options.k = 10;
+//   CpqStats stats;
+//   KCPQ_ASSIGN_OR_RETURN(std::vector<PairResult> pairs,
+//                         KClosestPairs(tree_p, tree_q, options, &stats));
+//
+// Results come back in ascending distance. Distance ties make the result
+// set non-unique; like the paper, any valid instance may be returned.
+
+#ifndef KCPQ_CPQ_CPQ_H_
+#define KCPQ_CPQ_CPQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/minkowski.h"
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+
+namespace kcpq {
+
+enum class CpqAlgorithm {
+  kNaive,
+  kExhaustive,
+  kSimple,
+  kSortedDistances,
+  kHeap,
+};
+
+const char* CpqAlgorithmName(CpqAlgorithm a);
+
+/// How node pairs at different tree levels are handled (Section 3.7).
+enum class HeightStrategy {
+  /// Classic spatial-join style: descend both trees until the shorter one
+  /// reaches its leaves, then keep the leaf fixed.
+  kFixAtLeaves,
+  /// The paper's proposal: keep the shorter tree's node fixed at the top
+  /// until the taller tree descends to the same level.
+  kFixAtRoot,
+};
+
+/// Tie-breaking criteria among node pairs with equal MINMINDIST
+/// (Section 3.6, T1-T5). A chain is evaluated left to right; the first
+/// criterion that separates two pairs decides.
+enum class TieCriterion {
+  /// T1: prefer the pair one of whose MBRs has the largest area relative
+  /// to its tree's root MBR area.
+  kLargestNormalizedArea,
+  /// T2: prefer the smallest MINMAXDIST between the two MBRs.
+  kSmallestMinMaxDist,
+  /// T3: prefer the largest sum of the two MBR areas.
+  kLargestAreaSum,
+  /// T4: prefer the smallest dead space: area of the MBR enclosing both
+  /// minus the two areas.
+  kSmallestEnclosureWaste,
+  /// T5: prefer the largest intersection area of the two MBRs.
+  kLargestIntersection,
+};
+
+struct CpqOptions {
+  CpqAlgorithm algorithm = CpqAlgorithm::kSortedDistances;
+
+  /// Number of closest pairs to report. Capped by |P| * |Q| naturally.
+  size_t k = 1;
+
+  HeightStrategy height_strategy = HeightStrategy::kFixAtRoot;
+
+  /// Distance metric. The paper uses Euclidean distance and notes the
+  /// methods adapt to any Minkowski metric (Section 2.1); L1 and Linf are
+  /// supported end-to-end (see geometry/minkowski.h).
+  Metric metric = Metric::kL2;
+
+  /// Applied by kSortedDistances and kHeap; empty = break ties by page ids
+  /// only. Default T1, the paper's winner (Section 4.1).
+  std::vector<TieCriterion> tie_chain = {TieCriterion::kLargestNormalizedArea};
+
+  /// Enables the MAXMAXDIST guaranteed-count bound for K > 1 (Section 3.8)
+  /// in kSimple / kSortedDistances / kHeap. When false those algorithms
+  /// fall back to the K-heap-top bound only (the paper's "simple
+  /// modification"); ablation knob.
+  bool use_maxmaxdist_pruning = true;
+
+  /// Self-join mode: both tree arguments are the same tree, reflexive
+  /// pairs (same record id) are skipped and each unordered pair is
+  /// reported once (p_id < q_id). Set by SelfKClosestPairs.
+  bool self_join = false;
+};
+
+/// One reported closest pair.
+struct PairResult {
+  Point p;
+  Point q;
+  uint64_t p_id = 0;
+  uint64_t q_id = 0;
+  /// True distance under the query's metric (Euclidean by default).
+  double distance = 0.0;
+};
+
+/// Work counters for one query. Disk accesses are counted by the trees'
+/// buffer managers; this struct records the per-query deltas.
+struct CpqStats {
+  uint64_t node_pairs_processed = 0;
+  uint64_t candidate_pairs_generated = 0;
+  uint64_t candidate_pairs_pruned = 0;
+  uint64_t point_distance_computations = 0;
+  /// High-water mark of the kHeap algorithm's pair heap (0 otherwise).
+  uint64_t max_heap_size = 0;
+  /// Buffer misses (= physical reads) per tree during the query.
+  uint64_t disk_accesses_p = 0;
+  uint64_t disk_accesses_q = 0;
+
+  uint64_t disk_accesses() const { return disk_accesses_p + disk_accesses_q; }
+};
+
+/// Finds the `options.k` closest pairs between `tree_p` and `tree_q`.
+/// Returns fewer than k pairs when |P| * |Q| < k. `stats` may be null.
+Result<std::vector<PairResult>> KClosestPairs(const RStarTree& tree_p,
+                                              const RStarTree& tree_q,
+                                              const CpqOptions& options = {},
+                                              CpqStats* stats = nullptr);
+
+/// Self-CPQ (Section 6, future work): the K closest pairs of distinct
+/// points within one data set; each unordered pair reported once.
+Result<std::vector<PairResult>> SelfKClosestPairs(const RStarTree& tree,
+                                                  CpqOptions options = {},
+                                                  CpqStats* stats = nullptr);
+
+/// Semi-CPQ (Section 6, future work): for every point of P, its nearest
+/// point in Q; results in ascending distance. |result| == |P|.
+Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
+                                                 const RStarTree& tree_q,
+                                                 CpqStats* stats = nullptr);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_CPQ_H_

@@ -1,0 +1,163 @@
+#include "cpq/distance_join.h"
+
+#include <algorithm>
+#include <string>
+
+#include "cpq/engine.h"
+
+namespace kcpq {
+
+namespace {
+
+using cpq_internal::ChooseDescend;
+using cpq_internal::DescendChoice;
+
+// Recursive ε-join worker over two subtrees identified by page ids.
+class JoinWalker {
+ public:
+  JoinWalker(const RStarTree& tree_p, const RStarTree& tree_q,
+             double epsilon_pow, const DistanceJoinOptions& options,
+             CpqStats* stats, std::vector<PairResult>* out)
+      : tree_p_(tree_p),
+        tree_q_(tree_q),
+        epsilon_pow_(epsilon_pow),
+        options_(options),
+        stats_(stats),
+        out_(out) {}
+
+  Status Walk(PageId page_p, PageId page_q) {
+    Node node_p, node_q;
+    KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(page_p, &node_p));
+    KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(page_q, &node_q));
+    ++stats_->node_pairs_processed;
+
+    const DescendChoice choice = ChooseDescend(node_p.level, node_q.level,
+                                               options_.height_strategy);
+    if (choice == DescendChoice::kLeaves) {
+      return EmitLeafPairs(node_p, node_q, page_p == page_q);
+    }
+    const bool expand_p = choice != DescendChoice::kSecondOnly;
+    const bool expand_q = choice != DescendChoice::kFirstOnly;
+    const Rect whole_p = node_p.ComputeMbr();
+    const Rect whole_q = node_q.ComputeMbr();
+    const size_t np = expand_p ? node_p.entries.size() : 1;
+    const size_t nq = expand_q ? node_q.entries.size() : 1;
+    for (size_t i = 0; i < np; ++i) {
+      const Rect& rp = expand_p ? node_p.entries[i].rect : whole_p;
+      for (size_t j = 0; j < nq; ++j) {
+        const Rect& rq = expand_q ? node_q.entries[j].rect : whole_q;
+        // Self-join: same-node expansions cover each unordered child pair
+        // twice; keep the page-ordered orientation (see cpq/engine.cc).
+        if (options_.self_join && page_p == page_q && expand_p && expand_q &&
+            node_p.entries[i].id > node_q.entries[j].id) {
+          continue;
+        }
+        ++stats_->candidate_pairs_generated;
+        if (MinMinDistPow(rp, rq, options_.metric) > epsilon_pow_) {
+          ++stats_->candidate_pairs_pruned;
+          continue;
+        }
+        KCPQ_RETURN_IF_ERROR(
+            Walk(expand_p ? node_p.entries[i].id : page_p,
+                 expand_q ? node_q.entries[j].id : page_q));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status EmitLeafPairs(const Node& node_p, const Node& node_q,
+                       bool same_node) {
+    for (const Entry& ep : node_p.entries) {
+      for (const Entry& eq : node_q.entries) {
+        if (options_.self_join) {
+          if (same_node) {
+            if (ep.id >= eq.id) continue;
+          } else if (ep.id == eq.id) {
+            continue;
+          }
+        }
+        ++stats_->point_distance_computations;
+        const double d = MinMinDistPow(ep.rect, eq.rect, options_.metric);
+        if (d > epsilon_pow_) continue;
+        if (options_.max_results > 0 &&
+            out_->size() >= options_.max_results) {
+          return Status::ResourceExhausted(
+              "distance join exceeded max_results = " +
+              std::to_string(options_.max_results));
+        }
+        Point p, q;
+        ClosestPoints(ep.rect, eq.rect, &p, &q);
+        if (options_.self_join && ep.id > eq.id) {
+          out_->push_back(PairResult{q, p, eq.id, ep.id,
+                                     PowToDistance(d, options_.metric)});
+        } else {
+          out_->push_back(PairResult{
+              p, q, ep.id, eq.id, PowToDistance(d, options_.metric)});
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const RStarTree& tree_p_;
+  const RStarTree& tree_q_;
+  const double epsilon_pow_;
+  const DistanceJoinOptions& options_;
+  CpqStats* stats_;
+  std::vector<PairResult>* out_;
+};
+
+void SortResults(std::vector<PairResult>* out) {
+  std::sort(out->begin(), out->end(),
+            [](const PairResult& a, const PairResult& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.p_id != b.p_id) return a.p_id < b.p_id;
+              return a.q_id < b.q_id;
+            });
+}
+
+}  // namespace
+
+Result<std::vector<PairResult>> DistanceRangeJoin(
+    const RStarTree& tree_p, const RStarTree& tree_q, double epsilon,
+    const DistanceJoinOptions& options, CpqStats* stats) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  CpqStats local;
+  CpqStats* s = stats != nullptr ? stats : &local;
+  *s = CpqStats{};
+  std::vector<PairResult> out;
+  if (tree_p.size() == 0 || tree_q.size() == 0) return out;
+
+  const BufferStats before_p = tree_p.buffer()->stats();
+  const BufferStats before_q = tree_q.buffer()->stats();
+  JoinWalker walker(tree_p, tree_q, DistanceToPow(epsilon, options.metric),
+                    options, s, &out);
+  KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page()));
+  s->disk_accesses_p = tree_p.buffer()->stats().misses - before_p.misses;
+  s->disk_accesses_q = tree_q.buffer()->stats().misses - before_q.misses;
+  SortResults(&out);
+  return out;
+}
+
+std::vector<PairResult> BruteForceDistanceRangeJoin(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q, double epsilon,
+    bool self_join, Metric metric) {
+  std::vector<PairResult> out;
+  const double epsilon_pow = DistanceToPow(epsilon, metric);
+  for (const auto& [pp, pid] : p) {
+    for (const auto& [qq, qid] : q) {
+      if (self_join && pid >= qid) continue;
+      const double d = PointDistancePow(pp, qq, metric);
+      if (d > epsilon_pow) continue;
+      out.push_back(PairResult{pp, qq, pid, qid, PowToDistance(d, metric)});
+    }
+  }
+  SortResults(&out);
+  return out;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,41 @@
+// Distance range join (ε-join): report every pair (p, q) in P x Q with
+// dist(p, q) <= epsilon. The fixed-radius sibling of the K-CPQ — the same
+// MINMINDIST pruning applies with a constant bound instead of an evolving
+// one, so it shares the traversal machinery of the cpq engine.
+
+#ifndef KCPQ_CPQ_DISTANCE_JOIN_H_
+#define KCPQ_CPQ_DISTANCE_JOIN_H_
+
+#include <vector>
+
+#include "cpq/cpq.h"
+
+namespace kcpq {
+
+struct DistanceJoinOptions {
+  Metric metric = Metric::kL2;
+  HeightStrategy height_strategy = HeightStrategy::kFixAtRoot;
+  /// Self-join semantics as in SelfKClosestPairs: both trees are the same,
+  /// reflexive pairs skipped, each unordered pair reported once.
+  bool self_join = false;
+  /// Safety valve: fail with ResourceExhausted instead of materializing
+  /// more result pairs than this (an over-large epsilon can ask for the
+  /// whole cross product). 0 = unlimited.
+  uint64_t max_results = 0;
+};
+
+/// All pairs within `epsilon` (a true distance, not power-space), in
+/// ascending distance order. `epsilon` must be >= 0.
+Result<std::vector<PairResult>> DistanceRangeJoin(
+    const RStarTree& tree_p, const RStarTree& tree_q, double epsilon,
+    const DistanceJoinOptions& options = {}, CpqStats* stats = nullptr);
+
+/// Brute-force reference (tests/benches).
+std::vector<PairResult> BruteForceDistanceRangeJoin(
+    const std::vector<std::pair<Point, uint64_t>>& p,
+    const std::vector<std::pair<Point, uint64_t>>& q, double epsilon,
+    bool self_join = false, Metric metric = Metric::kL2);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_DISTANCE_JOIN_H_

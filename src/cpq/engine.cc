@@ -1,0 +1,319 @@
+#include "cpq/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "geometry/metrics.h"
+
+namespace kcpq {
+namespace cpq_internal {
+
+namespace {
+
+// m^(level+1): minimum points in a non-root subtree rooted at `level`.
+uint64_t MinPointsAtLevel(int level, uint64_t min_entries) {
+  uint64_t n = 1;
+  for (int i = 0; i <= level; ++i) n *= min_entries;
+  return n;
+}
+
+}  // namespace
+
+uint64_t MinPointsOfNode(const Node& node, uint64_t min_entries) {
+  if (node.IsLeaf()) return node.entries.size();
+  // Each child is a non-root subtree at node.level - 1.
+  return node.entries.size() * MinPointsAtLevel(node.level - 1, min_entries);
+}
+
+DescendChoice ChooseDescend(int level_p, int level_q,
+                            HeightStrategy strategy) {
+  if (level_p == 0 && level_q == 0) return DescendChoice::kLeaves;
+  if (strategy == HeightStrategy::kFixAtRoot && level_p != level_q) {
+    // Fix-at-root: only the deeper (higher-level) tree descends until the
+    // two sides meet at the same level.
+    return level_p > level_q ? DescendChoice::kFirstOnly
+                             : DescendChoice::kSecondOnly;
+  }
+  // Fix-at-leaves (and equal levels): descend both until a side bottoms
+  // out, then keep the leaf fixed.
+  if (level_p == 0) return DescendChoice::kSecondOnly;
+  if (level_q == 0) return DescendChoice::kFirstOnly;
+  return DescendChoice::kBoth;
+}
+
+CpqEngine::CpqEngine(const RStarTree& tree_p, const RStarTree& tree_q,
+                     const CpqOptions& options, CpqStats* stats)
+    : tree_p_(tree_p),
+      tree_q_(tree_q),
+      options_(options),
+      stats_(stats != nullptr ? stats : &local_stats_),
+      results_(options.k, options.metric),
+      bound_(std::numeric_limits<double>::infinity()) {}
+
+Status CpqEngine::Run(std::vector<PairResult>* out) {
+  *stats_ = CpqStats{};
+  if (options_.k == 0) return Status::OK();
+  if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
+
+  const BufferStats before_p = tree_p_.buffer()->stats();
+  const BufferStats before_q = tree_q_.buffer()->stats();
+
+  Rect mbr_p, mbr_q;
+  KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
+  KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
+  tie_context_.root_area_p = mbr_p.Area();
+  tie_context_.root_area_q = mbr_q.Area();
+  tie_context_.metric = options_.metric;
+
+  NodeRef root_p{tree_p_.root_page(), tree_p_.height() - 1, mbr_p, 1};
+  NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1};
+
+  Status status;
+  if (options_.algorithm == CpqAlgorithm::kHeap) {
+    status = RunHeap(root_p, root_q);
+  } else {
+    status = ProcessPairRecursive(root_p, root_q);
+  }
+  KCPQ_RETURN_IF_ERROR(status);
+
+  stats_->disk_accesses_p =
+      tree_p_.buffer()->stats().misses - before_p.misses;
+  stats_->disk_accesses_q =
+      tree_q_.buffer()->stats().misses - before_q.misses;
+
+  *out = std::move(results_).Extract();
+  return Status::OK();
+}
+
+Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
+                           Node* node_q) {
+  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(ref_p->page, node_p));
+  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(ref_q->page, node_q));
+  ++stats_->node_pairs_processed;
+  // Refresh the refs with exact facts from the pages (roots start with
+  // placeholder min_points; fixed nodes get tighter counts).
+  ref_p->level = node_p->level;
+  ref_q->level = node_q->level;
+  ref_p->mbr = node_p->ComputeMbr();
+  ref_q->mbr = node_q->ComputeMbr();
+  ref_p->min_points = MinPointsOfNode(*node_p, tree_p_.min_entries());
+  ref_q->min_points = MinPointsOfNode(*node_q, tree_q_.min_entries());
+  return Status::OK();
+}
+
+void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
+                              bool same_node) {
+  // Leaf entries are degenerate rects for point data and real boxes for
+  // extended objects; the object distance is MINMINDIST of the rects
+  // (which collapses to the point distance for points), reported via a
+  // closest point pair.
+  //
+  // Self-join: symmetric node pairs were skipped at generation time, so a
+  // cross-node unordered object pair reaches this loop exactly once (in
+  // arbitrary order — normalize on output); within one node, the id filter
+  // keeps each unordered pair once and drops reflexive pairs.
+  for (const Entry& ep : node_p.entries) {
+    for (const Entry& eq : node_q.entries) {
+      if (options_.self_join) {
+        if (same_node) {
+          if (ep.id >= eq.id) continue;
+        } else if (ep.id == eq.id) {
+          continue;
+        }
+      }
+      ++stats_->point_distance_computations;
+      const double d2 = MinMinDistPow(ep.rect, eq.rect, options_.metric);
+      if (d2 >= results_.Bound()) continue;  // cheap reject before points
+      Point p, q;
+      ClosestPoints(ep.rect, eq.rect, &p, &q);
+      if (options_.self_join && ep.id > eq.id) {
+        results_.Offer(d2, q, p, eq.id, ep.id);
+      } else {
+        results_.Offer(d2, p, q, ep.id, eq.id);
+      }
+    }
+  }
+  bound_ = std::min(bound_, results_.Bound());
+}
+
+void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
+                                   const NodeRef& ref_q, const Node& node_q,
+                                   DescendChoice choice,
+                                   std::vector<Candidate>* out) {
+  out->clear();
+  const bool expand_p = choice == DescendChoice::kBoth ||
+                        choice == DescendChoice::kFirstOnly;
+  const bool expand_q = choice == DescendChoice::kBoth ||
+                        choice == DescendChoice::kSecondOnly;
+
+  // The fixed side contributes itself as the single "child".
+  const uint64_t child_min_p =
+      MinPointsAtLevel(node_p.level - 1, tree_p_.min_entries());
+  const uint64_t child_min_q =
+      MinPointsAtLevel(node_q.level - 1, tree_q_.min_entries());
+
+  auto make_ref_p = [&](size_t i) {
+    return expand_p ? NodeRef{node_p.entries[i].id, node_p.level - 1,
+                              node_p.entries[i].rect, child_min_p}
+                    : ref_p;
+  };
+  auto make_ref_q = [&](size_t j) {
+    return expand_q ? NodeRef{node_q.entries[j].id, node_q.level - 1,
+                              node_q.entries[j].rect, child_min_q}
+                    : ref_q;
+  };
+
+  const size_t np = expand_p ? node_p.entries.size() : 1;
+  const size_t nq = expand_q ? node_q.entries.size() : 1;
+  out->reserve(np * nq);
+  const bool score_ties = !options_.tie_chain.empty() &&
+                          (options_.algorithm == CpqAlgorithm::kSortedDistances ||
+                           options_.algorithm == CpqAlgorithm::kHeap);
+  for (size_t i = 0; i < np; ++i) {
+    const NodeRef cp = make_ref_p(i);
+    for (size_t j = 0; j < nq; ++j) {
+      const NodeRef cq = make_ref_q(j);
+      // Self-join: when both sides expand the *same* node, the child pairs
+      // (i, j) and (j, i) both arise here and cover the same unordered
+      // object pairs — keep only the page-ordered one (nearly halves the
+      // traversal). Distinct parents already appear in exactly one
+      // orientation, inherited from the ancestor where they split apart.
+      if (options_.self_join && ref_p.page == ref_q.page &&
+          cp.page > cq.page) {
+        continue;
+      }
+      Candidate cand;
+      cand.p = cp;
+      cand.q = cq;
+      cand.minmin = MinMinDistPow(cp.mbr, cq.mbr, options_.metric);
+      cand.min_pairs = cp.min_points * cq.min_points;
+      if (score_ties) {
+        ComputeTieScores(cp.mbr, cq.mbr, options_.tie_chain, tie_context_,
+                         cand.tie);
+      }
+      out->push_back(cand);
+    }
+  }
+  stats_->candidate_pairs_generated += out->size();
+}
+
+void CpqEngine::TightenBoundFromCandidates(
+    const std::vector<Candidate>& candidates) {
+  if (candidates.empty()) return;
+  if (options_.k == 1) {
+    // 1-CPQ special case (Section 3.3): at least one point pair beneath
+    // each candidate lies within its MINMAXDIST.
+    for (const Candidate& c : candidates) {
+      bound_ = std::min(bound_, MinMaxDistPow(c.p.mbr, c.q.mbr,
+                                              options_.metric));
+    }
+    return;
+  }
+  if (!options_.use_maxmaxdist_pruning) return;
+  // K > 1 (Section 3.8): every point pair beneath a candidate is within its
+  // MAXMAXDIST; accumulate candidates in ascending MAXMAXDIST until the
+  // guaranteed pair count reaches K — that MAXMAXDIST bounds the K-th
+  // closest distance.
+  maxmax_scratch_.clear();
+  maxmax_scratch_.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    maxmax_scratch_.emplace_back(
+        MaxMaxDistPow(c.p.mbr, c.q.mbr, options_.metric), c.min_pairs);
+  }
+  std::sort(maxmax_scratch_.begin(), maxmax_scratch_.end());
+  uint64_t pairs = 0;
+  for (const auto& [maxmax, count] : maxmax_scratch_) {
+    pairs += count;
+    if (pairs >= options_.k) {
+      bound_ = std::min(bound_, maxmax);
+      break;
+    }
+  }
+}
+
+Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
+                                       const NodeRef& ref_q) {
+  NodeRef p = ref_p;
+  NodeRef q = ref_q;
+  Node node_p, node_q;
+  KCPQ_RETURN_IF_ERROR(ReadPair(&p, &q, &node_p, &node_q));
+
+  const DescendChoice choice =
+      ChooseDescend(node_p.level, node_q.level, options_.height_strategy);
+  if (choice == DescendChoice::kLeaves) {
+    ProcessLeaves(node_p, node_q, p.page == q.page);
+    return Status::OK();
+  }
+
+  std::vector<Candidate> candidates;
+  GenerateCandidates(p, node_p, q, node_q, choice, &candidates);
+  if (TightensBound()) TightenBoundFromCandidates(candidates);
+
+  if (options_.algorithm == CpqAlgorithm::kSortedDistances) {
+    std::sort(candidates.begin(), candidates.end(), CandidateLess());
+  }
+  for (const Candidate& cand : candidates) {
+    // Re-test against T at descend time: T may have tightened while the
+    // earlier candidates of this very list were processed (the mechanism
+    // that makes the ascending-MINMINDIST order pay off).
+    if (Prunes() && cand.minmin > bound_) {
+      ++stats_->candidate_pairs_pruned;
+      continue;
+    }
+    KCPQ_RETURN_IF_ERROR(ProcessPairRecursive(cand.p, cand.q));
+  }
+  return Status::OK();
+}
+
+Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
+  // Min-heap of node pairs by (MINMINDIST, tie chain); CP1-CP5 of
+  // Section 3.5. priority_queue is a max-heap, so reverse the order.
+  struct CandidateGreater {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      return CandidateLess()(b, a);
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateGreater>
+      heap;
+
+  Candidate first;
+  first.p = root_p;
+  first.q = root_q;
+  first.minmin = MinMinDistPow(root_p.mbr, root_q.mbr, options_.metric);
+  heap.push(first);
+
+  std::vector<Candidate> candidates;
+  while (!heap.empty()) {
+    stats_->max_heap_size = std::max<uint64_t>(stats_->max_heap_size,
+                                               heap.size());
+    const Candidate top = heap.top();
+    heap.pop();
+    if (top.minmin > bound_) break;  // nothing better can remain (CP5)
+
+    NodeRef p = top.p;
+    NodeRef q = top.q;
+    Node node_p, node_q;
+    KCPQ_RETURN_IF_ERROR(ReadPair(&p, &q, &node_p, &node_q));
+
+    const DescendChoice choice =
+        ChooseDescend(node_p.level, node_q.level, options_.height_strategy);
+    if (choice == DescendChoice::kLeaves) {
+      ProcessLeaves(node_p, node_q, p.page == q.page);
+      continue;
+    }
+    GenerateCandidates(p, node_p, q, node_q, choice, &candidates);
+    TightenBoundFromCandidates(candidates);
+    for (const Candidate& cand : candidates) {
+      if (cand.minmin > bound_) {
+        ++stats_->candidate_pairs_pruned;
+        continue;
+      }
+      heap.push(cand);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cpq_internal
+}  // namespace kcpq

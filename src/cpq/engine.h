@@ -1,0 +1,123 @@
+// Internal engine shared by the five CPQ algorithms. Not part of the
+// public API; include cpq/cpq.h instead.
+
+#ifndef KCPQ_CPQ_ENGINE_H_
+#define KCPQ_CPQ_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpq/cpq.h"
+#include "cpq/result_heap.h"
+#include "cpq/tie.h"
+#include "rtree/rtree.h"
+
+namespace kcpq {
+namespace cpq_internal {
+
+/// A node of one tree as seen by the traversal: location plus the facts the
+/// pruning math needs without reading the page.
+struct NodeRef {
+  PageId page = kInvalidPageId;
+  int level = 0;
+  Rect mbr;
+  /// Lower bound on the number of points in the subtree (minimum-fill
+  /// argument m^(level+1); exact-count-based for nodes already read).
+  uint64_t min_points = 1;
+};
+
+/// A candidate pair of subtrees with its precomputed ordering keys.
+struct Candidate {
+  NodeRef p;
+  NodeRef q;
+  double minmin = 0.0;  // squared MINMINDIST of the two MBRs
+  double tie[kMaxTieChain] = {0, 0, 0, 0, 0};
+  uint64_t min_pairs = 1;  // lower bound on point pairs beneath
+};
+
+/// Strict weak order: ascending MINMINDIST, then the tie chain, then page
+/// ids (full determinism).
+struct CandidateLess {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.minmin != b.minmin) return a.minmin < b.minmin;
+    for (size_t i = 0; i < kMaxTieChain; ++i) {
+      if (a.tie[i] != b.tie[i]) return a.tie[i] < b.tie[i];
+    }
+    if (a.p.page != b.p.page) return a.p.page < b.p.page;
+    return a.q.page < b.q.page;
+  }
+};
+
+/// Which side(s) of a node pair to descend (Section 3.7).
+enum class DescendChoice { kBoth, kFirstOnly, kSecondOnly, kLeaves };
+
+DescendChoice ChooseDescend(int level_p, int level_q, HeightStrategy strategy);
+
+/// One K-CPQ execution. Construct, Run once, discard.
+class CpqEngine {
+ public:
+  CpqEngine(const RStarTree& tree_p, const RStarTree& tree_q,
+            const CpqOptions& options, CpqStats* stats);
+
+  Status Run(std::vector<PairResult>* out);
+
+ private:
+  /// Recursive driver (kNaive/kExhaustive/kSimple/kSortedDistances).
+  Status ProcessPairRecursive(const NodeRef& ref_p, const NodeRef& ref_q);
+
+  /// Iterative driver (kHeap).
+  Status RunHeap(const NodeRef& root_p, const NodeRef& root_q);
+
+  /// Reads both nodes of a pair (two counted accesses) and refreshes the
+  /// refs' MBR / min_points from the actual node contents.
+  Status ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p, Node* node_q);
+
+  /// Brute-force distance scan of two leaves; feeds the result heap and
+  /// tightens T. `same_node` drives the self-join duplicate rules.
+  void ProcessLeaves(const Node& node_p, const Node& node_q, bool same_node);
+
+  /// Generates the child pairs of (ref_p, ref_q) according to the descend
+  /// choice, with minmin / tie / min_pairs filled in.
+  void GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
+                          const NodeRef& ref_q, const Node& node_q,
+                          DescendChoice choice, std::vector<Candidate>* out);
+
+  /// Tightens T from Inequality-2-style guarantees over `candidates`
+  /// (MINMAXDIST for K = 1; MAXMAXDIST count accumulation for K > 1).
+  void TightenBoundFromCandidates(const std::vector<Candidate>& candidates);
+
+  /// True for algorithms that prune with MINMINDIST (all but kNaive).
+  bool Prunes() const { return options_.algorithm != CpqAlgorithm::kNaive; }
+  /// True for algorithms that tighten T beyond found pairs.
+  bool TightensBound() const {
+    switch (options_.algorithm) {
+      case CpqAlgorithm::kSimple:
+      case CpqAlgorithm::kSortedDistances:
+      case CpqAlgorithm::kHeap:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  const RStarTree& tree_p_;
+  const RStarTree& tree_q_;
+  const CpqOptions& options_;
+  CpqStats* stats_;  // never null (engine owns a local fallback)
+  CpqStats local_stats_;
+
+  TieContext tie_context_;
+  ResultHeap results_;
+  /// Pruning bound T (squared). Upper bound on the final K-th distance.
+  double bound_;
+  /// Scratch for MAXMAXDIST accumulation (avoids reallocating per node).
+  std::vector<std::pair<double, uint64_t>> maxmax_scratch_;
+};
+
+/// Lower bound on points under a node that has been read.
+uint64_t MinPointsOfNode(const Node& node, uint64_t min_entries);
+
+}  // namespace cpq_internal
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_ENGINE_H_

@@ -1,0 +1,70 @@
+#include "cpq/planner.h"
+
+#include <algorithm>
+
+namespace kcpq {
+
+namespace {
+
+// The buffer size beyond which the paper found STD to overtake HEAP
+// (Sections 4.4 and 5.1.3: "after the threshold of B = 4 pages").
+constexpr size_t kBufferThresholdPages = 4;
+
+}  // namespace
+
+Result<CpqPlan> PlanKClosestPairs(const RStarTree& tree_p,
+                                  const RStarTree& tree_q, size_t k,
+                                  size_t buffer_pages_total) {
+  CpqPlan plan;
+  plan.options.k = k;
+
+  Rect mbr_p, mbr_q;
+  KCPQ_RETURN_IF_ERROR(tree_p.RootMbr(&mbr_p));
+  KCPQ_RETURN_IF_ERROR(tree_q.RootMbr(&mbr_q));
+  if (!mbr_p.IsEmpty() && !mbr_q.IsEmpty()) {
+    const double intersection = IntersectionArea(mbr_p, mbr_q);
+    const double union_area =
+        mbr_p.Area() + mbr_q.Area() - intersection;
+    plan.estimated_overlap =
+        union_area > 0.0 ? intersection / union_area : 1.0;
+  }
+
+  // Algorithm choice (Section 5.3): HEAP for zero/small buffers, STD once
+  // the buffer is big enough to reward the depth-first recursion.
+  if (buffer_pages_total > kBufferThresholdPages) {
+    plan.options.algorithm = CpqAlgorithm::kSortedDistances;
+    plan.rationale = "buffer > 4 pages: STD exploits the LRU buffer "
+                     "(HEAP measured insensitive to it)";
+  } else {
+    plan.options.algorithm = CpqAlgorithm::kHeap;
+    plan.rationale = "zero/small buffer: HEAP is the most efficient, "
+                     "especially on overlapping workspaces";
+  }
+
+  // Height treatment (Section 4.2): fix-at-root, except STD on (near-)
+  // disjoint workspaces where fix-at-leaves measured better.
+  if (plan.options.algorithm == CpqAlgorithm::kSortedDistances &&
+      plan.estimated_overlap < 0.01 &&
+      tree_p.height() != tree_q.height()) {
+    plan.options.height_strategy = HeightStrategy::kFixAtLeaves;
+    plan.rationale += "; disjoint workspaces + different heights: "
+                      "fix-at-leaves for STD";
+  } else {
+    plan.options.height_strategy = HeightStrategy::kFixAtRoot;
+  }
+
+  // Cost prediction for EXPLAIN output (uniformity assumption).
+  CostModelInput input;
+  input.n_p = std::max<uint64_t>(1, tree_p.size());
+  input.n_q = std::max<uint64_t>(1, tree_q.size());
+  input.overlap = plan.estimated_overlap;
+  input.k = std::max<size_t>(1, k);
+  input.fanout = tree_p.max_entries();
+  auto estimate = EstimateCpqCost(input);
+  if (estimate.ok()) {
+    plan.estimated_disk_accesses = estimate.value().disk_accesses;
+  }
+  return plan;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,48 @@
+// CPQ plan chooser — the paper's experimental guidelines (Sections 4.4 and
+// 5.3) as executable query-optimizer logic.
+//
+// Given the facts an optimizer knows before running the query (tree
+// cardinalities and heights, workspace MBRs, buffer budget, K), picks the
+// algorithm and height strategy the paper's study prescribes:
+//
+//   * zero / tiny buffer  -> HEAP (best without cache, esp. overlapping)
+//   * buffer > 4 pages    -> STD  (exploits the buffer; HEAP doesn't)
+//   * different heights   -> fix-at-root (Section 4.2), except STD on
+//     disjoint workspaces where fix-at-leaves measured better
+//
+// The estimated workspace overlap comes from the root MBRs; the cost model
+// (cost_model.h) supplies the predicted disk accesses recorded in the plan
+// for EXPLAIN-style output.
+
+#ifndef KCPQ_CPQ_PLANNER_H_
+#define KCPQ_CPQ_PLANNER_H_
+
+#include <string>
+
+#include "cpq/cost_model.h"
+#include "cpq/cpq.h"
+
+namespace kcpq {
+
+/// A chosen plan plus the evidence behind it.
+struct CpqPlan {
+  CpqOptions options;
+  /// Estimated fraction of the two workspaces' union covered by their
+  /// intersection, in [0, 1].
+  double estimated_overlap = 0.0;
+  /// Cost-model prediction of disk accesses (uniformity assumption).
+  double estimated_disk_accesses = 0.0;
+  /// Human-readable one-line rationale.
+  std::string rationale;
+};
+
+/// Chooses options for a K-CPQ between `tree_p` and `tree_q` with a total
+/// LRU buffer of `buffer_pages_total` pages (split B/2 per tree). Reads
+/// only the root pages.
+Result<CpqPlan> PlanKClosestPairs(const RStarTree& tree_p,
+                                  const RStarTree& tree_q, size_t k,
+                                  size_t buffer_pages_total);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_PLANNER_H_

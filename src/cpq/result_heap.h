@@ -1,0 +1,75 @@
+// The K-heap of Section 3.8: a bounded max-heap holding the K best pairs
+// found so far, whose top (when full) is the data-driven part of the
+// pruning bound T.
+
+#ifndef KCPQ_CPQ_RESULT_HEAP_H_
+#define KCPQ_CPQ_RESULT_HEAP_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cpq/cpq.h"
+
+namespace kcpq {
+
+class ResultHeap {
+ public:
+  explicit ResultHeap(size_t k, Metric metric = Metric::kL2)
+      : k_(k), metric_(metric) {}
+
+  bool full() const { return items_.size() == k_; }
+  size_t size() const { return items_.size(); }
+
+  /// Power-space distance (see geometry/minkowski.h) of the current K-th
+  /// best pair; +infinity until full.
+  double Bound() const {
+    return full() ? items_.front().dist2
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  /// Considers a found pair; keeps it if it is among the best K so far.
+  void Offer(double dist2, const Point& p, const Point& q, uint64_t p_id,
+             uint64_t q_id) {
+    if (full()) {
+      if (dist2 >= items_.front().dist2) return;
+      std::pop_heap(items_.begin(), items_.end());
+      items_.pop_back();
+    }
+    items_.push_back(Item{dist2, p, q, p_id, q_id});
+    std::push_heap(items_.begin(), items_.end());
+  }
+
+  /// Drains the heap into ascending-distance PairResults.
+  std::vector<PairResult> Extract() && {
+    std::sort_heap(items_.begin(), items_.end());
+    std::vector<PairResult> out;
+    out.reserve(items_.size());
+    for (const Item& it : items_) {
+      out.push_back(PairResult{it.p, it.q, it.p_id, it.q_id,
+                               PowToDistance(it.dist2, metric_)});
+    }
+    return out;
+  }
+
+ private:
+  struct Item {
+    double dist2;
+    Point p, q;
+    uint64_t p_id, q_id;
+
+    // Max-heap by distance (the farthest kept pair is on top).
+    friend bool operator<(const Item& a, const Item& b) {
+      return a.dist2 < b.dist2;
+    }
+  };
+
+  size_t k_;
+  Metric metric_;
+  std::vector<Item> items_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_RESULT_HEAP_H_

@@ -1,0 +1,48 @@
+#include "cpq/tie.h"
+
+#include <algorithm>
+
+#include "geometry/metrics.h"
+
+namespace kcpq {
+
+void ComputeTieScores(const Rect& rp, const Rect& rq,
+                      const std::vector<TieCriterion>& chain,
+                      const TieContext& context, double scores[kMaxTieChain]) {
+  const size_t n = std::min(chain.size(), kMaxTieChain);
+  for (size_t i = 0; i < n; ++i) {
+    switch (chain[i]) {
+      case TieCriterion::kLargestNormalizedArea: {
+        // T1: the pair containing the largest MBR (area as a fraction of
+        // the owning tree's root area). Negated: larger preferred.
+        const double np = context.root_area_p > 0.0
+                              ? rp.Area() / context.root_area_p
+                              : rp.Area();
+        const double nq = context.root_area_q > 0.0
+                              ? rq.Area() / context.root_area_q
+                              : rq.Area();
+        scores[i] = -std::max(np, nq);
+        break;
+      }
+      case TieCriterion::kSmallestMinMaxDist:
+        // T2: smaller MINMAXDIST preferred.
+        scores[i] = MinMaxDistPow(rp, rq, context.metric);
+        break;
+      case TieCriterion::kLargestAreaSum:
+        // T3: larger combined area preferred.
+        scores[i] = -(rp.Area() + rq.Area());
+        break;
+      case TieCriterion::kSmallestEnclosureWaste:
+        // T4: smaller dead space in the joint MBR preferred.
+        scores[i] = Union(rp, rq).Area() - rp.Area() - rq.Area();
+        break;
+      case TieCriterion::kLargestIntersection:
+        // T5: larger overlap area preferred.
+        scores[i] = -IntersectionArea(rp, rq);
+        break;
+    }
+  }
+  for (size_t i = n; i < kMaxTieChain; ++i) scores[i] = 0.0;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,36 @@
+// Scoring of the Section 3.6 tie-breaking criteria (T1-T5).
+//
+// Each criterion maps a node-pair to a double where *smaller is better*, so
+// a chain becomes a lexicographic comparison of score arrays. Scores are
+// computed once when a candidate pair is created (they are reused by every
+// heap sift / sort comparison).
+
+#ifndef KCPQ_CPQ_TIE_H_
+#define KCPQ_CPQ_TIE_H_
+
+#include <cstddef>
+
+#include "cpq/cpq.h"
+#include "geometry/rect.h"
+
+namespace kcpq {
+
+/// Maximum tie-chain length (all five criteria).
+inline constexpr size_t kMaxTieChain = 5;
+
+/// Root-MBR areas (T1's normalization) and the query metric (T2).
+struct TieContext {
+  double root_area_p = 1.0;
+  double root_area_q = 1.0;
+  Metric metric = Metric::kL2;
+};
+
+/// Fills scores[0 .. chain.size()) for the pair (rp, rq); smaller is
+/// preferred. Chains longer than kMaxTieChain are truncated.
+void ComputeTieScores(const Rect& rp, const Rect& rq,
+                      const std::vector<TieCriterion>& chain,
+                      const TieContext& context, double scores[kMaxTieChain]);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_TIE_H_

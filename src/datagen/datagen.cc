@@ -1,0 +1,116 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kcpq {
+
+Rect UnitWorkspace() {
+  Rect r;
+  for (int d = 0; d < kDims; ++d) {
+    r.lo[d] = 0.0;
+    r.hi[d] = 1.0;
+  }
+  return r;
+}
+
+Rect ShiftedWorkspace(const Rect& workspace, double overlap_fraction) {
+  const double f = std::clamp(overlap_fraction, 0.0, 1.0);
+  Rect shifted = workspace;
+  const double width = workspace.hi[0] - workspace.lo[0];
+  const double shift = (1.0 - f) * width;
+  shifted.lo[0] += shift;
+  shifted.hi[0] += shift;
+  return shifted;
+}
+
+std::vector<Point> GenerateUniform(size_t n, const Rect& workspace,
+                                   uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point p;
+    for (int d = 0; d < kDims; ++d) {
+      p.coord[d] = rng.NextDouble(workspace.lo[d], workspace.hi[d]);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Point> GenerateSequoiaLike(size_t n, const Rect& workspace,
+                                       uint64_t seed) {
+  // Cluster centers sit on two bands running diagonally through the
+  // workspace (in unit coordinates, then scaled): a dense "coastal" band
+  // and a sparser "inland" band, mimicking California's site distribution.
+  constexpr int kClusters = 36;
+  constexpr double kNoiseFraction = 0.10;
+
+  Xoshiro256pp rng(seed);
+  const double width = workspace.hi[0] - workspace.lo[0];
+  const double height = workspace.hi[1] - workspace.lo[1];
+
+  struct Cluster {
+    Point center;
+    double sigma;
+    double weight;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(kClusters);
+  double total_weight = 0.0;
+  for (int i = 0; i < kClusters; ++i) {
+    const bool coastal = i % 3 != 0;  // 2/3 of clusters on the dense band
+    // Band parameterization: t in [0,1] along the diagonal; the coastal
+    // band hugs x ~ t, the inland band is offset right.
+    const double t = rng.NextDouble();
+    const double offset = coastal ? 0.0 : 0.18;
+    const double wiggle = 0.05 * rng.NextGaussian();
+    Cluster c;
+    c.center.coord[0] =
+        workspace.lo[0] +
+        std::clamp(0.15 + 0.6 * t + offset + wiggle, 0.0, 1.0) * width;
+    c.center.coord[1] =
+        workspace.lo[1] + std::clamp(0.05 + 0.9 * t + 0.05 * rng.NextGaussian(),
+                                     0.0, 1.0) *
+                              height;
+    // City sizes follow a heavy-ish tail: a few big metros, many towns.
+    c.sigma = (0.004 + 0.03 * std::pow(rng.NextDouble(), 2.5)) * width;
+    c.weight = std::pow(rng.NextDouble(), 1.5) + 0.05;
+    total_weight += c.weight;
+    clusters.push_back(c);
+  }
+
+  std::vector<Point> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    Point p;
+    if (rng.NextDouble() < kNoiseFraction) {
+      for (int d = 0; d < kDims; ++d) {
+        p.coord[d] = rng.NextDouble(workspace.lo[d], workspace.hi[d]);
+      }
+      out.push_back(p);
+      continue;
+    }
+    // Pick a cluster by weight, then sample a Gaussian offset; reject
+    // points outside the workspace (resample keeps counts exact).
+    double pick = rng.NextDouble() * total_weight;
+    const Cluster* chosen = &clusters.back();
+    for (const Cluster& c : clusters) {
+      pick -= c.weight;
+      if (pick <= 0.0) {
+        chosen = &c;
+        break;
+      }
+    }
+    p.coord[0] = chosen->center.coord[0] + chosen->sigma * rng.NextGaussian();
+    p.coord[1] = chosen->center.coord[1] + chosen->sigma * rng.NextGaussian();
+    if (!workspace.Contains(p)) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,55 @@
+// Workload generators for the paper's experiments (Section 4).
+//
+// The paper uses (i) uniform random point sets of 20K-80K points, (ii) the
+// real Sequoia 2000 data set: 62,536 points representing sites in
+// California, and (iii) a uniform set of the same cardinality. The Sequoia
+// data is not redistributable here, so `GenerateSequoiaLike` synthesizes a
+// deterministic substitute with the property the paper's analysis actually
+// depends on — strong clustering, which keeps R-tree node rectangles
+// disjoint even when the data *workspaces* fully overlap (the mechanism
+// behind the 2-20x gap discussed in Section 4.3.2). See DESIGN.md §5.
+//
+// Workspace overlap (the paper's key experimental parameter) is realized by
+// generating the second data set into a workspace shifted along x so that
+// exactly `overlap_fraction` of the two unit workspaces coincide.
+
+#ifndef KCPQ_DATAGEN_DATAGEN_H_
+#define KCPQ_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace kcpq {
+
+/// The canonical unit workspace [0,1] x [0,1].
+Rect UnitWorkspace();
+
+/// A copy of `workspace` shifted along x so the two share exactly
+/// `overlap_fraction` (in [0,1]) of their width. 1.0 returns `workspace`
+/// itself; 0.0 an adjacent, disjoint workspace.
+Rect ShiftedWorkspace(const Rect& workspace, double overlap_fraction);
+
+/// `n` points uniformly distributed over `workspace`. Deterministic in
+/// `seed`.
+std::vector<Point> GenerateUniform(size_t n, const Rect& workspace,
+                                   uint64_t seed);
+
+/// `n` points from a clustered, Sequoia-like distribution over `workspace`:
+/// a mixture of dense Gaussian clusters of varying spread (cities) whose
+/// centers lie along two diagonal bands (coast / central valley), plus ~10%
+/// uniform background noise (isolated sites). Points are rejected-and-
+/// resampled into the workspace, so all fall inside it. Deterministic in
+/// `seed`.
+std::vector<Point> GenerateSequoiaLike(size_t n, const Rect& workspace,
+                                       uint64_t seed);
+
+/// Cardinality of the paper's real data set; the default for experiments
+/// that use "R".
+inline constexpr size_t kSequoiaCardinality = 62536;
+
+}  // namespace kcpq
+
+#endif  // KCPQ_DATAGEN_DATAGEN_H_

@@ -1,0 +1,55 @@
+// MBR-to-MBR and point-to-MBR distance metrics (paper Section 2.3).
+//
+// For two MBRs M_P, M_Q whose subtrees contain point sets P', Q':
+//
+//   MINMINDIST(M_P, M_Q) <= dist(p, q) <= MAXMAXDIST(M_P, M_Q)
+//                           for every p in P', q in Q'        (Inequality 1)
+//   dist(p, q) <= MINMAXDIST(M_P, M_Q)
+//                           for at least one pair (p, q)      (Inequality 2)
+//
+// Inequality 2 relies on MBR minimality: at least one indexed point touches
+// each face of each MBR. MINMAXDIST is defined as
+//   min over faces f_P of M_P, f_Q of M_Q of MAXDIST(f_P, f_Q),
+// where MAXDIST of two faces is the largest distance between a point on one
+// and a point on the other. The guaranteed points on f_P and f_Q are then at
+// distance <= MAXDIST(f_P, f_Q), which proves the bound.
+//
+// All functions return *squared* distances (see point.h for why). Each has
+// an O(dims^2)-or-better closed form here; tests/metrics_test.cc checks them
+// against the brute-force face/corner enumerations in metrics_reference.h.
+
+#ifndef KCPQ_GEOMETRY_METRICS_H_
+#define KCPQ_GEOMETRY_METRICS_H_
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace kcpq {
+
+/// Smallest possible squared distance between a point in `a` and a point in
+/// `b`. Zero when the rectangles intersect.
+double MinMinDistSquared(const Rect& a, const Rect& b);
+
+/// Largest possible squared distance between a point in `a` and a point in
+/// `b` (attained at a pair of corners).
+double MaxMaxDistSquared(const Rect& a, const Rect& b);
+
+/// Upper bound on the distance of at least one point pair (one point per
+/// rectangle), assuming both rectangles are *minimum* bounding rectangles.
+/// See file comment; min over all face pairs of the face-pair MAXDIST.
+double MinMaxDistSquared(const Rect& a, const Rect& b);
+
+/// Smallest possible squared distance between `p` and a point in `r`
+/// (MINDIST of Roussopoulos et al. 1995). Zero when `r` contains `p`.
+double MinDistSquared(const Point& p, const Rect& r);
+
+/// Largest possible squared distance between `p` and a point in `r`.
+double MaxDistSquared(const Point& p, const Rect& r);
+
+/// Upper bound on the distance from `p` to at least one indexed point in
+/// minimum bounding rectangle `r` (MINMAXDIST of Roussopoulos et al. 1995).
+double MinMaxDistSquared(const Point& p, const Rect& r);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_GEOMETRY_METRICS_H_

@@ -1,0 +1,98 @@
+#include "geometry/metrics_reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace kcpq {
+
+namespace {
+
+// All 2^kDims corners of a rectangle.
+std::vector<Point> Corners(const Rect& r) {
+  std::vector<Point> out;
+  const int n = 1 << kDims;
+  out.reserve(n);
+  for (int mask = 0; mask < n; ++mask) {
+    Point p;
+    for (int d = 0; d < kDims; ++d) {
+      p.coord[d] = (mask >> d) & 1 ? r.hi[d] : r.lo[d];
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+// A face of `r`: the fixed dimension, its fixed value, and the owner rect.
+struct Face {
+  const Rect* rect;
+  int fixed_dim;
+  double fixed_value;
+};
+
+std::vector<Face> Faces(const Rect& r) {
+  std::vector<Face> out;
+  out.reserve(2 * kDims);
+  for (int d = 0; d < kDims; ++d) {
+    out.push_back({&r, d, r.lo[d]});
+    out.push_back({&r, d, r.hi[d]});
+  }
+  return out;
+}
+
+// Corners of a face: corners of the owner rect restricted to the face.
+std::vector<Point> FaceCorners(const Face& f) {
+  std::vector<Point> out;
+  for (const Point& c : Corners(*f.rect)) {
+    if (c.coord[f.fixed_dim] == f.fixed_value) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double MaxMaxDistSquaredReference(const Rect& a, const Rect& b) {
+  double best = 0.0;
+  for (const Point& pa : Corners(a)) {
+    for (const Point& pb : Corners(b)) {
+      best = std::max(best, SquaredDistance(pa, pb));
+    }
+  }
+  return best;
+}
+
+double MinMaxDistSquaredReference(const Rect& a, const Rect& b) {
+  // Squared distance is per-dimension convex, so over a product of intervals
+  // the maximum is attained at a corner; MAXDIST of two faces is therefore
+  // the max over their corner pairs.
+  double best = std::numeric_limits<double>::infinity();
+  for (const Face& fa : Faces(a)) {
+    for (const Face& fb : Faces(b)) {
+      double maxdist = 0.0;
+      for (const Point& pa : FaceCorners(fa)) {
+        for (const Point& pb : FaceCorners(fb)) {
+          maxdist = std::max(maxdist, SquaredDistance(pa, pb));
+        }
+      }
+      best = std::min(best, maxdist);
+    }
+  }
+  return best;
+}
+
+double MinMinDistSquaredReference(const Rect& a, const Rect& b) {
+  // min over x in a of dist^2(x, b) = dist^2(clamp of b's nearest point...);
+  // reference form: clamp each box's interval against the other per dim.
+  double sum = 0.0;
+  for (int d = 0; d < kDims; ++d) {
+    const double lo = std::max(a.lo[d], b.lo[d]);
+    const double hi = std::min(a.hi[d], b.hi[d]);
+    const double gap = std::max(0.0, lo - hi);
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+}  // namespace kcpq

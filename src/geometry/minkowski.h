@@ -1,0 +1,51 @@
+// Metric-generalized MBR distance functions.
+//
+// The paper (Section 2.1) notes its methods "can be easily adapted to any
+// Minkowski metric"; this header is that adaptation. All pruning logic in
+// the query engines only ever *compares* distances, so each metric works in
+// a monotone "power space" that avoids roots on hot paths:
+//
+//   kL1   : power = the L1 distance itself
+//   kL2   : power = squared Euclidean distance
+//   kLinf : power = the Chebyshev distance itself
+//
+// PowToDistance converts a power-space value to the true distance at
+// result-reporting time. The L2 functions delegate to the specialized
+// closed forms in metrics.h.
+
+#ifndef KCPQ_GEOMETRY_MINKOWSKI_H_
+#define KCPQ_GEOMETRY_MINKOWSKI_H_
+
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace kcpq {
+
+/// Distance metric for closest-pair queries.
+enum class Metric {
+  kL1,    // Manhattan
+  kL2,    // Euclidean (the paper's default)
+  kLinf,  // Chebyshev
+};
+
+const char* MetricName(Metric metric);
+
+/// Distance between two points in power space.
+double PointDistancePow(const Point& a, const Point& b, Metric metric);
+
+/// Power-space value -> true distance (sqrt for L2, identity otherwise).
+double PowToDistance(double pow_value, Metric metric);
+
+/// True distance -> power-space value (inverse of PowToDistance).
+double DistanceToPow(double distance, Metric metric);
+
+/// Generalizations of the Section 2.3 MBR metrics; same contracts as the
+/// squared forms in metrics.h, in the metric's power space.
+double MinMinDistPow(const Rect& a, const Rect& b, Metric metric);
+double MaxMaxDistPow(const Rect& a, const Rect& b, Metric metric);
+double MinMaxDistPow(const Rect& a, const Rect& b, Metric metric);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_GEOMETRY_MINKOWSKI_H_

@@ -1,0 +1,23 @@
+#include "geometry/point.h"
+
+#include <algorithm>
+
+namespace kcpq {
+
+double MinkowskiDistance(const Point& a, const Point& b, double t) {
+  double sum = 0.0;
+  for (int d = 0; d < kDims; ++d) {
+    sum += std::pow(std::fabs(a.coord[d] - b.coord[d]), t);
+  }
+  return std::pow(sum, 1.0 / t);
+}
+
+double MinkowskiDistanceInf(const Point& a, const Point& b) {
+  double best = 0.0;
+  for (int d = 0; d < kDims; ++d) {
+    best = std::max(best, std::fabs(a.coord[d] - b.coord[d]));
+  }
+  return best;
+}
+
+}  // namespace kcpq

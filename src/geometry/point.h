@@ -1,0 +1,63 @@
+// Points and distance functions.
+//
+// The paper focuses on 2-dimensional point data (Section 2.1); the number of
+// dimensions is the compile-time constant `kDims` and every formula below is
+// written as a loop over it, so the math generalizes by raising the constant.
+//
+// All query algorithms work in *squared* Euclidean distance internally:
+// sqrt is monotone, so comparisons and prunings are unaffected, and dropping
+// it keeps the hot paths branch-and-multiply only. Public results report
+// true distances.
+
+#ifndef KCPQ_GEOMETRY_POINT_H_
+#define KCPQ_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace kcpq {
+
+/// Number of spatial dimensions. The paper's setting is 2.
+inline constexpr int kDims = 2;
+
+/// A point in kDims-dimensional Euclidean space. Passive data carrier.
+struct Point {
+  double coord[kDims] = {};
+
+  double x() const { return coord[0]; }
+  double y() const { return coord[1]; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    for (int d = 0; d < kDims; ++d) {
+      if (a.coord[d] != b.coord[d]) return false;
+    }
+    return true;
+  }
+};
+
+/// Squared Euclidean distance between two points.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  double sum = 0.0;
+  for (int d = 0; d < kDims; ++d) {
+    const double diff = a.coord[d] - b.coord[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Minkowski L_t distance, t >= 1. t == 2 is Euclidean; the paper notes the
+/// presented methods adapt to any Minkowski metric (Section 2.1).
+/// t == infinity is expressed by MinkowskiDistanceInf below.
+double MinkowskiDistance(const Point& a, const Point& b, double t);
+
+/// Chebyshev (L_infinity) distance.
+double MinkowskiDistanceInf(const Point& a, const Point& b);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_GEOMETRY_POINT_H_

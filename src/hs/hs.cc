@@ -1,0 +1,280 @@
+#include "hs/hs.h"
+
+#include <cmath>
+
+#include "geometry/metrics.h"
+#include "hs/hybrid_queue.h"
+
+namespace kcpq {
+
+const char* HsTraversalName(HsTraversal t) {
+  switch (t) {
+    case HsTraversal::kBasic:
+      return "BAS";
+    case HsTraversal::kEven:
+      return "EVN";
+    case HsTraversal::kSimultaneous:
+      return "SML";
+  }
+  return "?";
+}
+
+namespace hs_internal {
+
+class JoinImpl {
+ public:
+  JoinImpl(const RStarTree& tree_p, const RStarTree& tree_q,
+           const HsOptions& options)
+      : tree_p_(tree_p),
+        tree_q_(tree_q),
+        options_(options),
+        queue_(options.queue_distance_threshold, options.queue_page_size,
+               options.tie_policy == HsTiePolicy::kDepthFirst),
+        k_bound_(options.k_bound,
+                 /*dummy id-based heap — see PruneBound below*/ 0) {}
+
+  Result<std::optional<PairResult>> Next();
+  const HsStats& stats() const { return stats_; }
+
+ private:
+  // The "incremental up to K" bound: a max-heap of the K smallest
+  // object-pair keys pushed so far. Queue items with a larger key cannot
+  // be among the first K results and are dropped at push time.
+  struct KBound {
+    KBound(size_t k, int) : k(k) {}
+    size_t k;
+    std::priority_queue<double> heap;
+
+    double Bound() const {
+      return k > 0 && heap.size() == k
+                 ? heap.top()
+                 : std::numeric_limits<double>::infinity();
+    }
+    void Offer(double key) {
+      if (k == 0) return;
+      if (heap.size() < k) {
+        heap.push(key);
+      } else if (key < heap.top()) {
+        heap.pop();
+        heap.push(key);
+      }
+    }
+  };
+
+  Status Start();
+  void PushItem(QueueItem item);
+  ItemSide NodeSide(const Entry& entry, int child_level) const;
+  ItemSide ObjectSide(const Entry& entry) const;
+  double KeyOf(const ItemSide& a, const ItemSide& b) const;
+  int32_t TieLevelOf(const ItemSide& a, const ItemSide& b) const;
+
+  /// Expands `node_side` (reading its page from `tree`) against the fixed
+  /// `other`; `node_first` says which element of the pair the node is.
+  Status ExpandOneSide(const RStarTree& tree, const ItemSide& node_side,
+                       const ItemSide& other, bool node_first);
+  Status ExpandBoth(const ItemSide& a, const ItemSide& b);
+
+  const RStarTree& tree_p_;
+  const RStarTree& tree_q_;
+  HsOptions options_;
+  HybridQueue queue_;
+  KBound k_bound_;
+  HsStats stats_;
+  uint64_t next_seq_ = 0;
+  uint64_t results_emitted_ = 0;
+  bool started_ = false;
+  BufferStats before_p_;
+  BufferStats before_q_;
+};
+
+ItemSide JoinImpl::NodeSide(const Entry& entry, int child_level) const {
+  ItemSide side;
+  side.is_node = true;
+  side.rect = entry.rect;
+  side.id = entry.id;
+  side.level = child_level;
+  return side;
+}
+
+ItemSide JoinImpl::ObjectSide(const Entry& entry) const {
+  ItemSide side;
+  side.is_node = false;
+  side.rect = entry.rect;
+  side.id = entry.id;
+  side.level = -1;
+  return side;
+}
+
+double JoinImpl::KeyOf(const ItemSide& a, const ItemSide& b) const {
+  // MINMINDIST degenerates to point-rect MINDIST and point-point distance
+  // for degenerate rects, so one formula covers all four item kinds.
+  return MinMinDistSquared(a.rect, b.rect);
+}
+
+int32_t JoinImpl::TieLevelOf(const ItemSide& a, const ItemSide& b) const {
+  return a.level + b.level;  // objects contribute -1: deepest
+}
+
+void JoinImpl::PushItem(QueueItem item) {
+  if (item.key > k_bound_.Bound()) return;  // cannot be in the first K
+  if (!item.a.is_node && !item.b.is_node) k_bound_.Offer(item.key);
+  item.seq = next_seq_++;
+  queue_.Push(item);
+  ++stats_.items_pushed;
+  stats_.max_queue_size = std::max(stats_.max_queue_size, queue_.size());
+}
+
+Status JoinImpl::Start() {
+  started_ = true;
+  before_p_ = tree_p_.buffer()->stats();
+  before_q_ = tree_q_.buffer()->stats();
+  if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
+  Rect mbr_p, mbr_q;
+  KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
+  KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
+  QueueItem item;
+  item.a = ItemSide{true, mbr_p, tree_p_.root_page(), tree_p_.height() - 1};
+  item.b = ItemSide{true, mbr_q, tree_q_.root_page(), tree_q_.height() - 1};
+  item.key = KeyOf(item.a, item.b);
+  item.tie_level = TieLevelOf(item.a, item.b);
+  PushItem(item);
+  return Status::OK();
+}
+
+Status JoinImpl::ExpandOneSide(const RStarTree& tree,
+                               const ItemSide& node_side,
+                               const ItemSide& other, bool node_first) {
+  Node node;
+  KCPQ_RETURN_IF_ERROR(tree.ReadNode(node_side.id, &node));
+  for (const Entry& entry : node.entries) {
+    const ItemSide child = node.IsLeaf() ? ObjectSide(entry)
+                                         : NodeSide(entry, node.level - 1);
+    QueueItem item;
+    item.a = node_first ? child : other;
+    item.b = node_first ? other : child;
+    item.key = KeyOf(item.a, item.b);
+    item.tie_level = TieLevelOf(item.a, item.b);
+    PushItem(item);
+  }
+  return Status::OK();
+}
+
+Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
+  Node node_a, node_b;
+  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a));
+  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b));
+  for (const Entry& ea : node_a.entries) {
+    const ItemSide ca = node_a.IsLeaf() ? ObjectSide(ea)
+                                        : NodeSide(ea, node_a.level - 1);
+    for (const Entry& eb : node_b.entries) {
+      const ItemSide cb = node_b.IsLeaf() ? ObjectSide(eb)
+                                          : NodeSide(eb, node_b.level - 1);
+      QueueItem item;
+      item.a = ca;
+      item.b = cb;
+      item.key = KeyOf(ca, cb);
+      item.tie_level = TieLevelOf(ca, cb);
+      PushItem(item);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::optional<PairResult>> JoinImpl::Next() {
+  if (!started_) KCPQ_RETURN_IF_ERROR(Start());
+  if (options_.k_bound > 0 && results_emitted_ >= options_.k_bound) {
+    return std::optional<PairResult>();
+  }
+  while (!queue_.Empty()) {
+    const QueueItem item = queue_.PopMin();
+    ++stats_.items_popped;
+    if (!item.a.is_node && !item.b.is_node) {
+      // The next closest pair: no unexpanded item can beat its key.
+      // ClosestPoints realizes the key; for point objects it returns the
+      // points themselves.
+      PairResult out;
+      ClosestPoints(item.a.rect, item.b.rect, &out.p, &out.q);
+      out.p_id = item.a.id;
+      out.q_id = item.b.id;
+      out.distance = std::sqrt(item.key);
+      ++results_emitted_;
+      stats_.disk_accesses_p =
+          tree_p_.buffer()->stats().misses - before_p_.misses;
+      stats_.disk_accesses_q =
+          tree_q_.buffer()->stats().misses - before_q_.misses;
+      stats_.queue_spill_reads = queue_.spill_reads();
+      stats_.queue_spill_writes = queue_.spill_writes();
+      return std::optional<PairResult>(out);
+    }
+    if (item.a.is_node && item.b.is_node) {
+      switch (options_.traversal) {
+        case HsTraversal::kBasic:
+          // Priority is given to one of the trees, arbitrarily: the first.
+          KCPQ_RETURN_IF_ERROR(
+              ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+          break;
+        case HsTraversal::kEven:
+          // Expand the node at the shallower depth (higher level).
+          if (item.a.level >= item.b.level) {
+            KCPQ_RETURN_IF_ERROR(
+                ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+          } else {
+            KCPQ_RETURN_IF_ERROR(ExpandOneSide(tree_q_, item.b, item.a,
+                                               /*node_first=*/false));
+          }
+          break;
+        case HsTraversal::kSimultaneous:
+          KCPQ_RETURN_IF_ERROR(ExpandBoth(item.a, item.b));
+          break;
+      }
+    } else if (item.a.is_node) {
+      KCPQ_RETURN_IF_ERROR(
+          ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+    } else {
+      KCPQ_RETURN_IF_ERROR(
+          ExpandOneSide(tree_q_, item.b, item.a, /*node_first=*/false));
+    }
+  }
+  stats_.disk_accesses_p = tree_p_.buffer()->stats().misses - before_p_.misses;
+  stats_.disk_accesses_q = tree_q_.buffer()->stats().misses - before_q_.misses;
+  stats_.queue_spill_reads = queue_.spill_reads();
+  stats_.queue_spill_writes = queue_.spill_writes();
+  return std::optional<PairResult>();
+}
+
+}  // namespace hs_internal
+
+IncrementalDistanceJoin::IncrementalDistanceJoin(const RStarTree& tree_p,
+                                                 const RStarTree& tree_q,
+                                                 const HsOptions& options)
+    : impl_(std::make_unique<hs_internal::JoinImpl>(tree_p, tree_q, options)) {
+}
+
+IncrementalDistanceJoin::~IncrementalDistanceJoin() = default;
+
+Result<std::optional<PairResult>> IncrementalDistanceJoin::Next() {
+  return impl_->Next();
+}
+
+const HsStats& IncrementalDistanceJoin::stats() const {
+  return impl_->stats();
+}
+
+Result<std::vector<PairResult>> HsKClosestPairs(const RStarTree& tree_p,
+                                                const RStarTree& tree_q,
+                                                size_t k, HsOptions options,
+                                                HsStats* stats) {
+  options.k_bound = k;
+  IncrementalDistanceJoin join(tree_p, tree_q, options);
+  std::vector<PairResult> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    KCPQ_ASSIGN_OR_RETURN(std::optional<PairResult> next, join.Next());
+    if (!next.has_value()) break;
+    out.push_back(*next);
+  }
+  if (stats != nullptr) *stats = join.stats();
+  return out;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,146 @@
+#include "hs/hybrid_queue.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace kcpq {
+namespace hs_internal {
+
+namespace {
+
+void PutSide(const ItemSide& side, uint8_t* dst) {
+  std::memcpy(dst, side.rect.lo, kDims * 8);
+  std::memcpy(dst + kDims * 8, side.rect.hi, kDims * 8);
+  std::memcpy(dst + 2 * kDims * 8, &side.id, 8);
+  int64_t level_and_kind =
+      (static_cast<int64_t>(side.level) << 1) | (side.is_node ? 1 : 0);
+  std::memcpy(dst + 2 * kDims * 8 + 8, &level_and_kind, 8);
+}
+
+void GetSide(const uint8_t* src, ItemSide* side) {
+  std::memcpy(side->rect.lo, src, kDims * 8);
+  std::memcpy(side->rect.hi, src + kDims * 8, kDims * 8);
+  std::memcpy(&side->id, src + 2 * kDims * 8, 8);
+  int64_t level_and_kind;
+  std::memcpy(&level_and_kind, src + 2 * kDims * 8 + 8, 8);
+  side->is_node = level_and_kind & 1;
+  side->level = static_cast<int32_t>(level_and_kind >> 1);
+}
+
+}  // namespace
+
+void SerializeQueueItem(const QueueItem& item, uint8_t* dst) {
+  std::memcpy(dst, &item.key, 8);
+  const int64_t tie = item.tie_level;
+  std::memcpy(dst + 8, &tie, 8);
+  std::memcpy(dst + 16, &item.seq, 8);
+  PutSide(item.a, dst + 24);
+  PutSide(item.b, dst + 24 + kQueueSideSize);
+}
+
+void DeserializeQueueItem(const uint8_t* src, QueueItem* item) {
+  std::memcpy(&item->key, src, 8);
+  int64_t tie;
+  std::memcpy(&tie, src + 8, 8);
+  item->tie_level = static_cast<int32_t>(tie);
+  std::memcpy(&item->seq, src + 16, 8);
+  GetSide(src + 24, &item->a);
+  GetSide(src + 24 + kQueueSideSize, &item->b);
+}
+
+HybridQueue::HybridQueue(double distance_threshold, size_t page_size,
+                         bool comparator_prefers_deep)
+    // The last 8 bytes of each overflow page hold the item count; reserve
+    // them when computing the per-page capacity.
+    : threshold_(distance_threshold),
+      items_per_page_((page_size - 8) / kQueueItemSize),
+      memory_(ItemOrder{comparator_prefers_deep}),
+      spill_storage_(page_size) {}
+
+void HybridQueue::Push(const QueueItem& item) {
+  if (item.key <= threshold_) {
+    memory_.push(item);
+    return;
+  }
+  spill_buffer_.push_back(item);
+  ++overflow_count_;
+  if (spill_buffer_.size() == items_per_page_) SpillCurrentPage();
+}
+
+void HybridQueue::SpillCurrentPage() {
+  if (spill_buffer_.empty()) return;
+  Page page(spill_storage_.page_size());
+  for (size_t i = 0; i < spill_buffer_.size(); ++i) {
+    SerializeQueueItem(spill_buffer_[i], page.data() + i * kQueueItemSize);
+  }
+  // Count stored in the reserved tail byte region: first unused slot's key
+  // slot is poisoned instead — simpler: store count in the last 8 bytes.
+  const uint64_t count = spill_buffer_.size();
+  std::memcpy(page.data() + page.size() - 8, &count, 8);
+  const Result<PageId> id = spill_storage_.Allocate();
+  KCPQ_CHECK_OK(id.status());
+  KCPQ_CHECK_OK(spill_storage_.WritePage(id.value(), page));
+  overflow_pages_.push_back(id.value());
+  spill_buffer_.clear();
+}
+
+bool HybridQueue::Empty() {
+  if (!memory_.empty()) return false;
+  if (overflow_count_ == 0) return true;
+  ReloadOverflow();
+  return memory_.empty() && overflow_count_ == 0;
+}
+
+QueueItem HybridQueue::PopMin() {
+  if (memory_.empty()) ReloadOverflow();
+  QueueItem item = memory_.top();
+  memory_.pop();
+  return item;
+}
+
+void HybridQueue::ReloadOverflow() {
+  if (overflow_count_ == 0) return;
+  std::vector<QueueItem> items;
+  items.reserve(overflow_count_);
+  items.insert(items.end(), spill_buffer_.begin(), spill_buffer_.end());
+  spill_buffer_.clear();
+  for (const PageId id : overflow_pages_) {
+    Page page;
+    KCPQ_CHECK_OK(spill_storage_.ReadPage(id, &page));
+    uint64_t count;
+    std::memcpy(&count, page.data() + page.size() - 8, 8);
+    for (uint64_t i = 0; i < count; ++i) {
+      QueueItem item;
+      DeserializeQueueItem(page.data() + i * kQueueItemSize, &item);
+      items.push_back(item);
+    }
+    KCPQ_CHECK_OK(spill_storage_.Free(id));
+  }
+  overflow_pages_.clear();
+  overflow_count_ = 0;
+
+  // Promote the smaller half (at least one page's worth) into memory and
+  // raise the threshold to the split key; respill the rest.
+  std::sort(items.begin(), items.end(),
+            [](const QueueItem& a, const QueueItem& b) {
+              return a.key < b.key;
+            });
+  const size_t promote =
+      std::max(items_per_page_, items.size() / 2);
+  const size_t boundary = std::min(items.size(), promote);
+  for (size_t i = 0; i < boundary; ++i) memory_.push(items[i]);
+  if (boundary < items.size()) {
+    threshold_ = items[boundary - 1].key;
+    for (size_t i = boundary; i < items.size(); ++i) {
+      spill_buffer_.push_back(items[i]);
+      ++overflow_count_;
+      if (spill_buffer_.size() == items_per_page_) SpillCurrentPage();
+    }
+  } else {
+    threshold_ = std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace hs_internal
+}  // namespace kcpq

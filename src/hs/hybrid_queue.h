@@ -1,0 +1,111 @@
+// The hybrid memory/disk priority queue of Hjaltason & Samet.
+//
+// Items with key <= DT live in an in-memory binary heap; larger keys are
+// appended to *unordered* disk-resident overflow pages ([11] stores "one
+// part as a heap and another part as an unordered list ... on disk").
+// When the memory tier drains but overflow remains, the queue reloads the
+// overflow (counting reads), promotes the smallest items to memory, raises
+// DT accordingly, and rewrites the remainder (counting writes).
+//
+// Items are a fixed 128-byte record, so a 1 KiB page holds 8.
+
+#ifndef KCPQ_HS_HYBRID_QUEUE_H_
+#define KCPQ_HS_HYBRID_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "storage/memory_storage.h"
+
+namespace kcpq {
+namespace hs_internal {
+
+/// One side of a queue item: an R-tree node or a data object (point).
+struct ItemSide {
+  bool is_node = false;
+  Rect rect;           // node MBR, or degenerate point rect for objects
+  uint64_t id = 0;     // page id (node) / record id (object)
+  int32_t level = -1;  // node level; -1 for objects
+
+  Point AsPoint() const {
+    Point p;
+    for (int d = 0; d < kDims; ++d) p.coord[d] = rect.lo[d];
+    return p;
+  }
+};
+
+/// A queue item: a pair of sides and its priority key (squared distance
+/// lower bound). `tie_level` implements the depth/breadth tie policy and
+/// `seq` makes ordering fully deterministic.
+struct QueueItem {
+  double key = 0.0;
+  ItemSide a;
+  ItemSide b;
+  int32_t tie_level = 0;  // sum of side levels; smaller = deeper
+  uint64_t seq = 0;
+};
+
+/// Serialized size of one item in overflow pages: key + tie + seq headers
+/// plus two sides (each 2*kDims doubles + id + level word), rounded up to
+/// 8 bytes. 128 bytes for 2-D.
+inline constexpr size_t kQueueSideSize =
+    2 * kDims * sizeof(double) + 2 * sizeof(int64_t);
+inline constexpr size_t kQueueItemSize =
+    (24 + 2 * kQueueSideSize + 7) / 8 * 8;
+
+void SerializeQueueItem(const QueueItem& item, uint8_t* dst);
+void DeserializeQueueItem(const uint8_t* src, QueueItem* item);
+
+class HybridQueue {
+ public:
+  /// `comparator_prefers_deep`: true = depth-first tie policy.
+  HybridQueue(double distance_threshold, size_t page_size,
+              bool comparator_prefers_deep);
+
+  void Push(const QueueItem& item);
+  bool Empty();
+  /// Precondition: !Empty(). May trigger an overflow reload.
+  QueueItem PopMin();
+
+  uint64_t size() const { return memory_.size() + overflow_count_; }
+  uint64_t memory_size() const { return memory_.size(); }
+  uint64_t overflow_size() const { return overflow_count_; }
+  uint64_t spill_reads() const { return spill_storage_.stats().reads; }
+  uint64_t spill_writes() const { return spill_storage_.stats().writes; }
+
+ private:
+  struct ItemOrder {
+    bool prefers_deep;
+    // Max-heap adapter -> invert: returns true when a is *worse* than b.
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      if (a.tie_level != b.tie_level) {
+        return prefers_deep ? a.tie_level > b.tie_level
+                            : a.tie_level < b.tie_level;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void SpillCurrentPage();
+  /// Loads every overflow item, promotes the smallest half to memory,
+  /// rewrites the rest with a raised threshold.
+  void ReloadOverflow();
+
+  double threshold_;
+  size_t items_per_page_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, ItemOrder> memory_;
+  MemoryStorageManager spill_storage_;
+  std::vector<PageId> overflow_pages_;
+  std::vector<QueueItem> spill_buffer_;  // current partially-filled page
+  uint64_t overflow_count_ = 0;
+};
+
+}  // namespace hs_internal
+}  // namespace kcpq
+
+#endif  // KCPQ_HS_HYBRID_QUEUE_H_

@@ -1,0 +1,94 @@
+#include "rtree/node.h"
+
+#include <cstring>
+#include <string>
+
+namespace kcpq {
+
+namespace {
+
+// Bounds sanity for deserialization; R-tree heights are single digits even
+// for billions of entries, so 64 levels means corruption.
+constexpr int32_t kMaxLevel = 64;
+
+void PutU64(uint8_t* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+uint64_t GetU64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+void PutF64(uint8_t* dst, double v) { std::memcpy(dst, &v, sizeof(v)); }
+double GetF64(const uint8_t* src) {
+  double v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+void PutI32(uint8_t* dst, int32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+int32_t GetI32(const uint8_t* src) {
+  int32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status SerializeNode(const Node& node, Page* page) {
+  const size_t capacity = NodeCapacity(page->size());
+  if (node.entries.size() > capacity) {
+    return Status::InvalidArgument(
+        "node with " + std::to_string(node.entries.size()) +
+        " entries exceeds page capacity " + std::to_string(capacity));
+  }
+  if (node.level < 0 || node.level > kMaxLevel) {
+    return Status::InvalidArgument("bad node level");
+  }
+  page->Clear();
+  uint8_t* base = page->data();
+  PutI32(base + 0, node.level);
+  PutI32(base + 4, static_cast<int32_t>(node.entries.size()));
+  PutU64(base + 8, 0);
+  uint8_t* p = base + kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    for (int d = 0; d < kDims; ++d) {
+      PutF64(p + d * 8, e.rect.lo[d]);
+      PutF64(p + (kDims + d) * 8, e.rect.hi[d]);
+    }
+    PutU64(p + 2 * kDims * 8, e.id);
+    PutU64(p + 2 * kDims * 8 + 8, 0);
+    p += kEntrySize;
+  }
+  return Status::OK();
+}
+
+Status DeserializeNode(const Page& page, Node* node) {
+  const size_t capacity = NodeCapacity(page.size());
+  const uint8_t* base = page.data();
+  const int32_t level = GetI32(base + 0);
+  const int32_t count = GetI32(base + 4);
+  if (level < 0 || level > kMaxLevel) {
+    return Status::Corruption("node level out of range");
+  }
+  if (count < 0 || static_cast<size_t>(count) > capacity) {
+    return Status::Corruption("node entry count out of range");
+  }
+  node->level = level;
+  node->entries.clear();
+  node->entries.reserve(count);
+  const uint8_t* p = base + kNodeHeaderSize;
+  for (int32_t i = 0; i < count; ++i) {
+    Entry e;
+    for (int d = 0; d < kDims; ++d) {
+      e.rect.lo[d] = GetF64(p + d * 8);
+      e.rect.hi[d] = GetF64(p + (kDims + d) * 8);
+    }
+    e.id = GetU64(p + 2 * kDims * 8);
+    if (!e.rect.IsValid()) {
+      return Status::Corruption("entry rect with lo > hi");
+    }
+    node->entries.push_back(e);
+    p += kEntrySize;
+  }
+  return Status::OK();
+}
+
+}  // namespace kcpq

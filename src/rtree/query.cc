@@ -1,0 +1,149 @@
+// Range query, best-first K-nearest-neighbor query, and level statistics.
+
+#include <cmath>
+#include <queue>
+
+#include "rtree/rtree.h"
+
+namespace kcpq {
+
+Status RStarTree::RangeQuery(const Rect& range, std::vector<Entry>* out) const {
+  // Iterative DFS; a leaf entry's degenerate rect intersects `range` iff the
+  // point lies inside it.
+  std::vector<PageId> stack = {root_page_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    Node node;
+    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node));
+    for (const Entry& e : node.entries) {
+      if (!range.Intersects(e.rect)) continue;
+      if (node.IsLeaf()) {
+        out->push_back(e);
+      } else {
+        stack.push_back(e.id);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::NearestNeighbors(const Point& query, size_t k,
+                                   std::vector<Neighbor>* out,
+                                   Metric metric) const {
+  if (k == 0) return Status::OK();
+  // Best-first search: a single priority queue over subtrees (keyed by
+  // MINDIST to their MBR) and leaf entries (keyed by exact distance). When
+  // an entry reaches the front, no unexplored item can beat it. Keys live
+  // in the metric's power space (see geometry/minkowski.h).
+  struct Item {
+    double dist2;
+    bool is_node;
+    PageId page;   // when is_node
+    Entry entry;   // when !is_node
+  };
+  const Rect query_rect = Rect::FromPoint(query);
+  auto cmp = [](const Item& a, const Item& b) { return a.dist2 > b.dist2; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(cmp);
+  queue.push(Item{0.0, true, root_page_, Entry{}});
+  while (!queue.empty()) {
+    const Item item = queue.top();
+    queue.pop();
+    if (!item.is_node) {
+      out->push_back(Neighbor{item.entry, PowToDistance(item.dist2, metric)});
+      if (out->size() == k) return Status::OK();
+      continue;
+    }
+    Node node;
+    KCPQ_RETURN_IF_ERROR(ReadNode(item.page, &node));
+    for (const Entry& e : node.entries) {
+      // MINDIST to the entry rect: exact point distance for point data,
+      // nearest-face distance for extended objects and subtree MBRs.
+      const double key = MinMinDistPow(query_rect, e.rect, metric);
+      if (node.IsLeaf()) {
+        queue.push(Item{key, false, kInvalidPageId, e});
+      } else {
+        queue.push(Item{key, true, e.id, Entry{}});
+      }
+    }
+  }
+  return Status::OK();  // fewer than k points in the tree
+}
+
+Status RStarTree::CollectLevelGeometry(
+    std::vector<LevelGeometry>* out) const {
+  out->assign(height_, LevelGeometry{});
+  for (int i = 0; i < height_; ++i) (*out)[i].level = i;
+  // Gather every node's MBR per level, then the O(n^2) overlap sums.
+  std::vector<std::vector<Rect>> mbrs(height_);
+  {
+    Node root;
+    KCPQ_RETURN_IF_ERROR(ReadNode(root_page_, &root));
+    mbrs[root.level].push_back(root.ComputeMbr());
+  }
+  std::vector<PageId> stack = {root_page_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    Node node;
+    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node));
+    if (node.IsLeaf()) continue;
+    for (const Entry& e : node.entries) {
+      mbrs[node.level - 1].push_back(e.rect);
+      stack.push_back(e.id);
+    }
+  }
+  for (int level = 0; level < height_; ++level) {
+    LevelGeometry& geometry = (*out)[level];
+    const std::vector<Rect>& rects = mbrs[level];
+    for (size_t i = 0; i < rects.size(); ++i) {
+      geometry.total_area += rects[i].Area();
+      for (size_t j = i + 1; j < rects.size(); ++j) {
+        geometry.pairwise_overlap_area +=
+            IntersectionArea(rects[i], rects[j]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::ScanLeaves(
+    const std::function<bool(const Node& leaf)>& visit) const {
+  std::vector<PageId> stack = {root_page_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    Node node;
+    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node));
+    if (node.IsLeaf()) {
+      if (!visit(node)) return Status::OK();
+      continue;
+    }
+    for (const Entry& e : node.entries) stack.push_back(e.id);
+  }
+  return Status::OK();
+}
+
+Status RStarTree::CollectLevelStats(std::vector<LevelStats>* out) const {
+  out->assign(height_, LevelStats{});
+  for (int i = 0; i < height_; ++i) (*out)[i].level = i;
+  std::vector<PageId> stack = {root_page_};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    Node node;
+    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node));
+    if (node.level < 0 || node.level >= height_) {
+      return Status::Corruption("node level outside tree height");
+    }
+    LevelStats& stats = (*out)[node.level];
+    ++stats.nodes;
+    stats.entries += node.entries.size();
+    if (!node.IsLeaf()) {
+      for (const Entry& e : node.entries) stack.push_back(e.id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kcpq

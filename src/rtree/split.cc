@@ -1,0 +1,166 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "geometry/metrics.h"
+
+namespace kcpq {
+
+namespace {
+
+// MBR of entries[begin, end).
+Rect MbrOf(const std::vector<Entry>& entries, size_t begin, size_t end) {
+  Rect mbr = Rect::Empty();
+  for (size_t i = begin; i < end; ++i) mbr.Expand(entries[i].rect);
+  return mbr;
+}
+
+// Sum over the other entries of how much the candidate's grown rect
+// overlaps them, minus the current overlap (R* "overlap enlargement").
+double OverlapEnlargement(const Node& node, size_t candidate,
+                          const Rect& grown) {
+  const Rect& current = node.entries[candidate].rect;
+  double delta = 0.0;
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (i == candidate) continue;
+    const Rect& other = node.entries[i].rect;
+    delta += IntersectionArea(grown, other) -
+             IntersectionArea(current, other);
+  }
+  return delta;
+}
+
+}  // namespace
+
+size_t ChooseSubtree(const Node& node, const Rect& rect) {
+  assert(!node.IsLeaf() && !node.entries.empty());
+  size_t best = 0;
+  if (node.level == 1) {
+    // Children are leaves: minimize overlap enlargement.
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const Rect grown = Union(node.entries[i].rect, rect);
+      const double overlap = OverlapEnlargement(node, i, grown);
+      const double enlarge = grown.Area() - node.entries[i].rect.Area();
+      const double area = node.entries[i].rect.Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap &&
+           (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)))) {
+        best = i;
+        best_overlap = overlap;
+        best_enlarge = enlarge;
+        best_area = area;
+      }
+    }
+    return best;
+  }
+  // Children are internal: minimize area enlargement, ties by area.
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const double enlarge = Enlargement(node.entries[i].rect, rect);
+    const double area = node.entries[i].rect.Area();
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && area < best_area)) {
+      best = i;
+      best_enlarge = enlarge;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+void SplitEntries(std::vector<Entry> entries, size_t min_entries,
+                  std::vector<Entry>* left, std::vector<Entry>* right) {
+  const size_t total = entries.size();
+  assert(total >= 2 * min_entries);
+  const size_t distributions = total - 2 * min_entries + 1;
+
+  // Phase 1: choose the split axis by minimal margin sum. For each axis we
+  // evaluate both sorts (by lo, by hi) over all legal distributions.
+  int best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < kDims; ++axis) {
+    for (const bool by_hi : {false, true}) {
+      std::sort(entries.begin(), entries.end(),
+                [axis, by_hi](const Entry& a, const Entry& b) {
+                  const double ka = by_hi ? a.rect.hi[axis] : a.rect.lo[axis];
+                  const double kb = by_hi ? b.rect.hi[axis] : b.rect.lo[axis];
+                  if (ka != kb) return ka < kb;
+                  // Secondary key keeps the sort deterministic.
+                  return (by_hi ? a.rect.lo[axis] : a.rect.hi[axis]) <
+                         (by_hi ? b.rect.lo[axis] : b.rect.hi[axis]);
+                });
+      double margin_sum = 0.0;
+      for (size_t k = 0; k < distributions; ++k) {
+        const size_t split_at = min_entries + k;
+        margin_sum += MbrOf(entries, 0, split_at).Margin() +
+                      MbrOf(entries, split_at, total).Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_by_hi = by_hi;
+      }
+    }
+  }
+
+  // Phase 2: on the chosen axis+sort, pick the distribution with minimal
+  // overlap area, ties by minimal total area.
+  {
+    const int axis = best_axis;
+    const bool by_hi = best_axis_by_hi;
+    std::sort(entries.begin(), entries.end(),
+              [axis, by_hi](const Entry& a, const Entry& b) {
+                const double ka = by_hi ? a.rect.hi[axis] : a.rect.lo[axis];
+                const double kb = by_hi ? b.rect.hi[axis] : b.rect.lo[axis];
+                if (ka != kb) return ka < kb;
+                return (by_hi ? a.rect.lo[axis] : a.rect.hi[axis]) <
+                       (by_hi ? b.rect.lo[axis] : b.rect.hi[axis]);
+              });
+  }
+  size_t best_split = min_entries;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < distributions; ++k) {
+    const size_t split_at = min_entries + k;
+    const Rect g1 = MbrOf(entries, 0, split_at);
+    const Rect g2 = MbrOf(entries, split_at, total);
+    const double overlap = IntersectionArea(g1, g2);
+    const double area = g1.Area() + g2.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split_at;
+    }
+  }
+
+  left->assign(entries.begin(), entries.begin() + best_split);
+  right->assign(entries.begin() + best_split, entries.end());
+}
+
+void TakeFarthestEntries(Node* node, size_t count,
+                         std::vector<Entry>* removed) {
+  assert(count < node->entries.size());
+  const Point center = node->ComputeMbr().Center();
+  // Sort ascending by center distance; tail = farthest `count` entries.
+  std::sort(node->entries.begin(), node->entries.end(),
+            [&center](const Entry& a, const Entry& b) {
+              return SquaredDistance(a.rect.Center(), center) <
+                     SquaredDistance(b.rect.Center(), center);
+            });
+  const size_t keep = node->entries.size() - count;
+  // "Close reinsert": reinsertion starts with the entry nearest the center,
+  // i.e. the tail in ascending order as-is.
+  removed->assign(node->entries.begin() + keep, node->entries.end());
+  node->entries.resize(keep);
+}
+
+}  // namespace kcpq

@@ -1,0 +1,41 @@
+// R*-tree ChooseSubtree and node-split heuristics (Beckmann et al. 1990),
+// as free functions over entry vectors so they are unit-testable without a
+// tree. Internal to the rtree library.
+
+#ifndef KCPQ_RTREE_SPLIT_H_
+#define KCPQ_RTREE_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rtree/node.h"
+
+namespace kcpq {
+
+/// R* subtree choice for inserting `rect` into internal `node`:
+///  * children are leaves (node.level == 1): minimum *overlap* enlargement,
+///    ties by area enlargement, then by area;
+///  * otherwise: minimum area enlargement, ties by area.
+/// Precondition: node is internal and non-empty. Returns the entry index.
+size_t ChooseSubtree(const Node& node, const Rect& rect);
+
+/// R* split of an overfull entry set (size M+1) into two groups, each with
+/// at least `min_entries`:
+///  1. choose the split axis minimizing the margin sum over all candidate
+///     distributions of both per-axis sorts (by lower then by upper value);
+///  2. on that axis choose the distribution with minimal overlap area,
+///     ties by minimal total area.
+/// Returns the two groups (first keeps the original page by convention).
+void SplitEntries(std::vector<Entry> entries, size_t min_entries,
+                  std::vector<Entry>* left, std::vector<Entry>* right);
+
+/// Selects the `count` entries of `node` farthest (center-to-center) from
+/// the node's MBR center — R* forced-reinsert candidates — and moves them
+/// out of `node->entries` into `*removed`, ordered closest-first ("close
+/// reinsert" order, the variant the R* paper found best).
+void TakeFarthestEntries(Node* node, size_t count,
+                         std::vector<Entry>* removed);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_RTREE_SPLIT_H_

@@ -1,0 +1,86 @@
+#include "storage/checksum_storage.h"
+
+#include <cstring>
+#include <string>
+
+namespace kcpq {
+
+namespace {
+
+// CRC-32C table, generated at static-init time from the Castagnoli
+// polynomial (trivially destructible: plain array).
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  constexpr Crc32cTable() : entries() {
+    constexpr uint32_t kPolynomial = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable;
+
+// A freshly allocated page is all zeros *without* a valid checksum (the
+// base manager zero-fills); accept the all-zero page as valid so newly
+// allocated pages can be read before first write.
+bool IsAllZero(const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable.entries[(crc ^ data[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+ChecksummedStorageManager::ChecksummedStorageManager(StorageManager* base)
+    : StorageManager(base->page_size() - 8), base_(base) {}
+
+Result<PageId> ChecksummedStorageManager::Allocate() {
+  return base_->Allocate();
+}
+
+Status ChecksummedStorageManager::ReadPage(PageId id, Page* page) {
+  Page raw;
+  KCPQ_RETURN_IF_ERROR(base_->ReadPage(id, &raw));
+  ++stats_.reads;
+  const size_t payload = page_size();
+  uint32_t stored;
+  std::memcpy(&stored, raw.data() + payload, 4);
+  const uint32_t computed = Crc32c(raw.data(), payload);
+  if (stored != computed && !IsAllZero(raw.data(), raw.size())) {
+    ++corruption_detections_;
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  page->Resize(payload);
+  std::memcpy(page->data(), raw.data(), payload);
+  return Status::OK();
+}
+
+Status ChecksummedStorageManager::WritePage(PageId id, const Page& page) {
+  if (page.size() != page_size()) {
+    return Status::InvalidArgument("page size mismatch on write");
+  }
+  ++stats_.writes;
+  Page raw(base_->page_size());
+  std::memcpy(raw.data(), page.data(), page.size());
+  const uint32_t crc = Crc32c(page.data(), page.size());
+  std::memcpy(raw.data() + page.size(), &crc, 4);
+  return base_->WritePage(id, raw);
+}
+
+}  // namespace kcpq

@@ -1,0 +1,42 @@
+// Checksumming storage decorator (RocksDB-style block checksums).
+//
+// Wraps any StorageManager and appends a CRC32C-style checksum to every
+// page, verifying it on read: silent media corruption (bit rot, torn
+// writes) surfaces as a Corruption status instead of garbage structures.
+// The checksum steals the trailing 8 bytes of each underlying page, so the
+// wrapper exposes `page_size() = inner - 8`; build the R-tree on the
+// wrapper and the node capacity adapts automatically.
+
+#ifndef KCPQ_STORAGE_CHECKSUM_STORAGE_H_
+#define KCPQ_STORAGE_CHECKSUM_STORAGE_H_
+
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+/// CRC-32C (Castagnoli) of `data[0, len)`, software implementation.
+uint32_t Crc32c(const uint8_t* data, size_t len);
+
+class ChecksummedStorageManager final : public StorageManager {
+ public:
+  /// `base` must outlive the wrapper and have page_size > 8.
+  explicit ChecksummedStorageManager(StorageManager* base);
+
+  uint64_t PageCount() const override { return base_->PageCount(); }
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override { return base_->Free(id); }
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override { return base_->Sync(); }
+
+  /// Number of checksum mismatches detected so far.
+  uint64_t corruption_detections() const { return corruption_detections_; }
+
+ private:
+  StorageManager* base_;
+  uint64_t corruption_detections_ = 0;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_CHECKSUM_STORAGE_H_

@@ -1,0 +1,103 @@
+// Fault-injecting storage decorator (test substrate, RocksDB-style).
+//
+// Wraps any StorageManager and fails operations on command: after a
+// countdown of successful operations, with a deterministic probability, or
+// on every call once tripped. Used by the failure-injection tests to prove
+// that every layer above (buffer, R-tree, query engines) propagates I/O
+// errors as Status instead of crashing or corrupting state.
+
+#ifndef KCPQ_STORAGE_FAULT_INJECTION_STORAGE_H_
+#define KCPQ_STORAGE_FAULT_INJECTION_STORAGE_H_
+
+#include <limits>
+
+#include "common/random.h"
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+class FaultInjectionStorageManager final : public StorageManager {
+ public:
+  /// `base` must outlive this wrapper.
+  explicit FaultInjectionStorageManager(StorageManager* base)
+      : StorageManager(base->page_size()), base_(base), rng_(0) {}
+
+  /// Fails every operation after the next `n` successful ones.
+  void FailAfter(uint64_t n) { countdown_ = n; }
+
+  /// Fails each operation independently with probability `p`
+  /// (deterministic in `seed`).
+  void FailWithProbability(double p, uint64_t seed) {
+    probability_ = p;
+    rng_ = Xoshiro256pp(seed);
+  }
+
+  /// Stops injecting faults (also resets a tripped countdown).
+  void Heal() {
+    countdown_ = kNever;
+    probability_ = 0.0;
+    tripped_ = false;
+  }
+
+  /// Number of faults injected so far.
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  uint64_t PageCount() const override { return base_->PageCount(); }
+
+  Result<PageId> Allocate() override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("Allocate"));
+    return base_->Allocate();
+  }
+  Status Free(PageId id) override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("Free"));
+    return base_->Free(id);
+  }
+  Status ReadPage(PageId id, Page* page) override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("ReadPage"));
+    ++stats_.reads;
+    return base_->ReadPage(id, page);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("WritePage"));
+    ++stats_.writes;
+    return base_->WritePage(id, page);
+  }
+  Status Sync() override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("Sync"));
+    return base_->Sync();
+  }
+
+ private:
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  Status MaybeFail(const char* op) {
+    if (tripped_) return Fault(op);
+    if (countdown_ != kNever) {
+      if (countdown_ == 0) {
+        tripped_ = true;
+        return Fault(op);
+      }
+      --countdown_;
+    }
+    if (probability_ > 0.0 && rng_.NextDouble() < probability_) {
+      return Fault(op);
+    }
+    return Status::OK();
+  }
+
+  Status Fault(const char* op) {
+    ++faults_injected_;
+    return Status::IoError(std::string("injected fault in ") + op);
+  }
+
+  StorageManager* base_;
+  Xoshiro256pp rng_;
+  uint64_t countdown_ = kNever;
+  double probability_ = 0.0;
+  bool tripped_ = false;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_FAULT_INJECTION_STORAGE_H_

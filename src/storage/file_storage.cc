@@ -1,0 +1,149 @@
+#include "storage/file_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kcpq {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x6b637071'70616765ULL;  // "kcpqpage"
+constexpr uint64_t kSuperblockSize = 4096;
+
+struct Superblock {
+  uint64_t magic;
+  uint64_t page_size;
+  uint64_t page_count;
+  PageId free_head;
+};
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+FileStorageManager::FileStorageManager(int fd, std::string path,
+                                       size_t page_size)
+    : StorageManager(page_size), fd_(fd), path_(std::move(path)) {}
+
+FileStorageManager::~FileStorageManager() {
+  if (fd_ >= 0) {
+    // Best effort: persist metadata before closing.
+    WriteSuperblock();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<FileStorageManager>> FileStorageManager::Create(
+    const std::string& path, size_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size too small");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open " + path));
+  auto mgr = std::unique_ptr<FileStorageManager>(
+      new FileStorageManager(fd, path, page_size));
+  KCPQ_RETURN_IF_ERROR(mgr->WriteSuperblock());
+  return mgr;
+}
+
+Result<std::unique_ptr<FileStorageManager>> FileStorageManager::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IoError(Errno("open " + path));
+  Superblock sb{};
+  const ssize_t n = ::pread(fd, &sb, sizeof(sb), 0);
+  if (n != static_cast<ssize_t>(sizeof(sb))) {
+    ::close(fd);
+    return Status::Corruption("short superblock in " + path);
+  }
+  if (sb.magic != kMagic) {
+    ::close(fd);
+    return Status::Corruption("bad magic in " + path);
+  }
+  auto mgr = std::unique_ptr<FileStorageManager>(
+      new FileStorageManager(fd, path, sb.page_size));
+  mgr->page_count_ = sb.page_count;
+  mgr->free_head_ = sb.free_head;
+  return mgr;
+}
+
+uint64_t FileStorageManager::PageCount() const { return page_count_; }
+
+uint64_t FileStorageManager::PageOffset(PageId id) const {
+  return kSuperblockSize + id * page_size();
+}
+
+Status FileStorageManager::ReadRaw(uint64_t offset, void* buf,
+                                   size_t len) const {
+  const ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
+  if (n != static_cast<ssize_t>(len)) return Status::IoError(Errno("pread"));
+  return Status::OK();
+}
+
+Status FileStorageManager::WriteRaw(uint64_t offset, const void* buf,
+                                    size_t len) {
+  const ssize_t n = ::pwrite(fd_, buf, len, static_cast<off_t>(offset));
+  if (n != static_cast<ssize_t>(len)) return Status::IoError(Errno("pwrite"));
+  return Status::OK();
+}
+
+Status FileStorageManager::WriteSuperblock() {
+  Superblock sb{kMagic, page_size(), page_count_, free_head_};
+  return WriteRaw(0, &sb, sizeof(sb));
+}
+
+Result<PageId> FileStorageManager::Allocate() {
+  if (free_head_ != kInvalidPageId) {
+    const PageId id = free_head_;
+    PageId next = kInvalidPageId;
+    KCPQ_RETURN_IF_ERROR(ReadRaw(PageOffset(id), &next, sizeof(next)));
+    free_head_ = next;
+    Page zero(page_size());
+    KCPQ_RETURN_IF_ERROR(WriteRaw(PageOffset(id), zero.data(), zero.size()));
+    KCPQ_RETURN_IF_ERROR(WriteSuperblock());
+    return id;
+  }
+  const PageId id = page_count_;
+  Page zero(page_size());
+  KCPQ_RETURN_IF_ERROR(WriteRaw(PageOffset(id), zero.data(), zero.size()));
+  ++page_count_;
+  KCPQ_RETURN_IF_ERROR(WriteSuperblock());
+  return id;
+}
+
+Status FileStorageManager::Free(PageId id) {
+  if (id >= page_count_) return Status::OutOfRange("free of unknown page");
+  KCPQ_RETURN_IF_ERROR(
+      WriteRaw(PageOffset(id), &free_head_, sizeof(free_head_)));
+  free_head_ = id;
+  return WriteSuperblock();
+}
+
+Status FileStorageManager::ReadPage(PageId id, Page* page) {
+  if (id >= page_count_) return Status::OutOfRange("read of unknown page");
+  ++stats_.reads;
+  page->Resize(page_size());
+  return ReadRaw(PageOffset(id), page->data(), page->size());
+}
+
+Status FileStorageManager::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) return Status::OutOfRange("write of unknown page");
+  if (page.size() != page_size()) {
+    return Status::InvalidArgument("page size mismatch on write");
+  }
+  ++stats_.writes;
+  return WriteRaw(PageOffset(id), page.data(), page.size());
+}
+
+Status FileStorageManager::Sync() {
+  KCPQ_RETURN_IF_ERROR(WriteSuperblock());
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync"));
+  return Status::OK();
+}
+
+}  // namespace kcpq

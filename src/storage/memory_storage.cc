@@ -1,0 +1,65 @@
+#include "storage/memory_storage.h"
+
+#include <string>
+
+namespace kcpq {
+
+MemoryStorageManager::MemoryStorageManager(size_t page_size)
+    : StorageManager(page_size) {}
+
+uint64_t MemoryStorageManager::PageCount() const { return pages_.size(); }
+
+Result<PageId> MemoryStorageManager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    pages_[id].Clear();
+    return id;
+  }
+  const PageId id = pages_.size();
+  pages_.emplace_back(page_size());
+  freed_.push_back(false);
+  return id;
+}
+
+Status MemoryStorageManager::Free(PageId id) {
+  KCPQ_RETURN_IF_ERROR(CheckId(id));
+  freed_[id] = true;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status MemoryStorageManager::ReadPage(PageId id, Page* page) {
+  KCPQ_RETURN_IF_ERROR(CheckId(id));
+  ++stats_.reads;
+  *page = pages_[id];
+  return Status::OK();
+}
+
+Status MemoryStorageManager::WritePage(PageId id, const Page& page) {
+  KCPQ_RETURN_IF_ERROR(CheckId(id));
+  if (page.size() != page_size()) {
+    return Status::InvalidArgument("page size mismatch on write");
+  }
+  ++stats_.writes;
+  pages_[id] = page;
+  return Status::OK();
+}
+
+Status MemoryStorageManager::Sync() { return Status::OK(); }
+
+Status MemoryStorageManager::CheckId(PageId id) const {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " beyond allocated " +
+                              std::to_string(pages_.size()));
+  }
+  if (freed_[id]) {
+    return Status::FailedPrecondition("access to freed page " +
+                                      std::to_string(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace kcpq

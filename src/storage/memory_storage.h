@@ -1,0 +1,35 @@
+// In-memory simulated disk (see storage_manager.h for why it exists).
+
+#ifndef KCPQ_STORAGE_MEMORY_STORAGE_H_
+#define KCPQ_STORAGE_MEMORY_STORAGE_H_
+
+#include <vector>
+
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+/// Stores pages in a std::vector. Read/write counters behave exactly like a
+/// disk's; only latency is absent.
+class MemoryStorageManager final : public StorageManager {
+ public:
+  explicit MemoryStorageManager(size_t page_size = kDefaultPageSize);
+
+  uint64_t PageCount() const override;
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  Status Sync() override;
+
+ private:
+  Status CheckId(PageId id) const;
+
+  std::vector<Page> pages_;
+  std::vector<bool> freed_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_MEMORY_STORAGE_H_

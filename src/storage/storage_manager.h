@@ -1,0 +1,75 @@
+// Storage manager: the "disk" under the buffer manager.
+//
+// Every physical read/write is counted; the paper's cost metric ("disk
+// accesses") is exactly the number of ReadPage calls issued while a query
+// runs (writes occur only during tree construction). MemoryStorageManager
+// simulates the disk in RAM — the counts are identical to a real disk's and
+// the experiments run fast; FileStorageManager persists to a real file and
+// backs the durability tests and the examples that save/load trees.
+
+#ifndef KCPQ_STORAGE_STORAGE_MANAGER_H_
+#define KCPQ_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace kcpq {
+
+/// Physical I/O counters. Reset between experiment phases to isolate the
+/// cost of one query from tree-construction cost.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  void Reset() { *this = IoStats{}; }
+};
+
+/// Abstract page store. Implementations are single-threaded (the paper's
+/// system is single-user); no internal locking.
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  /// Page size in bytes; constant over the manager's lifetime.
+  size_t page_size() const { return page_size_; }
+
+  /// Number of pages ever allocated (allocation is append-only; a freed
+  /// page id is recycled by Allocate).
+  virtual uint64_t PageCount() const = 0;
+
+  /// Allocates a new (zeroed) page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Returns `id` to the free list. Reading a freed page is an error.
+  virtual Status Free(PageId id) = 0;
+
+  /// Reads page `id` into `*page` (resized to page_size). Counts one read.
+  virtual Status ReadPage(PageId id, Page* page) = 0;
+
+  /// Writes `page` (must be exactly page_size bytes) to `id`. Counts one
+  /// write.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Flushes any implementation buffering to durable storage.
+  virtual Status Sync() = 0;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  explicit StorageManager(size_t page_size) : page_size_(page_size) {}
+
+  IoStats stats_;
+
+ private:
+  size_t page_size_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,182 @@
+// Randomized-configuration sweep ("chaos" property test): for each seed,
+// draw a full random query configuration — sizes, distributions, overlap,
+// K, algorithm, metric, tie chain, height strategy, buffer size, page
+// size, pruning toggle — run the K-CPQ, and check it against brute force.
+// This is the catch-all net for interactions the targeted suites miss.
+
+#include <string>
+
+#include "cpq/brute.h"
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "hs/hs.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeClusteredItems;
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+class CpqChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CpqChaosTest, RandomConfigurationMatchesBruteForce) {
+  Xoshiro256pp rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    // --- Draw a configuration -------------------------------------------
+    const size_t np = 20 + rng.NextBounded(800);
+    const size_t nq = 20 + rng.NextBounded(800);
+    const double overlap = rng.NextDouble();
+    const bool p_clustered = rng.NextBounded(2) == 0;
+    const bool q_clustered = rng.NextBounded(2) == 0;
+    const size_t page_size = 512u << rng.NextBounded(3);  // 512/1024/2048
+    const size_t buffer_pages = rng.NextBounded(3) == 0
+                                    ? 0
+                                    : rng.NextBounded(64);
+    CpqOptions options;
+    options.k = 1 + rng.NextBounded(60);
+    options.algorithm = static_cast<CpqAlgorithm>(
+        1 + rng.NextBounded(4));  // skip naive (too slow at these sizes)
+    options.metric = static_cast<Metric>(rng.NextBounded(3));
+    options.height_strategy = rng.NextBounded(2) == 0
+                                  ? HeightStrategy::kFixAtLeaves
+                                  : HeightStrategy::kFixAtRoot;
+    options.use_maxmaxdist_pruning = rng.NextBounded(2) == 0;
+    options.tie_chain.clear();
+    const size_t chain_length = rng.NextBounded(4);
+    for (size_t i = 0; i < chain_length; ++i) {
+      options.tie_chain.push_back(
+          static_cast<TieCriterion>(rng.NextBounded(5)));
+    }
+    const std::string config =
+        "np=" + std::to_string(np) + " nq=" + std::to_string(nq) +
+        " ov=" + std::to_string(overlap) + " k=" + std::to_string(options.k) +
+        " alg=" + CpqAlgorithmName(options.algorithm) +
+        " metric=" + MetricName(options.metric) +
+        " page=" + std::to_string(page_size) +
+        " buf=" + std::to_string(buffer_pages);
+    SCOPED_TRACE(config);
+
+    // --- Build and run ---------------------------------------------------
+    const Rect ws_q = ShiftedWorkspace(UnitWorkspace(), overlap);
+    const auto p_items = p_clustered
+                             ? MakeClusteredItems(np, rng.Next())
+                             : MakeUniformItems(np, rng.Next());
+    const auto q_items = q_clustered
+                             ? MakeClusteredItems(nq, rng.Next(), ws_q)
+                             : MakeUniformItems(nq, rng.Next(), ws_q);
+    TreeFixture fp(buffer_pages, page_size), fq(buffer_pages, page_size);
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+    KCPQ_ASSERT_OK(fp.tree().Validate());
+    KCPQ_ASSERT_OK(fq.tree().Validate());
+
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const auto want = BruteForceKClosestPairs(
+        p_items, q_items, options.k, /*self_join=*/false, options.metric);
+    ASSERT_EQ(result.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(result.value()[i].distance, want[i].distance, 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpqChaosTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+
+// Same idea for the incremental Hjaltason-Samet join: random policies and
+// data against the brute-force order.
+class HsChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HsChaosTest, RandomConfigurationMatchesBruteForce) {
+  Xoshiro256pp rng(GetParam() ^ 0xfeedface);
+  for (int round = 0; round < 3; ++round) {
+    const size_t np = 20 + rng.NextBounded(500);
+    const size_t nq = 20 + rng.NextBounded(500);
+    const double overlap = rng.NextDouble();
+    const size_t k = 1 + rng.NextBounded(80);
+    HsOptions options;
+    options.traversal = static_cast<HsTraversal>(rng.NextBounded(3));
+    options.tie_policy = static_cast<HsTiePolicy>(rng.NextBounded(2));
+    if (rng.NextBounded(3) == 0) {
+      options.queue_distance_threshold = rng.NextDouble() * 1e-4;
+    }
+    SCOPED_TRACE(std::string(HsTraversalName(options.traversal)) +
+                 " np=" + std::to_string(np) + " nq=" + std::to_string(nq) +
+                 " k=" + std::to_string(k));
+
+    const Rect ws_q = ShiftedWorkspace(UnitWorkspace(), overlap);
+    const auto p_items = MakeUniformItems(np, rng.Next());
+    const auto q_items = MakeClusteredItems(nq, rng.Next(), ws_q);
+    TreeFixture fp, fq;
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+
+    auto result = HsKClosestPairs(fp.tree(), fq.tree(), k, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const auto want = BruteForceKClosestPairs(p_items, q_items, k);
+    ASSERT_EQ(result.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(result.value()[i].distance, want[i].distance, 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsChaosTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+
+// Mutation chaos: build, erase a random subset, then query — the tree after
+// deletions must answer exactly like a fresh tree over the survivors.
+class EraseChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EraseChaosTest, CpqCorrectAfterRandomErases) {
+  Xoshiro256pp rng(GetParam() ^ 0xdead0000);
+  for (int round = 0; round < 3; ++round) {
+    const size_t n = 100 + rng.NextBounded(700);
+    auto p_items = MakeUniformItems(n, rng.Next());
+    const auto q_items = MakeClusteredItems(n, rng.Next());
+    TreeFixture fp, fq;
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+
+    // Erase a random 30-70% of P.
+    const size_t erase_count =
+        n * (30 + rng.NextBounded(41)) / 100;
+    for (size_t i = 0; i < erase_count; ++i) {
+      const size_t idx = rng.NextBounded(p_items.size());
+      auto erased =
+          fp.tree().Erase(p_items[idx].first, p_items[idx].second);
+      ASSERT_TRUE(erased.ok());
+      ASSERT_TRUE(erased.value());
+      p_items[idx] = p_items.back();
+      p_items.pop_back();
+    }
+    KCPQ_ASSERT_OK(fp.tree().Validate());
+
+    CpqOptions options;
+    options.algorithm = round % 2 == 0 ? CpqAlgorithm::kHeap
+                                       : CpqAlgorithm::kSortedDistances;
+    options.k = 1 + rng.NextBounded(30);
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    ASSERT_TRUE(result.ok());
+    const auto want =
+        BruteForceKClosestPairs(p_items, q_items, options.k);
+    ASSERT_EQ(result.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(result.value()[i].distance, want[i].distance, 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EraseChaosTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,139 @@
+// Tests for the checksumming storage decorator: CRC correctness, detection
+// of underlying-media corruption, and a full R-tree + CPQ stack on top.
+
+#include <cstring>
+
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "storage/checksum_storage.h"
+#include "storage/memory_storage.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeUniformItems;
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors.
+  uint8_t zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, 32), 0x8A9136AAu);
+  uint8_t ones[32];
+  std::memset(ones, 0xFF, 32);
+  EXPECT_EQ(Crc32c(ones, 32), 0x62A8AB43u);
+  const char* numbers = "123456789";
+  EXPECT_EQ(Crc32c(reinterpret_cast<const uint8_t*>(numbers), 9),
+            0xE3069283u);
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  uint8_t data[64] = {};
+  const uint32_t base = Crc32c(data, sizeof(data));
+  for (size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = 1;
+    EXPECT_NE(Crc32c(data, sizeof(data)), base) << "byte " << i;
+    data[i] = 0;
+  }
+}
+
+TEST(ChecksummedStorageTest, ExposesSmallerPages) {
+  MemoryStorageManager base(1024);
+  ChecksummedStorageManager checked(&base);
+  EXPECT_EQ(checked.page_size(), 1016u);
+}
+
+TEST(ChecksummedStorageTest, RoundTrip) {
+  MemoryStorageManager base(256);
+  ChecksummedStorageManager checked(&base);
+  const PageId id = checked.Allocate().value();
+  Page page(checked.page_size());
+  for (size_t i = 0; i < page.size(); ++i) {
+    page.data()[i] = static_cast<uint8_t>(i * 7);
+  }
+  KCPQ_ASSERT_OK(checked.WritePage(id, page));
+  Page out;
+  KCPQ_ASSERT_OK(checked.ReadPage(id, &out));
+  ASSERT_EQ(out.size(), checked.page_size());
+  EXPECT_EQ(std::memcmp(out.data(), page.data(), page.size()), 0);
+}
+
+TEST(ChecksummedStorageTest, FreshPageReadableBeforeFirstWrite) {
+  MemoryStorageManager base(256);
+  ChecksummedStorageManager checked(&base);
+  const PageId id = checked.Allocate().value();
+  Page out;
+  KCPQ_ASSERT_OK(checked.ReadPage(id, &out));  // all-zero: accepted
+}
+
+TEST(ChecksummedStorageTest, DetectsUnderlyingCorruption) {
+  MemoryStorageManager base(256);
+  ChecksummedStorageManager checked(&base);
+  const PageId id = checked.Allocate().value();
+  Page page(checked.page_size());
+  page.data()[17] = 0xAB;
+  KCPQ_ASSERT_OK(checked.WritePage(id, page));
+
+  // Flip one bit underneath the wrapper.
+  Page raw;
+  KCPQ_ASSERT_OK(base.ReadPage(id, &raw));
+  raw.data()[100] ^= 0x04;
+  KCPQ_ASSERT_OK(base.WritePage(id, raw));
+
+  Page out;
+  const Status read = checked.ReadPage(id, &out);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kCorruption);
+  EXPECT_EQ(checked.corruption_detections(), 1u);
+}
+
+TEST(ChecksummedStorageTest, DetectsChecksumFieldCorruption) {
+  MemoryStorageManager base(256);
+  ChecksummedStorageManager checked(&base);
+  const PageId id = checked.Allocate().value();
+  Page page(checked.page_size());
+  page.data()[0] = 1;
+  KCPQ_ASSERT_OK(checked.WritePage(id, page));
+  Page raw;
+  KCPQ_ASSERT_OK(base.ReadPage(id, &raw));
+  // The checksum occupies bytes [payload, payload + 4).
+  raw.data()[checked.page_size() + 1] ^= 0xFF;
+  KCPQ_ASSERT_OK(base.WritePage(id, raw));
+  Page out;
+  EXPECT_EQ(checked.ReadPage(id, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(ChecksummedStorageTest, FullStackOnTop) {
+  // Build trees and run a K-CPQ over checksummed storage end to end; the
+  // node capacity adapts to the smaller payload ((1016 - 16) / 48 = 20).
+  MemoryStorageManager base_p(1024), base_q(1024);
+  ChecksummedStorageManager checked_p(&base_p), checked_q(&base_q);
+  BufferManager buffer_p(&checked_p, 0), buffer_q(&checked_q, 0);
+  auto tree_p = RStarTree::Create(&buffer_p).value();
+  auto tree_q = RStarTree::Create(&buffer_q).value();
+  EXPECT_EQ(tree_p->max_entries(), 20u);
+  const auto p_items = MakeUniformItems(1000, 2200);
+  const auto q_items = MakeUniformItems(1000, 2201);
+  for (const auto& [p, id] : p_items) KCPQ_ASSERT_OK(tree_p->Insert(p, id));
+  for (const auto& [p, id] : q_items) KCPQ_ASSERT_OK(tree_q->Insert(p, id));
+  KCPQ_ASSERT_OK(tree_p->Validate());
+
+  CpqOptions options;
+  options.k = 5;
+  auto result = KClosestPairs(*tree_p, *tree_q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 5u);
+
+  // Corrupt one random page of P under the checksummer: subsequent queries
+  // must fail with Corruption, never return silently wrong data.
+  Page raw;
+  const PageId victim = tree_p->root_page();
+  KCPQ_ASSERT_OK(base_p.ReadPage(victim, &raw));
+  raw.data()[50] ^= 0x01;
+  KCPQ_ASSERT_OK(base_p.WritePage(victim, raw));
+  auto corrupted = KClosestPairs(*tree_p, *tree_q, options);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,218 @@
+// End-to-end tests of the command-line tool: generate -> build -> stats ->
+// queries, driving cli::Run directly and checking its output.
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "tools/cli.h"
+
+namespace kcpq {
+namespace {
+
+// Runs a CLI command, capturing stdout-equivalent output into a string.
+Status RunCli(const std::vector<std::string>& args, std::string* output) {
+  std::FILE* f = std::tmpfile();
+  if (f == nullptr) return Status::IoError("tmpfile");
+  const Status status = cli::Run(args, f);
+  std::fflush(f);
+  std::rewind(f);
+  output->clear();
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) output->append(buf, n);
+  std::fclose(f);
+  return status;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string base =
+        std::string("/tmp/kcpq_cli_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    csv_p_ = base + "_p.csv";
+    csv_q_ = base + "_q.csv";
+    db_p_ = base + "_p.db";
+    db_q_ = base + "_q.db";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    for (const std::string& path : {csv_p_, csv_q_, db_p_, db_q_}) {
+      std::remove(path.c_str());
+    }
+  }
+
+  void BuildBoth(const std::string& count) {
+    std::string out;
+    KCPQ_ASSERT_OK(
+        RunCli({"generate", "uniform", count, "1", csv_p_}, &out));
+    KCPQ_ASSERT_OK(
+        RunCli({"generate", "sequoia", count, "2", csv_q_}, &out));
+    KCPQ_ASSERT_OK(RunCli({"build", csv_p_, db_p_}, &out));
+    KCPQ_ASSERT_OK(RunCli({"build", csv_q_, db_q_}, &out));
+  }
+
+  std::string csv_p_, csv_q_, db_p_, db_q_;
+};
+
+TEST_F(CliTest, HelpSucceeds) {
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"help"}, &out));
+  EXPECT_NE(out.find("kcp <p.db>"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_FALSE(RunCli({"frobnicate"}, &out).ok());
+}
+
+TEST_F(CliTest, GenerateBuildStats) {
+  BuildBoth("1000");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"stats", db_p_}, &out));
+  EXPECT_NE(out.find("1000 points"), std::string::npos);
+  EXPECT_NE(out.find("valid"), std::string::npos);
+  EXPECT_NE(out.find("level 0:"), std::string::npos);
+}
+
+TEST_F(CliTest, KcpAllAlgorithmsAgree) {
+  BuildBoth("800");
+  std::string baseline;
+  for (const char* algorithm : {"exh", "sim", "std", "heap"}) {
+    std::string out;
+    KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "3",
+                           std::string("--algorithm=") + algorithm},
+                          &out));
+    // Strip the trailing stats comment line (differs per algorithm).
+    const std::string pairs = out.substr(0, out.find("# disk"));
+    if (baseline.empty()) {
+      baseline = pairs;
+      EXPECT_NE(pairs.find("dist="), std::string::npos);
+    } else {
+      EXPECT_EQ(pairs, baseline) << algorithm;
+    }
+  }
+}
+
+TEST_F(CliTest, KcpWithFlags) {
+  BuildBoth("500");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "2", "--metric=l1",
+                         "--buffer=64", "--fix-at-leaves"},
+                        &out));
+  EXPECT_NE(out.find("1: ("), std::string::npos);
+  EXPECT_NE(out.find("2: ("), std::string::npos);
+  EXPECT_NE(out.find("# disk accesses:"), std::string::npos);
+}
+
+TEST_F(CliTest, SelfKcp) {
+  BuildBoth("300");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_p_, "2", "--self"}, &out));
+  EXPECT_NE(out.find("dist="), std::string::npos);
+}
+
+TEST_F(CliTest, JoinCommand) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"join", db_p_, db_q_, "0.005"}, &out));
+  EXPECT_NE(out.find("# disk accesses:"), std::string::npos);
+}
+
+TEST_F(CliTest, KnnCommand) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"knn", db_p_, "0.5", "0.5", "4"}, &out));
+  EXPECT_NE(out.find("4: ("), std::string::npos);
+}
+
+TEST_F(CliTest, RangeCommand) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"range", db_p_, "0", "0", "1", "1"}, &out));
+  EXPECT_NE(out.find("# 400 points"), std::string::npos);
+}
+
+TEST_F(CliTest, RangeRejectsInvertedRect) {
+  BuildBoth("100");
+  std::string out;
+  EXPECT_FALSE(RunCli({"range", db_p_, "1", "0", "0", "1"}, &out).ok());
+}
+
+TEST_F(CliTest, BulkBuildMatchesInsertBuildResults) {
+  BuildBoth("600");
+  std::string insert_out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "1"}, &insert_out));
+  // Rebuild P with --bulk; the closest pair must be identical.
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"build", csv_p_, db_p_, "--bulk"}, &out));
+  std::string bulk_out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "1"}, &bulk_out));
+  EXPECT_EQ(insert_out.substr(0, insert_out.find('\n')),
+            bulk_out.substr(0, bulk_out.find('\n')));
+}
+
+TEST_F(CliTest, SemiCommand) {
+  BuildBoth("300");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"semi", db_p_, db_q_}, &out));
+  // One output line per P point plus the stats comment.
+  EXPECT_NE(out.find("300: ("), std::string::npos);
+  EXPECT_NE(out.find("# disk accesses:"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanCommand) {
+  BuildBoth("500");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"plan", db_p_, db_q_, "10"}, &out));
+  EXPECT_NE(out.find("plan: algorithm=HEAP"), std::string::npos);
+  KCPQ_ASSERT_OK(RunCli({"plan", db_p_, db_q_, "10", "--buffer=128"}, &out));
+  EXPECT_NE(out.find("plan: algorithm=STD"), std::string::npos);
+  EXPECT_NE(out.find("rationale:"), std::string::npos);
+}
+
+TEST_F(CliTest, MultiwayCommand) {
+  BuildBoth("200");
+  std::string out;
+  // Two trees, default chain graph.
+  KCPQ_ASSERT_OK(RunCli({"multiway", db_p_, db_q_, "3"}, &out));
+  EXPECT_NE(out.find("aggregate="), std::string::npos);
+  EXPECT_NE(out.find("# disk accesses:"), std::string::npos);
+  // Three trees (reuse db_p_ twice), explicit clique edges.
+  KCPQ_ASSERT_OK(RunCli({"multiway", db_p_, db_q_, db_p_, "2",
+                         "--edges=0-1,1-2,0-2"},
+                        &out));
+  EXPECT_NE(out.find("2: ("), std::string::npos);
+  // Bad edge spec.
+  EXPECT_FALSE(
+      RunCli({"multiway", db_p_, db_q_, "2", "--edges=01"}, &out).ok());
+}
+
+TEST_F(CliTest, BuildRejectsMissingCsv) {
+  std::string out;
+  EXPECT_FALSE(RunCli({"build", "/tmp/kcpq_no_such.csv", db_p_}, &out).ok());
+}
+
+TEST_F(CliTest, KcpRejectsBadAlgorithm) {
+  BuildBoth("100");
+  std::string out;
+  const Status status =
+      RunCli({"kcp", db_p_, db_q_, "1", "--algorithm=quantum"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, CustomPageSizeBuild) {
+  BuildBoth("500");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"build", csv_p_, db_p_, "--page-size=4096"}, &out));
+  KCPQ_ASSERT_OK(RunCli({"stats", db_p_}, &out));
+  EXPECT_NE(out.find("M=85"), std::string::npos);  // 4 KiB pages
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,180 @@
+// Unit tests for src/common: Status/Result, RNG determinism, Table.
+
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "gtest/gtest.h"
+
+namespace kcpq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kIoError, StatusCode::kCorruption,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+
+Status UsesReturnIfError() {
+  KCPQ_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  KCPQ_ASSIGN_OR_RETURN(const int v, GiveSeven());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnAssigns) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(RandomTest, SplitMix64MatchesReferenceVector) {
+  // Reference values for seed 1234567 from the public-domain C reference.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.Next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.Next(), 3203168211198807973ULL);
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Xoshiro256pp a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Xoshiro256pp a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoubleRangeRespected) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RandomTest, NextBoundedInRangeAndCoversAll) {
+  Xoshiro256pp rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Xoshiro256pp rng(13);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name   value"), std::string::npos);
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      22222"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Count(1234567), "1234567");
+  EXPECT_EQ(Table::Percent(0.875), "87.5%");
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,104 @@
+// Corruption robustness: random byte mutations in tree pages must surface
+// as clean Corruption/error Status values — queries and validation never
+// crash, hang, or silently succeed on mangled structures they detect.
+
+#include <vector>
+
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+// Flips `flips` random bytes in a random allocated page (skipping the meta
+// page so the tree can still be addressed).
+void CorruptRandomPage(MemoryStorageManager* storage, PageId meta_page,
+                       Xoshiro256pp* rng, int flips) {
+  PageId victim;
+  do {
+    victim = rng->NextBounded(storage->PageCount());
+  } while (victim == meta_page);
+  Page page;
+  KCPQ_CHECK_OK(storage->ReadPage(victim, &page));
+  for (int i = 0; i < flips; ++i) {
+    page.data()[rng->NextBounded(page.size())] ^=
+        static_cast<uint8_t>(1 + rng->NextBounded(255));
+  }
+  KCPQ_CHECK_OK(storage->WritePage(victim, page));
+}
+
+class CorruptionSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionSweepTest, MutatedPagesNeverCrashQueriesOrValidation) {
+  Xoshiro256pp rng(GetParam());
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(1500, 2000 + GetParam())));
+  KCPQ_ASSERT_OK(fq.Build(MakeUniformItems(1500, 3000 + GetParam())));
+
+  for (int round = 0; round < 10; ++round) {
+    CorruptRandomPage(&fp.storage(), fp.tree().meta_page(), &rng,
+                      1 + static_cast<int>(rng.NextBounded(16)));
+    // Every operation either succeeds (the mutation hit payload bytes that
+    // happen to parse — e.g. coordinates) or reports an error; it must not
+    // crash or hang.
+    const Status validation = fp.tree().Validate();
+    if (!validation.ok()) {
+      EXPECT_NE(validation.code(), StatusCode::kOk);
+    }
+    CpqOptions options;
+    options.algorithm = round % 2 == 0 ? CpqAlgorithm::kHeap
+                                       : CpqAlgorithm::kSortedDistances;
+    options.k = 3;
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    if (!result.ok()) {
+      // Acceptable error classes for mangled pages.
+      EXPECT_TRUE(result.status().code() == StatusCode::kCorruption ||
+                  result.status().code() == StatusCode::kOutOfRange ||
+                  result.status().code() == StatusCode::kFailedPrecondition ||
+                  result.status().code() == StatusCode::kInternal)
+          << result.status().ToString();
+    }
+    std::vector<Entry> hits;
+    (void)fp.tree().RangeQuery(UnitWorkspace(), &hits);
+    std::vector<Neighbor> nn;
+    (void)fp.tree().NearestNeighbors(Point{{0.5, 0.5}}, 5, &nn);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CorruptionTest, ZeroedNodePageDetected) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(1000, 2100)));
+  // Zero the root page: level/count become 0 — an empty leaf where an
+  // internal node should be. Validation must flag the imbalance.
+  Page zero(fx.storage().page_size());
+  KCPQ_ASSERT_OK(fx.storage().WritePage(fx.tree().root_page(), zero));
+  const Status validation = fx.tree().Validate();
+  EXPECT_FALSE(validation.ok());
+}
+
+TEST(CorruptionTest, DanglingChildPointerDetected) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(1000, 2101)));
+  // Point the root's first child at a wildly invalid page id.
+  Page page;
+  KCPQ_ASSERT_OK(fx.storage().ReadPage(fx.tree().root_page(), &page));
+  Node root;
+  KCPQ_ASSERT_OK(DeserializeNode(page, &root));
+  ASSERT_FALSE(root.IsLeaf());
+  root.entries[0].id = 999999999;
+  KCPQ_ASSERT_OK(SerializeNode(root, &page));
+  KCPQ_ASSERT_OK(fx.storage().WritePage(fx.tree().root_page(), page));
+  EXPECT_FALSE(fx.tree().Validate().ok());
+  std::vector<Entry> hits;
+  EXPECT_FALSE(fx.tree().RangeQuery(UnitWorkspace(), &hits).ok());
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,152 @@
+// Tests for the analytical CPQ cost model: input validation, qualitative
+// laws (the shapes the paper's experiments established), and a loose
+// calibration check against measured runs.
+
+#include "cpq/cost_model.h"
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+CostModelInput BaseInput() {
+  CostModelInput input;
+  input.n_p = 40000;
+  input.n_q = 40000;
+  input.overlap = 1.0;
+  input.k = 1;
+  return input;
+}
+
+TEST(CostModelTest, RejectsBadInputs) {
+  CostModelInput input = BaseInput();
+  input.n_p = 0;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+  input = BaseInput();
+  input.overlap = 1.5;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+  input = BaseInput();
+  input.overlap = -0.1;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+  input = BaseInput();
+  input.k = 0;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+  input = BaseInput();
+  input.fanout = 1;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+  input = BaseInput();
+  input.fill = 0.0;
+  EXPECT_FALSE(EstimateCpqCost(input).ok());
+}
+
+TEST(CostModelTest, CostIncreasesWithOverlap) {
+  // The paper's central experimental fact (Figure 5): cost grows with
+  // workspace overlap, by orders of magnitude from 0% to 100%.
+  double prev = 0.0;
+  for (const double overlap : {0.0, 0.05, 0.25, 0.5, 1.0}) {
+    CostModelInput input = BaseInput();
+    input.overlap = overlap;
+    auto estimate = EstimateCpqCost(input);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_GT(estimate.value().disk_accesses, prev);
+    prev = estimate.value().disk_accesses;
+  }
+  // Orders of magnitude between the extremes.
+  CostModelInput lo = BaseInput(), hi = BaseInput();
+  lo.overlap = 0.0;
+  hi.overlap = 1.0;
+  EXPECT_GT(EstimateCpqCost(hi).value().disk_accesses,
+            20 * EstimateCpqCost(lo).value().disk_accesses);
+}
+
+TEST(CostModelTest, CostIncreasesWithCardinality) {
+  double prev = 0.0;
+  for (const uint64_t n : {10000u, 20000u, 40000u, 80000u}) {
+    CostModelInput input = BaseInput();
+    input.n_q = n;
+    auto estimate = EstimateCpqCost(input);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_GT(estimate.value().disk_accesses, prev);
+    prev = estimate.value().disk_accesses;
+  }
+}
+
+TEST(CostModelTest, CostIncreasesWithK) {
+  // Figure 7's shape: mild growth for small K, accelerating later.
+  double prev = 0.0;
+  for (const uint64_t k : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    CostModelInput input = BaseInput();
+    input.k = k;
+    auto estimate = EstimateCpqCost(input);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_GE(estimate.value().disk_accesses, prev);
+    prev = estimate.value().disk_accesses;
+  }
+}
+
+TEST(CostModelTest, KthDistanceLaws) {
+  // d_K shrinks with cardinality and grows with K.
+  CostModelInput input = BaseInput();
+  const double d_base = EstimateCpqCost(input).value().kth_distance;
+  input.n_p *= 4;
+  EXPECT_LT(EstimateCpqCost(input).value().kth_distance, d_base);
+  input = BaseInput();
+  input.k = 1000;
+  EXPECT_GT(EstimateCpqCost(input).value().kth_distance, d_base);
+  // Disjoint workspaces put the closest pair near the border: farther than
+  // the fully-overlapping expectation.
+  input = BaseInput();
+  input.overlap = 0.0;
+  EXPECT_GT(EstimateCpqCost(input).value().kth_distance, d_base);
+}
+
+TEST(CostModelTest, PerLevelBreakdownSumsToTotal) {
+  auto estimate = EstimateCpqCost(BaseInput());
+  ASSERT_TRUE(estimate.ok());
+  double sum = 0.0;
+  for (const double pairs : estimate.value().node_pairs_per_level) {
+    sum += pairs;
+  }
+  EXPECT_NEAR(estimate.value().disk_accesses, 2.0 * sum, 1e-9);
+  EXPECT_GE(estimate.value().node_pairs_per_level.size(), 3u);
+}
+
+TEST(CostModelTest, CalibrationAgainstMeasuredRuns) {
+  // The model must rank overlap configurations exactly as real runs do,
+  // and land within an order of magnitude on each — the precision a query
+  // optimizer needs to pick a plan.
+  const size_t n = 10000;
+  const auto p_items = MakeUniformItems(n, 1400);
+  TreeFixture fp;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+
+  double measured_prev = 0.0, model_prev = 0.0;
+  for (const double overlap : {0.0, 0.25, 1.0}) {
+    TreeFixture fq;
+    KCPQ_ASSERT_OK(fq.Build(
+        MakeUniformItems(n, 1401, ShiftedWorkspace(UnitWorkspace(), overlap))));
+    CpqOptions options;
+    options.algorithm = CpqAlgorithm::kHeap;
+    CpqStats stats;
+    ASSERT_TRUE(KClosestPairs(fp.tree(), fq.tree(), options, &stats).ok());
+    CostModelInput input;
+    input.n_p = n;
+    input.n_q = n;
+    input.overlap = overlap;
+    const double predicted = EstimateCpqCost(input).value().disk_accesses;
+    const double measured = static_cast<double>(stats.disk_accesses());
+    EXPECT_GT(predicted, measured / 10.0) << "overlap " << overlap;
+    EXPECT_LT(predicted, measured * 10.0) << "overlap " << overlap;
+    EXPECT_GT(measured, measured_prev);
+    EXPECT_GT(predicted, model_prev);
+    measured_prev = measured;
+    model_prev = predicted;
+  }
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,116 @@
+// Tests for the workload generators and the overlap-control machinery.
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/datagen.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+TEST(WorkspaceTest, ShiftedWorkspaceOverlapFractions) {
+  const Rect base = UnitWorkspace();
+  // 100%: identical.
+  EXPECT_EQ(ShiftedWorkspace(base, 1.0), base);
+  // 0%: adjacent, zero-area intersection.
+  const Rect disjoint = ShiftedWorkspace(base, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(base, disjoint), 0.0);
+  // 50%: half the area shared.
+  const Rect half = ShiftedWorkspace(base, 0.5);
+  EXPECT_DOUBLE_EQ(IntersectionArea(base, half), 0.5);
+  // 25%.
+  EXPECT_NEAR(IntersectionArea(base, ShiftedWorkspace(base, 0.25)), 0.25,
+              1e-12);
+  // Out-of-range values clamp.
+  EXPECT_EQ(ShiftedWorkspace(base, 1.7), base);
+}
+
+TEST(UniformGeneratorTest, CountAndContainment) {
+  const Rect ws = ShiftedWorkspace(UnitWorkspace(), 0.3);
+  const auto points = GenerateUniform(5000, ws, 42);
+  ASSERT_EQ(points.size(), 5000u);
+  for (const Point& p : points) ASSERT_TRUE(ws.Contains(p));
+}
+
+TEST(UniformGeneratorTest, DeterministicInSeed) {
+  const auto a = GenerateUniform(1000, UnitWorkspace(), 7);
+  const auto b = GenerateUniform(1000, UnitWorkspace(), 7);
+  const auto c = GenerateUniform(1000, UnitWorkspace(), 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(UniformGeneratorTest, RoughlyUniformQuadrants) {
+  const auto points = GenerateUniform(40000, UnitWorkspace(), 9);
+  int counts[4] = {0, 0, 0, 0};
+  for (const Point& p : points) {
+    counts[(p.x() > 0.5 ? 1 : 0) + (p.y() > 0.5 ? 2 : 0)]++;
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(counts[q], 10000, 400) << "quadrant " << q;
+  }
+}
+
+TEST(SequoiaLikeGeneratorTest, CountAndContainment) {
+  const Rect ws = ShiftedWorkspace(UnitWorkspace(), 0.0);
+  const auto points = GenerateSequoiaLike(20000, ws, 42);
+  ASSERT_EQ(points.size(), 20000u);
+  for (const Point& p : points) ASSERT_TRUE(ws.Contains(p));
+}
+
+TEST(SequoiaLikeGeneratorTest, DeterministicInSeed) {
+  const auto a = GenerateSequoiaLike(2000, UnitWorkspace(), 7);
+  const auto b = GenerateSequoiaLike(2000, UnitWorkspace(), 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SequoiaLikeGeneratorTest, IsActuallyClustered) {
+  // Clustering metric: fraction of occupied cells in a fine grid. A uniform
+  // set of the same cardinality occupies far more cells than a clustered
+  // one; this is the property the paper's "real data" analysis depends on.
+  constexpr int kGrid = 64;
+  constexpr size_t kN = 20000;
+  auto occupied = [](const std::vector<Point>& pts) {
+    std::vector<bool> cell(kGrid * kGrid, false);
+    for (const Point& p : pts) {
+      const int cx = std::min(kGrid - 1, static_cast<int>(p.x() * kGrid));
+      const int cy = std::min(kGrid - 1, static_cast<int>(p.y() * kGrid));
+      cell[cy * kGrid + cx] = true;
+    }
+    return std::count(cell.begin(), cell.end(), true);
+  };
+  const auto clustered = occupied(GenerateSequoiaLike(kN, UnitWorkspace(), 1));
+  const auto uniform = occupied(GenerateUniform(kN, UnitWorkspace(), 1));
+  EXPECT_LT(clustered, uniform / 2)
+      << "sequoia-like data should occupy far fewer grid cells";
+}
+
+TEST(SequoiaLikeGeneratorTest, HasBackgroundNoiseEverywhere) {
+  // ~10% of points are uniform noise; the generator must not collapse into
+  // clusters only. Check a coarse grid has wide (if thin) coverage.
+  const auto points = GenerateSequoiaLike(50000, UnitWorkspace(), 3);
+  constexpr int kGrid = 8;
+  std::vector<int> cell(kGrid * kGrid, 0);
+  for (const Point& p : points) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(p.x() * kGrid));
+    const int cy = std::min(kGrid - 1, static_cast<int>(p.y() * kGrid));
+    cell[cy * kGrid + cx]++;
+  }
+  EXPECT_EQ(std::count(cell.begin(), cell.end(), 0), 0)
+      << "every coarse cell should receive at least background noise";
+}
+
+TEST(SequoiaLikeGeneratorTest, TracksShiftedWorkspace) {
+  const Rect ws = ShiftedWorkspace(UnitWorkspace(), 0.4);
+  const auto points = GenerateSequoiaLike(5000, ws, 11);
+  for (const Point& p : points) ASSERT_TRUE(ws.Contains(p));
+  // And some points land in the non-overlapping part.
+  EXPECT_TRUE(std::any_of(points.begin(), points.end(),
+                          [](const Point& p) { return p.x() > 1.0; }));
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,198 @@
+// Failure-injection tests: every layer above the storage manager must
+// propagate injected I/O errors as Status values — no aborts, no silent
+// data loss after healing.
+
+#include "buffer/buffer_manager.h"
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "hs/hs.h"
+#include "rtree/rtree.h"
+#include "storage/fault_injection_storage.h"
+#include "storage/memory_storage.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeUniformItems;
+
+struct FaultyStack {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty{&base};
+  BufferManager buffer{&faulty, 0};
+};
+
+TEST(FaultInjectionStorageTest, FailAfterCountdown) {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty(&base);
+  faulty.FailAfter(2);
+  EXPECT_TRUE(faulty.Allocate().ok());
+  EXPECT_TRUE(faulty.Allocate().ok());
+  EXPECT_FALSE(faulty.Allocate().ok());  // tripped
+  EXPECT_FALSE(faulty.Allocate().ok());  // stays tripped
+  EXPECT_EQ(faulty.faults_injected(), 2u);
+  faulty.Heal();
+  EXPECT_TRUE(faulty.Allocate().ok());
+}
+
+TEST(FaultInjectionStorageTest, ProbabilisticFaultsAreDeterministic) {
+  for (int run = 0; run < 2; ++run) {
+    MemoryStorageManager base;
+    FaultInjectionStorageManager faulty(&base);
+    const PageId id = faulty.Allocate().value();
+    faulty.FailWithProbability(0.3, /*seed=*/42);
+    int failures = 0;
+    Page page(base.page_size());
+    for (int i = 0; i < 100; ++i) {
+      if (!faulty.WritePage(id, page).ok()) ++failures;
+    }
+    EXPECT_GT(failures, 10);
+    EXPECT_LT(failures, 60);
+    static int first_run_failures = 0;
+    if (run == 0) {
+      first_run_failures = failures;
+    } else {
+      EXPECT_EQ(failures, first_run_failures);  // same seed, same faults
+    }
+  }
+}
+
+TEST(FaultInjectionTest, TreeCreateFailsCleanly) {
+  FaultyStack stack;
+  stack.faulty.FailAfter(0);
+  auto created = RStarTree::Create(&stack.buffer);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, InsertFailurePropagates) {
+  FaultyStack stack;
+  auto tree = RStarTree::Create(&stack.buffer).value();
+  const auto items = MakeUniformItems(500, 1100);
+  // Let some inserts succeed, then cut the disk.
+  stack.faulty.FailAfter(200);
+  Status status = Status::OK();
+  size_t inserted = 0;
+  for (const auto& [p, id] : items) {
+    status = tree->Insert(p, id);
+    if (!status.ok()) break;
+    ++inserted;
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_LT(inserted, items.size());
+}
+
+TEST(FaultInjectionTest, QueryFailurePropagatesFromBothSides) {
+  // Build two healthy trees, then fail one side's disk mid-query.
+  FaultyStack stack_p, stack_q;
+  auto tree_p = RStarTree::Create(&stack_p.buffer).value();
+  auto tree_q = RStarTree::Create(&stack_q.buffer).value();
+  for (const auto& [p, id] : MakeUniformItems(2000, 1101)) {
+    KCPQ_ASSERT_OK(tree_p->Insert(p, id));
+  }
+  for (const auto& [p, id] : MakeUniformItems(2000, 1102)) {
+    KCPQ_ASSERT_OK(tree_q->Insert(p, id));
+  }
+  for (const bool fail_p : {true, false}) {
+    (fail_p ? stack_p : stack_q).faulty.FailAfter(50);
+    CpqOptions options;
+    options.algorithm = CpqAlgorithm::kHeap;
+    options.k = 10;
+    auto result = KClosestPairs(*tree_p, *tree_q, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+    (fail_p ? stack_p : stack_q).faulty.Heal();
+  }
+  // After healing, the same query succeeds — the failed query left no
+  // corrupted state behind.
+  auto result = KClosestPairs(*tree_p, *tree_q);
+  ASSERT_TRUE(result.ok());
+  KCPQ_ASSERT_OK(tree_p->Validate());
+  KCPQ_ASSERT_OK(tree_q->Validate());
+}
+
+TEST(FaultInjectionTest, AllCpqAlgorithmsFailCleanly) {
+  FaultyStack stack_p, stack_q;
+  auto tree_p = RStarTree::Create(&stack_p.buffer).value();
+  auto tree_q = RStarTree::Create(&stack_q.buffer).value();
+  for (const auto& [p, id] : MakeUniformItems(1000, 1103)) {
+    KCPQ_ASSERT_OK(tree_p->Insert(p, id));
+    KCPQ_ASSERT_OK(tree_q->Insert(p, id + 100000));
+  }
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+        CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    stack_q.faulty.FailAfter(10);
+    CpqOptions options;
+    options.algorithm = algorithm;
+    auto result = KClosestPairs(*tree_p, *tree_q, options);
+    EXPECT_FALSE(result.ok()) << CpqAlgorithmName(algorithm);
+    stack_q.faulty.Heal();
+  }
+}
+
+TEST(FaultInjectionTest, HsJoinFailsCleanly) {
+  FaultyStack stack_p, stack_q;
+  auto tree_p = RStarTree::Create(&stack_p.buffer).value();
+  auto tree_q = RStarTree::Create(&stack_q.buffer).value();
+  for (const auto& [p, id] : MakeUniformItems(1000, 1104)) {
+    KCPQ_ASSERT_OK(tree_p->Insert(p, id));
+    KCPQ_ASSERT_OK(tree_q->Insert(p, id));
+  }
+  // Fail immediately: the very first root read must surface the error.
+  stack_p.faulty.FailAfter(0);
+  auto result = HsKClosestPairs(*tree_p, *tree_q, 100);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, EraseFailurePropagates) {
+  FaultyStack stack;
+  auto tree = RStarTree::Create(&stack.buffer).value();
+  const auto items = MakeUniformItems(1000, 1105);
+  for (const auto& [p, id] : items) KCPQ_ASSERT_OK(tree->Insert(p, id));
+  stack.faulty.FailAfter(5);
+  Status status = Status::OK();
+  for (const auto& [p, id] : items) {
+    auto erased = tree->Erase(p, id);
+    if (!erased.ok()) {
+      status = erased.status();
+      break;
+    }
+  }
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(FaultInjectionTest, IntermittentFaultsNeverCrashQueries) {
+  // Flaky-disk chaos run: 20% of operations fail at random; queries must
+  // always return either OK or a clean IoError.
+  FaultyStack stack_p, stack_q;
+  auto tree_p = RStarTree::Create(&stack_p.buffer).value();
+  auto tree_q = RStarTree::Create(&stack_q.buffer).value();
+  for (const auto& [p, id] : MakeUniformItems(1500, 1106)) {
+    KCPQ_ASSERT_OK(tree_p->Insert(p, id));
+    KCPQ_ASSERT_OK(tree_q->Insert(p, id));
+  }
+  stack_p.faulty.FailWithProbability(0.2, 7);
+  stack_q.faulty.FailWithProbability(0.2, 8);
+  int ok_count = 0, error_count = 0;
+  for (int i = 0; i < 30; ++i) {
+    CpqOptions options;
+    options.algorithm =
+        i % 2 == 0 ? CpqAlgorithm::kHeap : CpqAlgorithm::kSortedDistances;
+    options.k = 5;
+    auto result = KClosestPairs(*tree_p, *tree_q, options);
+    if (result.ok()) {
+      ++ok_count;
+      ASSERT_EQ(result.value().size(), 5u);
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kIoError);
+      ++error_count;
+    }
+  }
+  EXPECT_GT(error_count, 0);  // the chaos actually fired
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,148 @@
+// Unit tests for points and rectangles.
+
+#include <cmath>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::RandomRect;
+
+Point P(double x, double y) { return Point{{x, y}}; }
+
+Rect R(double lx, double ly, double hx, double hy) {
+  Rect r;
+  r.lo[0] = lx;
+  r.lo[1] = ly;
+  r.hi[0] = hx;
+  r.hi[1] = hy;
+  return r;
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(P(0, 0), P(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(P(0, 0), P(3, 4)), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(P(1, 1), P(1, 1)), 0.0);
+}
+
+TEST(PointTest, DistanceSymmetry) {
+  Xoshiro256pp rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Point a = P(rng.NextDouble(), rng.NextDouble());
+    const Point b = P(rng.NextDouble(), rng.NextDouble());
+    EXPECT_DOUBLE_EQ(SquaredDistance(a, b), SquaredDistance(b, a));
+  }
+}
+
+TEST(PointTest, MinkowskiSpecialCases) {
+  const Point a = P(0, 0);
+  const Point b = P(3, 4);
+  EXPECT_NEAR(MinkowskiDistance(a, b, 2.0), 5.0, 1e-12);
+  EXPECT_NEAR(MinkowskiDistance(a, b, 1.0), 7.0, 1e-12);  // Manhattan
+  EXPECT_DOUBLE_EQ(MinkowskiDistanceInf(a, b), 4.0);      // Chebyshev
+}
+
+TEST(PointTest, MinkowskiOrderMonotoneInT) {
+  // For fixed points, L_t distance is non-increasing in t.
+  const Point a = P(0.1, 0.9);
+  const Point b = P(0.7, 0.2);
+  double prev = MinkowskiDistance(a, b, 1.0);
+  for (double t = 1.5; t <= 8.0; t += 0.5) {
+    const double cur = MinkowskiDistance(a, b, t);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  EXPECT_GE(prev, MinkowskiDistanceInf(a, b) - 1e-12);
+}
+
+TEST(RectTest, AreaMarginCenter) {
+  const Rect r = R(1, 2, 4, 6);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center(), P(2.5, 4.0));
+}
+
+TEST(RectTest, DegenerateFromPoint) {
+  const Rect r = Rect::FromPoint(P(0.3, 0.7));
+  EXPECT_DOUBLE_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(P(0.3, 0.7)));
+  EXPECT_TRUE(r.IsValid());
+}
+
+TEST(RectTest, EmptyIsExpandIdentity) {
+  Rect r = Rect::Empty();
+  EXPECT_TRUE(r.IsEmpty());
+  r.Expand(P(0.5, 0.5));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r, Rect::FromPoint(P(0.5, 0.5)));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect a = R(0, 0, 2, 2);
+  EXPECT_TRUE(a.Contains(P(1, 1)));
+  EXPECT_TRUE(a.Contains(P(0, 0)));  // closed boundaries
+  EXPECT_TRUE(a.Contains(P(2, 2)));
+  EXPECT_FALSE(a.Contains(P(2.001, 1)));
+  EXPECT_TRUE(a.Intersects(R(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(R(2, 2, 3, 3)));  // corner touch
+  EXPECT_FALSE(a.Intersects(R(2.1, 0, 3, 1)));
+  EXPECT_TRUE(a.Contains(R(0.5, 0.5, 1.5, 1.5)));
+  EXPECT_FALSE(a.Contains(R(0.5, 0.5, 2.5, 1.5)));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect a = R(0, 0, 1, 1);
+  const Rect b = R(2, -1, 3, 0.5);
+  const Rect u = Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(u, R(0, -1, 3, 1));
+}
+
+TEST(RectTest, IntersectionArea) {
+  EXPECT_DOUBLE_EQ(IntersectionArea(R(0, 0, 2, 2), R(1, 1, 3, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(R(0, 0, 1, 1), R(2, 2, 3, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(R(0, 0, 1, 1), R(1, 0, 2, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(R(0, 0, 4, 4), R(1, 1, 2, 2)), 1.0);
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a = R(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(Enlargement(a, R(0.2, 0.2, 0.8, 0.8)), 0.0);
+  EXPECT_DOUBLE_EQ(Enlargement(a, R(0, 0, 2, 1)), 1.0);
+}
+
+TEST(RectTest, ExpandIsUnion) {
+  Xoshiro256pp rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    Rect e = a;
+    e.Expand(b);
+    EXPECT_EQ(e, Union(a, b));
+    EXPECT_GE(e.Area(), a.Area() - 1e-15);
+    EXPECT_GE(e.Area(), b.Area() - 1e-15);
+  }
+}
+
+TEST(RectTest, IntersectionAreaSymmetricAndBounded) {
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const double ab = IntersectionArea(a, b);
+    EXPECT_DOUBLE_EQ(ab, IntersectionArea(b, a));
+    EXPECT_LE(ab, std::min(a.Area(), b.Area()) + 1e-15);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_EQ(ab > 0.0 || a.Area() == 0.0 || b.Area() == 0.0 ||
+                  !a.Intersects(b),
+              true);
+  }
+}
+
+}  // namespace
+}  // namespace kcpq

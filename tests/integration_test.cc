@@ -1,0 +1,181 @@
+// Cross-module integration tests: the full pipeline (generate -> build on
+// file-backed storage -> buffered query), run-to-run determinism, buffer
+// effect on disk accesses, and I/O accounting consistency.
+
+#include <cstdio>
+#include <string>
+
+#include "cpq/cpq.h"
+#include "datagen/datagen.h"
+#include "gtest/gtest.h"
+#include "hs/hs.h"
+#include "storage/file_storage.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeClusteredItems;
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+TEST(IntegrationTest, FileBackedPipelineMatchesMemoryBacked) {
+  const std::string path_p = "/tmp/kcpq_integration_p.db";
+  const std::string path_q = "/tmp/kcpq_integration_q.db";
+  std::remove(path_p.c_str());
+  std::remove(path_q.c_str());
+
+  const auto p_items = MakeUniformItems(1200, 700);
+  const auto q_items = MakeClusteredItems(1200, 701);
+
+  // Memory-backed reference run.
+  std::vector<PairResult> want;
+  {
+    TreeFixture fp, fq;
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+    CpqOptions options;
+    options.k = 10;
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    ASSERT_TRUE(result.ok());
+    want = std::move(result).value();
+  }
+
+  // File-backed run: build, close, reopen, query.
+  PageId meta_p, meta_q;
+  {
+    auto sp = FileStorageManager::Create(path_p).value();
+    auto sq = FileStorageManager::Create(path_q).value();
+    BufferManager bp(sp.get(), 64), bq(sq.get(), 64);
+    auto tp = RStarTree::Create(&bp).value();
+    auto tq = RStarTree::Create(&bq).value();
+    for (const auto& [p, id] : p_items) KCPQ_ASSERT_OK(tp->Insert(p, id));
+    for (const auto& [p, id] : q_items) KCPQ_ASSERT_OK(tq->Insert(p, id));
+    KCPQ_ASSERT_OK(tp->Flush());
+    KCPQ_ASSERT_OK(tq->Flush());
+    meta_p = tp->meta_page();
+    meta_q = tq->meta_page();
+  }
+  {
+    auto sp = FileStorageManager::Open(path_p).value();
+    auto sq = FileStorageManager::Open(path_q).value();
+    BufferManager bp(sp.get(), 8), bq(sq.get(), 8);
+    auto tp = RStarTree::Open(&bp, meta_p).value();
+    auto tq = RStarTree::Open(&bq, meta_q).value();
+    KCPQ_ASSERT_OK(tp->Validate());
+    KCPQ_ASSERT_OK(tq->Validate());
+    CpqOptions options;
+    options.k = 10;
+    auto result = KClosestPairs(*tp, *tq, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.value()[i].distance, want[i].distance);
+    }
+  }
+  std::remove(path_p.c_str());
+  std::remove(path_q.c_str());
+}
+
+TEST(IntegrationTest, QueriesAreDeterministicAcrossRuns) {
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    CpqStats stats1, stats2;
+    std::vector<PairResult> run1, run2;
+    for (int run = 0; run < 2; ++run) {
+      TreeFixture fp, fq;
+      KCPQ_ASSERT_OK(fp.Build(MakeClusteredItems(2000, 702)));
+      KCPQ_ASSERT_OK(fq.Build(MakeClusteredItems(2000, 703)));
+      CpqOptions options;
+      options.algorithm = algorithm;
+      options.k = 25;
+      auto result = KClosestPairs(fp.tree(), fq.tree(), options,
+                                  run == 0 ? &stats1 : &stats2);
+      ASSERT_TRUE(result.ok());
+      (run == 0 ? run1 : run2) = std::move(result).value();
+    }
+    ASSERT_EQ(run1.size(), run2.size());
+    for (size_t i = 0; i < run1.size(); ++i) {
+      EXPECT_EQ(run1[i].p_id, run2[i].p_id);
+      EXPECT_EQ(run1[i].q_id, run2[i].q_id);
+      EXPECT_EQ(run1[i].distance, run2[i].distance);
+    }
+    // Work counters identical too — the whole run is deterministic.
+    EXPECT_EQ(stats1.node_pairs_processed, stats2.node_pairs_processed);
+    EXPECT_EQ(stats1.disk_accesses(), stats2.disk_accesses());
+  }
+}
+
+TEST(IntegrationTest, BufferReducesDiskAccessesMonotonically) {
+  // The paper's Figure 6 mechanism: more buffer, (weakly) fewer accesses
+  // for the recursive algorithms. Check 0 vs 128 pages per tree.
+  const auto p_items = MakeUniformItems(4000, 704);
+  const auto q_items = MakeUniformItems(4000, 705);
+  uint64_t cold_accesses = 0, buffered_accesses = 0;
+  for (const size_t pages : {size_t{0}, size_t{128}}) {
+    TreeFixture fp(pages), fq(pages);
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+    KCPQ_ASSERT_OK(fp.buffer().FlushAndClear());
+    KCPQ_ASSERT_OK(fq.buffer().FlushAndClear());
+    CpqOptions options;
+    options.algorithm = CpqAlgorithm::kSortedDistances;
+    options.k = 100;
+    CpqStats stats;
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+    ASSERT_TRUE(result.ok());
+    (pages == 0 ? cold_accesses : buffered_accesses) = stats.disk_accesses();
+  }
+  EXPECT_LT(buffered_accesses, cold_accesses);
+}
+
+TEST(IntegrationTest, CpqAndHsAgreeOnResults) {
+  const auto p_items = MakeClusteredItems(1500, 706);
+  const auto q_items = MakeUniformItems(1500, 707);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  CpqOptions cpq_options;
+  cpq_options.algorithm = CpqAlgorithm::kHeap;
+  cpq_options.k = 30;
+  auto ours = KClosestPairs(fp.tree(), fq.tree(), cpq_options);
+  ASSERT_TRUE(ours.ok());
+  auto theirs = HsKClosestPairs(fp.tree(), fq.tree(), 30);
+  ASSERT_TRUE(theirs.ok());
+  ASSERT_EQ(ours.value().size(), theirs.value().size());
+  for (size_t i = 0; i < ours.value().size(); ++i) {
+    EXPECT_NEAR(ours.value()[i].distance, theirs.value()[i].distance, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, LogicalAccessesIndependentOfBuffer) {
+  // Buffering changes *disk* accesses, never the algorithm's traversal:
+  // logical node reads must be identical for any buffer size.
+  const auto p_items = MakeUniformItems(2000, 708);
+  const auto q_items = MakeUniformItems(2000, 709);
+  uint64_t logical[2] = {0, 0};
+  int idx = 0;
+  for (const size_t pages : {size_t{0}, size_t{64}}) {
+    TreeFixture fp(pages), fq(pages);
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+    fp.buffer().ResetStats();
+    fq.buffer().ResetStats();
+    CpqOptions options;
+    options.algorithm = CpqAlgorithm::kHeap;
+    options.k = 10;
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    ASSERT_TRUE(result.ok());
+    logical[idx++] = fp.buffer().stats().logical_reads() +
+                     fq.buffer().stats().logical_reads();
+  }
+  EXPECT_EQ(logical[0], logical[1]);
+}
+
+TEST(IntegrationTest, SequoiaCardinalityConstantMatchesPaper) {
+  EXPECT_EQ(kSequoiaCardinality, 62536u);
+}
+
+}  // namespace
+}  // namespace kcpq

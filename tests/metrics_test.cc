@@ -1,0 +1,239 @@
+// Property tests for the Section 2.3 MBR metrics: hand-computed cases,
+// equality with the brute-force face/corner reference implementations, and
+// the paper's Inequalities 1 and 2 on sampled point sets.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geometry/metrics.h"
+#include "geometry/metrics_reference.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::RandomPointIn;
+using testing::RandomRect;
+
+Point P(double x, double y) { return Point{{x, y}}; }
+
+Rect R(double lx, double ly, double hx, double hy) {
+  Rect r;
+  r.lo[0] = lx;
+  r.lo[1] = ly;
+  r.hi[0] = hx;
+  r.hi[1] = hy;
+  return r;
+}
+
+TEST(MetricsTest, MinMinDistDisjointRects) {
+  // Separated along x only: gap 1.
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(R(0, 0, 1, 1), R(2, 0, 3, 1)), 1.0);
+  // Diagonal separation: gap (1, 2).
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(R(0, 0, 1, 1), R(2, 3, 4, 5)), 5.0);
+}
+
+TEST(MetricsTest, MinMinDistZeroWhenIntersecting) {
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(R(0, 0, 2, 2), R(1, 1, 3, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(R(0, 0, 2, 2), R(2, 2, 3, 3)), 0.0);
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(R(0, 0, 2, 2), R(0.5, 0.5, 1, 1)), 0.0);
+}
+
+TEST(MetricsTest, MaxMaxDistHandComputed) {
+  // Unit squares at (0,0) and (2,0): farthest corners (0,0)-(3,1).
+  EXPECT_DOUBLE_EQ(MaxMaxDistSquared(R(0, 0, 1, 1), R(2, 0, 3, 1)), 10.0);
+  // A rect with itself: the diagonal.
+  EXPECT_DOUBLE_EQ(MaxMaxDistSquared(R(0, 0, 1, 2), R(0, 0, 1, 2)), 5.0);
+}
+
+TEST(MetricsTest, MinMaxDistHandComputedAlignedSquares) {
+  // Two unit squares side by side with a gap of 1 along x, same y-extent.
+  // Best face pair: A's right edge (x=1) vs B's left edge (x=2);
+  // MAXDIST over those parallel edges: dx=1, dy worst-case 1 -> 2.
+  EXPECT_DOUBLE_EQ(MinMaxDistSquared(R(0, 0, 1, 1), R(2, 0, 3, 1)), 2.0);
+}
+
+TEST(MetricsTest, PointRectMinDist) {
+  const Rect r = R(1, 1, 3, 3);
+  EXPECT_DOUBLE_EQ(MinDistSquared(P(2, 2), r), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(MinDistSquared(P(0, 2), r), 1.0);  // left of
+  EXPECT_DOUBLE_EQ(MinDistSquared(P(0, 0), r), 2.0);  // diagonal corner
+  EXPECT_DOUBLE_EQ(MinDistSquared(P(1, 1), r), 0.0);  // on boundary
+}
+
+TEST(MetricsTest, PointRectMaxDist) {
+  const Rect r = R(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(MaxDistSquared(P(0, 0), r), 8.0);
+  EXPECT_DOUBLE_EQ(MaxDistSquared(P(1, 1), r), 2.0);  // center -> corner
+  EXPECT_DOUBLE_EQ(MaxDistSquared(P(3, 1), r), 10.0);
+}
+
+TEST(MetricsTest, PointRectMinMaxDistRoussopoulos) {
+  // Classic example: query left of a square. Nearest face in x is the left
+  // edge; the other dim takes the farther coordinate.
+  const Rect r = R(1, 0, 2, 2);
+  // k = x: (1-0)^2 + max(|0-0|,|0-2|)^2 = 1 + 4 = 5
+  // k = y: (0-0)^2 + max(|0-1|,|0-2|)^2 = 0 + 4 = 4  -> min = 4
+  EXPECT_DOUBLE_EQ(MinMaxDistSquared(P(0, 0), r), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: closed forms vs brute-force references on random rects.
+// ---------------------------------------------------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, ClosedFormsMatchReferences) {
+  Xoshiro256pp rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    EXPECT_NEAR(MinMinDistSquared(a, b), MinMinDistSquaredReference(a, b),
+                1e-12);
+    EXPECT_NEAR(MaxMaxDistSquared(a, b), MaxMaxDistSquaredReference(a, b),
+                1e-12);
+    EXPECT_NEAR(MinMaxDistSquared(a, b), MinMaxDistSquaredReference(a, b),
+                1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, MetricOrderingHolds) {
+  // MINMINDIST <= MINMAXDIST <= MAXMAXDIST for every pair of rects.
+  Xoshiro256pp rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 500; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const double minmin = MinMinDistSquared(a, b);
+    const double minmax = MinMaxDistSquared(a, b);
+    const double maxmax = MaxMaxDistSquared(a, b);
+    EXPECT_LE(minmin, minmax + 1e-12);
+    EXPECT_LE(minmax, maxmax + 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, Symmetry) {
+  Xoshiro256pp rng(GetParam() ^ 0x123456);
+  for (int i = 0; i < 300; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    EXPECT_DOUBLE_EQ(MinMinDistSquared(a, b), MinMinDistSquared(b, a));
+    EXPECT_DOUBLE_EQ(MaxMaxDistSquared(a, b), MaxMaxDistSquared(b, a));
+    // MINMAXDIST is mathematically symmetric; the precomputed-sum trick in
+    // the closed form reorders additions, so allow rounding noise.
+    EXPECT_NEAR(MinMaxDistSquared(a, b), MinMaxDistSquared(b, a), 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, Inequality1OnSampledPoints) {
+  // For any points inside the rects: MINMIN <= dist^2 <= MAXMAX.
+  Xoshiro256pp rng(GetParam() ^ 0x777);
+  for (int i = 0; i < 100; ++i) {
+    const Rect a = RandomRect(rng);
+    const Rect b = RandomRect(rng);
+    const double minmin = MinMinDistSquared(a, b);
+    const double maxmax = MaxMaxDistSquared(a, b);
+    for (int j = 0; j < 30; ++j) {
+      const Point pa = RandomPointIn(rng, a);
+      const Point pb = RandomPointIn(rng, b);
+      const double d2 = SquaredDistance(pa, pb);
+      ASSERT_GE(d2, minmin - 1e-12);
+      ASSERT_LE(d2, maxmax + 1e-12);
+    }
+  }
+}
+
+TEST_P(MetricsPropertyTest, Inequality2OnMinimalMbrs) {
+  // Build *minimum* bounding rectangles from sampled point sets (so at
+  // least one point touches each face) and check that some pair of points
+  // is within MINMAXDIST.
+  Xoshiro256pp rng(GetParam() ^ 0xbeef);
+  for (int i = 0; i < 100; ++i) {
+    const Rect wa = RandomRect(rng);
+    const Rect wb = RandomRect(rng);
+    std::vector<Point> pas, pbs;
+    Rect a = Rect::Empty(), b = Rect::Empty();
+    for (int j = 0; j < 12; ++j) {
+      pas.push_back(RandomPointIn(rng, wa));
+      a.Expand(pas.back());
+      pbs.push_back(RandomPointIn(rng, wb));
+      b.Expand(pbs.back());
+    }
+    // Snap extreme points onto the MBR faces: already true by construction
+    // (the MBR is computed from the points), so Inequality 2 must hold.
+    const double minmax = MinMaxDistSquared(a, b);
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point& pa : pas) {
+      for (const Point& pb : pbs) {
+        best = std::min(best, SquaredDistance(pa, pb));
+      }
+    }
+    ASSERT_LE(best, minmax + 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, PointMetricsAgreeWithDegenerateRects) {
+  // Point-vs-rect metrics must equal rect-vs-rect metrics on a degenerate
+  // rectangle (this equivalence is what lets the join algorithms treat
+  // points and MBRs uniformly).
+  Xoshiro256pp rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 300; ++i) {
+    const Rect r = RandomRect(rng);
+    const Point p = P(rng.NextDouble(), rng.NextDouble());
+    const Rect pr = Rect::FromPoint(p);
+    EXPECT_NEAR(MinDistSquared(p, r), MinMinDistSquared(pr, r), 1e-12);
+    EXPECT_NEAR(MaxDistSquared(p, r), MaxMaxDistSquared(pr, r), 1e-12);
+    // Point-point.
+    const Point q = P(rng.NextDouble(), rng.NextDouble());
+    EXPECT_NEAR(SquaredDistance(p, q),
+                MinMinDistSquared(pr, Rect::FromPoint(q)), 1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, PointMinMaxDistBoundsSampledMinimalSets) {
+  // Roussopoulos MINMAXDIST: some point of a minimal MBR's point set lies
+  // within it.
+  Xoshiro256pp rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 100; ++i) {
+    const Rect w = RandomRect(rng);
+    std::vector<Point> pts;
+    Rect mbr = Rect::Empty();
+    for (int j = 0; j < 10; ++j) {
+      pts.push_back(RandomPointIn(rng, w));
+      mbr.Expand(pts.back());
+    }
+    const Point q = P(rng.NextDouble() * 3 - 1, rng.NextDouble() * 3 - 1);
+    const double minmax = MinMaxDistSquared(q, mbr);
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point& p : pts) best = std::min(best, SquaredDistance(q, p));
+    ASSERT_LE(best, minmax + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+TEST(MetricsTest, DegenerateRectPairs) {
+  // Both degenerate: all three metrics collapse to the point distance.
+  const Rect a = Rect::FromPoint(P(0, 0));
+  const Rect b = Rect::FromPoint(P(3, 4));
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(MinMaxDistSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(MaxMaxDistSquared(a, b), 25.0);
+}
+
+TEST(MetricsTest, IdenticalRects) {
+  const Rect a = R(0, 0, 2, 1);
+  EXPECT_DOUBLE_EQ(MinMinDistSquared(a, a), 0.0);
+  // MAXMAX: the diagonal, twice over: corners (0,0)-(2,1).
+  EXPECT_DOUBLE_EQ(MaxMaxDistSquared(a, a), 5.0);
+  // MINMAX <= MAXMAX and >= 0.
+  const double mm = MinMaxDistSquared(a, a);
+  EXPECT_GE(mm, 0.0);
+  EXPECT_LE(mm, 5.0);
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,98 @@
+// The whole stack parameterized by page size: node capacity, tree
+// invariants, and query correctness must hold for any page geometry, not
+// just the paper's 1 KiB configuration.
+
+#include "cpq/brute.h"
+#include "cpq/cpq.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+class PageSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PageSizeTest, CapacityFormula) {
+  const size_t page_size = GetParam();
+  const size_t capacity = NodeCapacity(page_size);
+  EXPECT_GE(capacity, 4u);
+  // The serialized node must actually fit.
+  EXPECT_LE(kNodeHeaderSize + capacity * kEntrySize, page_size);
+  // And one more entry must not.
+  EXPECT_GT(kNodeHeaderSize + (capacity + 1) * kEntrySize, page_size);
+}
+
+TEST_P(PageSizeTest, BuildValidateQuery) {
+  const size_t page_size = GetParam();
+  TreeFixture fx(0, page_size);
+  const auto items = MakeUniformItems(2000, 1700 + page_size);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  EXPECT_EQ(fx.tree().size(), 2000u);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+  // Smaller pages -> smaller fanout -> taller trees.
+  if (page_size <= 512) {
+    EXPECT_GE(fx.tree().height(), 4);
+  }
+  std::vector<Entry> hits;
+  KCPQ_ASSERT_OK(fx.tree().RangeQuery(UnitWorkspace(), &hits));
+  EXPECT_EQ(hits.size(), 2000u);
+}
+
+TEST_P(PageSizeTest, CpqMatchesBruteForce) {
+  const size_t page_size = GetParam();
+  const auto p_items = MakeUniformItems(700, 1800);
+  const auto q_items = MakeUniformItems(700, 1801);
+  TreeFixture fp(0, page_size), fq(0, page_size);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const auto want = BruteForceKClosestPairs(p_items, q_items, 8);
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    CpqOptions options;
+    options.algorithm = algorithm;
+    options.k = 8;
+    auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_NEAR(result.value()[i].distance, want[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(PageSizeTest, MixedPageSizesAcrossTrees) {
+  // P and Q trees need not share a page size.
+  const size_t page_size = GetParam();
+  const auto p_items = MakeUniformItems(500, 1802);
+  const auto q_items = MakeUniformItems(500, 1803);
+  TreeFixture fp(0, page_size), fq(0, 1024);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  CpqOptions options;
+  options.k = 3;
+  auto result = KClosestPairs(fp.tree(), fq.tree(), options);
+  ASSERT_TRUE(result.ok());
+  const auto want = BruteForceKClosestPairs(p_items, q_items, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_NEAR(result.value()[i].distance, want[i].distance, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSizeTest,
+                         ::testing::Values(256, 512, 1024, 2048, 4096, 8192),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "Page" + std::to_string(info.param);
+                         });
+
+TEST(PageSizeTest, TooSmallPageRejected) {
+  MemoryStorageManager storage(128);  // capacity (128-16)/48 = 2 < 4
+  BufferManager buffer(&storage, 0);
+  auto created = RStarTree::Create(&buffer);
+  EXPECT_FALSE(created.ok());
+}
+
+}  // namespace
+}  // namespace kcpq

@@ -1,0 +1,364 @@
+// R*-tree structural and query tests: invariants after insertion and
+// deletion workloads, range/KNN queries versus linear scans, persistence.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "rtree/rtree.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeClusteredItems;
+using testing::MakeUniformItems;
+using testing::RandomRect;
+using testing::TreeFixture;
+
+Point P(double x, double y) { return Point{{x, y}}; }
+
+TEST(RTreeTest, EmptyTree) {
+  TreeFixture fx;
+  EXPECT_EQ(fx.tree().size(), 0u);
+  EXPECT_EQ(fx.tree().height(), 1);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+  std::vector<Entry> hits;
+  KCPQ_ASSERT_OK(fx.tree().RangeQuery(UnitWorkspace(), &hits));
+  EXPECT_TRUE(hits.empty());
+  std::vector<Neighbor> nn;
+  KCPQ_ASSERT_OK(fx.tree().NearestNeighbors(P(0.5, 0.5), 3, &nn));
+  EXPECT_TRUE(nn.empty());
+}
+
+TEST(RTreeTest, SingleInsertRetrievable) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.tree().Insert(P(0.25, 0.75), 42));
+  EXPECT_EQ(fx.tree().size(), 1u);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+  std::vector<Entry> hits;
+  KCPQ_ASSERT_OK(fx.tree().RangeQuery(UnitWorkspace(), &hits));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_EQ(hits[0].AsPoint(), P(0.25, 0.75));
+}
+
+TEST(RTreeTest, PaperConfigurationFanout) {
+  TreeFixture fx;
+  EXPECT_EQ(fx.tree().max_entries(), 21u);
+  EXPECT_EQ(fx.tree().min_entries(), 7u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  TreeFixture fx;
+  const auto items = MakeUniformItems(2000, 17);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  // 2000 points, fanout 21 with ~70% fill: height 3 expected.
+  EXPECT_GE(fx.tree().height(), 3);
+  EXPECT_LE(fx.tree().height(), 4);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  TreeFixture fx;
+  for (uint64_t i = 0; i < 100; ++i) {
+    KCPQ_ASSERT_OK(fx.tree().Insert(P(0.5, 0.5), i));
+  }
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+  std::vector<Entry> hits;
+  KCPQ_ASSERT_OK(
+      fx.tree().RangeQuery(Rect::FromPoint(P(0.5, 0.5)), &hits));
+  EXPECT_EQ(hits.size(), 100u);
+}
+
+// --- Parameterized invariants over size x distribution ---------------------
+
+struct BuildParam {
+  size_t n;
+  bool clustered;
+  uint64_t seed;
+};
+
+class RTreeBuildTest : public ::testing::TestWithParam<BuildParam> {};
+
+TEST_P(RTreeBuildTest, InvariantsAndFullRetrievalAfterBuild) {
+  const BuildParam param = GetParam();
+  TreeFixture fx;
+  const auto items = param.clustered
+                         ? MakeClusteredItems(param.n, param.seed)
+                         : MakeUniformItems(param.n, param.seed);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  EXPECT_EQ(fx.tree().size(), param.n);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+
+  // Every point retrievable by exact-match range query.
+  Xoshiro256pp rng(param.seed ^ 1);
+  for (int probe = 0; probe < 50; ++probe) {
+    const auto& [pt, id] = items[rng.NextBounded(items.size())];
+    std::vector<Entry> hits;
+    KCPQ_ASSERT_OK(fx.tree().RangeQuery(Rect::FromPoint(pt), &hits));
+    ASSERT_TRUE(std::any_of(hits.begin(), hits.end(), [&](const Entry& e) {
+      return e.id == id;
+    })) << "lost point id " << id;
+  }
+}
+
+TEST_P(RTreeBuildTest, RangeQueryMatchesLinearScan) {
+  const BuildParam param = GetParam();
+  TreeFixture fx;
+  const auto items = param.clustered
+                         ? MakeClusteredItems(param.n, param.seed)
+                         : MakeUniformItems(param.n, param.seed);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  Xoshiro256pp rng(param.seed ^ 2);
+  for (int probe = 0; probe < 20; ++probe) {
+    const Rect range = testing::RandomRect(rng, 0.3);
+    std::vector<Entry> hits;
+    KCPQ_ASSERT_OK(fx.tree().RangeQuery(range, &hits));
+    std::set<uint64_t> got;
+    for (const Entry& e : hits) got.insert(e.id);
+    std::set<uint64_t> expected;
+    for (const auto& [pt, id] : items) {
+      if (range.Contains(pt)) expected.insert(id);
+    }
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST_P(RTreeBuildTest, KnnMatchesLinearScan) {
+  const BuildParam param = GetParam();
+  TreeFixture fx;
+  const auto items = param.clustered
+                         ? MakeClusteredItems(param.n, param.seed)
+                         : MakeUniformItems(param.n, param.seed);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  Xoshiro256pp rng(param.seed ^ 3);
+  for (int probe = 0; probe < 10; ++probe) {
+    const Point q = P(rng.NextDouble(), rng.NextDouble());
+    const size_t k = 1 + rng.NextBounded(20);
+    std::vector<Neighbor> nn;
+    KCPQ_ASSERT_OK(fx.tree().NearestNeighbors(q, k, &nn));
+    ASSERT_EQ(nn.size(), std::min(k, items.size()));
+    // Distances ascending.
+    for (size_t i = 1; i < nn.size(); ++i) {
+      ASSERT_LE(nn[i - 1].distance, nn[i].distance + 1e-12);
+    }
+    // Same multiset of distances as a linear scan.
+    std::vector<double> brute;
+    for (const auto& [pt, id] : items) brute.push_back(Distance(q, pt));
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < nn.size(); ++i) {
+      ASSERT_NEAR(nn[i].distance, brute[i], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RTreeBuildTest,
+    ::testing::Values(BuildParam{50, false, 1}, BuildParam{300, false, 2},
+                      BuildParam{1500, false, 3}, BuildParam{5000, false, 4},
+                      BuildParam{300, true, 5}, BuildParam{1500, true, 6},
+                      BuildParam{5000, true, 7}),
+    [](const ::testing::TestParamInfo<BuildParam>& info) {
+      return (info.param.clustered ? std::string("Clustered")
+                                   : std::string("Uniform")) +
+             std::to_string(info.param.n);
+    });
+
+TEST(RTreeScanTest, ScanLeavesVisitsEveryEntryOnce) {
+  TreeFixture fx;
+  const auto items = MakeUniformItems(2500, 16);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  std::set<uint64_t> seen;
+  uint64_t leaves = 0;
+  KCPQ_ASSERT_OK(fx.tree().ScanLeaves([&](const Node& leaf) {
+    ++leaves;
+    for (const Entry& e : leaf.entries) {
+      EXPECT_TRUE(seen.insert(e.id).second) << "duplicate id " << e.id;
+    }
+    return true;
+  }));
+  EXPECT_EQ(seen.size(), items.size());
+  std::vector<RStarTree::LevelStats> stats;
+  KCPQ_ASSERT_OK(fx.tree().CollectLevelStats(&stats));
+  EXPECT_EQ(leaves, stats[0].nodes);
+}
+
+TEST(RTreeScanTest, ScanLeavesEarlyStop) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(2500, 17)));
+  uint64_t leaves = 0;
+  KCPQ_ASSERT_OK(fx.tree().ScanLeaves([&](const Node&) {
+    return ++leaves < 3;  // stop after the third leaf
+  }));
+  EXPECT_EQ(leaves, 3u);
+}
+
+TEST(RTreeGeometryTest, ClusteredDataHasLowerLeafOverlapDensity) {
+  // The mechanism behind the paper's Section 4.3.2 analysis: with
+  // clustered data the leaf MBRs are more mutually disjoint (about half
+  // the pairwise overlap of uniform data here), so cross-tree node pairs
+  // are more often prunable even in overlapping workspaces. (Total leaf
+  // *area* is less discriminating — the generator's background noise
+  // creates a few huge sparse leaves.)
+  TreeFixture uniform_fx, clustered_fx;
+  KCPQ_ASSERT_OK(uniform_fx.Build(MakeUniformItems(5000, 18)));
+  KCPQ_ASSERT_OK(clustered_fx.Build(MakeClusteredItems(5000, 18)));
+  std::vector<RStarTree::LevelGeometry> uniform_geo, clustered_geo;
+  KCPQ_ASSERT_OK(uniform_fx.tree().CollectLevelGeometry(&uniform_geo));
+  KCPQ_ASSERT_OK(clustered_fx.tree().CollectLevelGeometry(&clustered_geo));
+  EXPECT_LT(clustered_geo[0].pairwise_overlap_area,
+            0.75 * uniform_geo[0].pairwise_overlap_area);
+  EXPECT_LT(clustered_geo[0].total_area, uniform_geo[0].total_area);
+  // Root covers everything either way.
+  EXPECT_GT(uniform_geo.back().total_area, 0.9);
+}
+
+TEST(RTreeGeometryTest, GeometryConsistency) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(3000, 19)));
+  std::vector<RStarTree::LevelGeometry> geometry;
+  KCPQ_ASSERT_OK(fx.tree().CollectLevelGeometry(&geometry));
+  ASSERT_EQ(static_cast<int>(geometry.size()), fx.tree().height());
+  for (const auto& g : geometry) {
+    EXPECT_GE(g.total_area, 0.0);
+    EXPECT_GE(g.pairwise_overlap_area, 0.0);
+  }
+  // The single root node has no pairwise overlap.
+  EXPECT_EQ(geometry.back().pairwise_overlap_area, 0.0);
+}
+
+// --- Deletion ---------------------------------------------------------------
+
+TEST(RTreeEraseTest, EraseMissingReturnsFalse) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(100, 9)));
+  auto erased = fx.tree().Erase(P(2.0, 2.0), 12345);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_FALSE(erased.value());
+  EXPECT_EQ(fx.tree().size(), 100u);
+}
+
+TEST(RTreeEraseTest, EraseRequiresMatchingId) {
+  TreeFixture fx;
+  const auto items = MakeUniformItems(50, 10);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  auto erased = fx.tree().Erase(items[0].first, 999999);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_FALSE(erased.value());
+  erased = fx.tree().Erase(items[0].first, items[0].second);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_TRUE(erased.value());
+  EXPECT_EQ(fx.tree().size(), 49u);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+}
+
+TEST(RTreeEraseTest, EraseAllShrinksToEmptyRoot) {
+  TreeFixture fx;
+  const auto items = MakeUniformItems(800, 11);
+  KCPQ_ASSERT_OK(fx.Build(items));
+  EXPECT_GE(fx.tree().height(), 2);
+  for (const auto& [pt, id] : items) {
+    auto erased = fx.tree().Erase(pt, id);
+    ASSERT_TRUE(erased.ok());
+    ASSERT_TRUE(erased.value());
+  }
+  EXPECT_EQ(fx.tree().size(), 0u);
+  EXPECT_EQ(fx.tree().height(), 1);
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+}
+
+TEST(RTreeEraseTest, InterleavedInsertEraseKeepsInvariants) {
+  TreeFixture fx;
+  Xoshiro256pp rng(12);
+  std::vector<std::pair<Point, uint64_t>> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.NextDouble() < 0.6) {
+      const Point pt = P(rng.NextDouble(), rng.NextDouble());
+      KCPQ_ASSERT_OK(fx.tree().Insert(pt, next_id));
+      live.emplace_back(pt, next_id++);
+    } else {
+      const size_t idx = rng.NextBounded(live.size());
+      auto erased = fx.tree().Erase(live[idx].first, live[idx].second);
+      ASSERT_TRUE(erased.ok());
+      ASSERT_TRUE(erased.value());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (step % 500 == 499) {
+      ASSERT_EQ(fx.tree().size(), live.size());
+      KCPQ_ASSERT_OK(fx.tree().Validate());
+    }
+  }
+  // Everything still retrievable at the end.
+  for (const auto& [pt, id] : live) {
+    std::vector<Entry> hits;
+    KCPQ_ASSERT_OK(fx.tree().RangeQuery(Rect::FromPoint(pt), &hits));
+    ASSERT_TRUE(std::any_of(hits.begin(), hits.end(),
+                            [&](const Entry& e) { return e.id == id; }));
+  }
+}
+
+// --- Forced reinsert ablation ----------------------------------------------
+
+TEST(RTreeOptionsTest, ForcedReinsertOffStillValid) {
+  RTreeOptions options;
+  options.forced_reinsert = false;
+  TreeFixture fx(0, kDefaultPageSize, options);
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(2000, 13)));
+  KCPQ_ASSERT_OK(fx.tree().Validate());
+  EXPECT_EQ(fx.tree().size(), 2000u);
+}
+
+TEST(RTreeOptionsTest, InvalidMinFillRejected) {
+  MemoryStorageManager storage;
+  BufferManager buffer(&storage, 0);
+  RTreeOptions options;
+  options.min_fill_fraction = 0.9;  // > 0.5 impossible
+  auto created = RStarTree::Create(&buffer, options);
+  EXPECT_FALSE(created.ok());
+}
+
+// --- Persistence ------------------------------------------------------------
+
+TEST(RTreePersistenceTest, ReopenFromMetaPage) {
+  MemoryStorageManager storage;
+  BufferManager buffer(&storage, 0);
+  PageId meta;
+  const auto items = MakeUniformItems(500, 14);
+  {
+    auto created = RStarTree::Create(&buffer);
+    ASSERT_TRUE(created.ok());
+    auto tree = std::move(created).value();
+    for (const auto& [pt, id] : items) KCPQ_ASSERT_OK(tree->Insert(pt, id));
+    KCPQ_ASSERT_OK(tree->Flush());
+    meta = tree->meta_page();
+  }
+  auto opened = RStarTree::Open(&buffer, meta);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto tree = std::move(opened).value();
+  EXPECT_EQ(tree->size(), 500u);
+  KCPQ_ASSERT_OK(tree->Validate());
+  std::vector<Entry> hits;
+  KCPQ_ASSERT_OK(tree->RangeQuery(UnitWorkspace(), &hits));
+  EXPECT_EQ(hits.size(), 500u);
+}
+
+TEST(RTreePersistenceTest, LevelStatsConsistent) {
+  TreeFixture fx;
+  KCPQ_ASSERT_OK(fx.Build(MakeUniformItems(3000, 15)));
+  std::vector<RStarTree::LevelStats> stats;
+  KCPQ_ASSERT_OK(fx.tree().CollectLevelStats(&stats));
+  ASSERT_EQ(static_cast<int>(stats.size()), fx.tree().height());
+  EXPECT_EQ(stats[0].entries, 3000u);           // leaf entries = points
+  EXPECT_EQ(stats.back().nodes, 1u);            // single root
+  for (size_t l = 1; l < stats.size(); ++l) {
+    // Level l entries reference level l-1 nodes one-to-one.
+    EXPECT_EQ(stats[l].entries, stats[l - 1].nodes);
+  }
+}
+
+}  // namespace
+}  // namespace kcpq

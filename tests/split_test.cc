@@ -1,0 +1,145 @@
+// Unit tests for the R* split and subtree-choice heuristics.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "rtree/split.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::RandomRect;
+
+Point P(double x, double y) { return Point{{x, y}}; }
+
+Rect R(double lx, double ly, double hx, double hy) {
+  Rect r;
+  r.lo[0] = lx;
+  r.lo[1] = ly;
+  r.hi[0] = hx;
+  r.hi[1] = hy;
+  return r;
+}
+
+TEST(SplitTest, BothGroupsRespectMinimumAndPartition) {
+  Xoshiro256pp rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Entry> entries;
+    for (int i = 0; i < 22; ++i) {
+      entries.push_back(Entry{RandomRect(rng, 0.2), static_cast<uint64_t>(i)});
+    }
+    std::vector<Entry> left, right;
+    SplitEntries(entries, 7, &left, &right);
+    EXPECT_GE(left.size(), 7u);
+    EXPECT_GE(right.size(), 7u);
+    EXPECT_EQ(left.size() + right.size(), 22u);
+    // Partition: every original id appears exactly once.
+    std::vector<uint64_t> ids;
+    for (const Entry& e : left) ids.push_back(e.id);
+    for (const Entry& e : right) ids.push_back(e.id);
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t i = 0; i < 22; ++i) ASSERT_EQ(ids[i], i);
+  }
+}
+
+TEST(SplitTest, SeparatesTwoObviousClusters) {
+  // 11 entries near (0,0), 11 near (10,10): the split must not mix them.
+  std::vector<Entry> entries;
+  Xoshiro256pp rng(6);
+  for (int i = 0; i < 11; ++i) {
+    entries.push_back(Entry::ForPoint(
+        P(rng.NextDouble() * 0.1, rng.NextDouble() * 0.1), i));
+  }
+  for (int i = 11; i < 22; ++i) {
+    entries.push_back(Entry::ForPoint(
+        P(10 + rng.NextDouble() * 0.1, 10 + rng.NextDouble() * 0.1), i));
+  }
+  std::vector<Entry> left, right;
+  SplitEntries(entries, 7, &left, &right);
+  auto all_low = [](const std::vector<Entry>& g) {
+    return std::all_of(g.begin(), g.end(),
+                       [](const Entry& e) { return e.rect.lo[0] < 5; });
+  };
+  auto all_high = [](const std::vector<Entry>& g) {
+    return std::all_of(g.begin(), g.end(),
+                       [](const Entry& e) { return e.rect.lo[0] > 5; });
+  };
+  EXPECT_TRUE((all_low(left) && all_high(right)) ||
+              (all_high(left) && all_low(right)));
+}
+
+TEST(SplitTest, ChoosesAxisWithLowerMargin) {
+  // Entries form a 1-wide, 20-tall column of points: splitting along y
+  // (sorting by y) gives far smaller margins than splitting along x.
+  std::vector<Entry> entries;
+  for (int i = 0; i < 22; ++i) {
+    entries.push_back(Entry::ForPoint(P(i % 2 * 0.1, i * 1.0), i));
+  }
+  std::vector<Entry> left, right;
+  SplitEntries(entries, 7, &left, &right);
+  // All of one group must be strictly below the other in y.
+  double left_max = -1e300, right_min = 1e300;
+  for (const Entry& e : left) left_max = std::max(left_max, e.rect.hi[1]);
+  for (const Entry& e : right) right_min = std::min(right_min, e.rect.lo[1]);
+  EXPECT_LT(left_max, right_min);
+}
+
+TEST(ChooseSubtreeTest, PicksContainingChildAtLeafLevel) {
+  Node node;
+  node.level = 1;
+  node.entries.push_back(Entry{R(0, 0, 1, 1), 10});
+  node.entries.push_back(Entry{R(2, 0, 3, 1), 11});
+  node.entries.push_back(Entry{R(4, 0, 5, 1), 12});
+  EXPECT_EQ(ChooseSubtree(node, Rect::FromPoint(P(2.5, 0.5))), 1u);
+  EXPECT_EQ(ChooseSubtree(node, Rect::FromPoint(P(0.5, 0.5))), 0u);
+}
+
+TEST(ChooseSubtreeTest, PicksMinimalEnlargementHigherUp) {
+  Node node;
+  node.level = 2;
+  node.entries.push_back(Entry{R(0, 0, 1, 1), 10});
+  node.entries.push_back(Entry{R(5, 5, 9, 9), 11});
+  // A point at (1.5, 1.5): enlarging the unit square is much cheaper.
+  EXPECT_EQ(ChooseSubtree(node, Rect::FromPoint(P(1.5, 1.5))), 0u);
+  // A point near the big rect.
+  EXPECT_EQ(ChooseSubtree(node, Rect::FromPoint(P(6, 6))), 1u);
+}
+
+TEST(ChooseSubtreeTest, OverlapCriterionAvoidsCreatingOverlap) {
+  // At the leaf level R* minimizes *overlap* enlargement: child 0 would
+  // need to grow over child 1's area; child 2 can absorb the point with
+  // zero new overlap even though its area enlargement is slightly larger.
+  Node node;
+  node.level = 1;
+  node.entries.push_back(Entry{R(0, 0, 2, 1), 10});
+  node.entries.push_back(Entry{R(2.5, 0, 3.5, 1), 11});
+  node.entries.push_back(Entry{R(2.4, 2, 3.6, 4), 12});
+  // Point inside child 1's x-range but above it; growing 0 or 1 creates
+  // overlap with each other, growing 2 does not.
+  const size_t chosen = ChooseSubtree(node, Rect::FromPoint(P(3.0, 1.8)));
+  EXPECT_EQ(chosen, 2u);
+}
+
+TEST(TakeFarthestEntriesTest, RemovesFarthestKeepsOrder) {
+  Node node;
+  node.level = 0;
+  // Center of mass near origin, two outliers far away.
+  node.entries.push_back(Entry::ForPoint(P(0, 0), 0));
+  node.entries.push_back(Entry::ForPoint(P(0.1, 0), 1));
+  node.entries.push_back(Entry::ForPoint(P(0, 0.1), 2));
+  node.entries.push_back(Entry::ForPoint(P(10, 10), 3));
+  node.entries.push_back(Entry::ForPoint(P(-12, 9), 4));
+  std::vector<Entry> removed;
+  TakeFarthestEntries(&node, 2, &removed);
+  ASSERT_EQ(removed.size(), 2u);
+  ASSERT_EQ(node.entries.size(), 3u);
+  // The two outliers must be the removed ones.
+  std::vector<uint64_t> ids = {removed[0].id, removed[1].id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids[0], 3u);
+  EXPECT_EQ(ids[1], 4u);
+}
+
+}  // namespace
+}  // namespace kcpq

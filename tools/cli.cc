@@ -1,0 +1,496 @@
+#include "tools/cli.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "buffer/buffer_manager.h"
+#include "common/timer.h"
+#include "cpq/cpq.h"
+#include "cpq/distance_join.h"
+#include "cpq/multiway.h"
+#include "cpq/planner.h"
+#include "datagen/datagen.h"
+#include "rtree/rtree.h"
+#include "storage/file_storage.h"
+#include "tools/csv.h"
+
+namespace kcpq {
+namespace cli {
+
+namespace {
+
+// The meta page `build` guarantees (first allocation in a fresh store).
+constexpr PageId kMetaPage = 0;
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+};
+
+// Splits args into positional parameters and --name=value flags.
+Status ParseFlags(const std::vector<std::string>& args, Flags* flags) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags->named[arg.substr(2)] = "true";
+      } else {
+        flags->named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      flags->positional.push_back(arg);
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseNumber(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    return Status::InvalidArgument("not a number: " + text);
+  }
+  return Status::OK();
+}
+
+Status ParseCount(const std::string& text, uint64_t* out) {
+  double v;
+  KCPQ_RETURN_IF_ERROR(ParseNumber(text, &v));
+  if (v < 0 || v != static_cast<uint64_t>(v)) {
+    return Status::InvalidArgument("not a non-negative integer: " + text);
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Result<CpqAlgorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "naive") return CpqAlgorithm::kNaive;
+  if (name == "exh") return CpqAlgorithm::kExhaustive;
+  if (name == "sim") return CpqAlgorithm::kSimple;
+  if (name == "std") return CpqAlgorithm::kSortedDistances;
+  if (name == "heap") return CpqAlgorithm::kHeap;
+  return Status::InvalidArgument(
+      "unknown algorithm '" + name + "' (naive|exh|sim|std|heap)");
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "l1") return Metric::kL1;
+  if (name == "l2") return Metric::kL2;
+  if (name == "linf") return Metric::kLinf;
+  return Status::InvalidArgument("unknown metric '" + name +
+                                 "' (l1|l2|linf)");
+}
+
+// An opened database: storage + buffer + tree, kept alive together.
+struct Database {
+  std::unique_ptr<FileStorageManager> storage;
+  std::unique_ptr<BufferManager> buffer;
+  std::unique_ptr<RStarTree> tree;
+};
+
+Status OpenDatabase(const std::string& path, size_t buffer_pages,
+                    Database* db) {
+  KCPQ_ASSIGN_OR_RETURN(db->storage, FileStorageManager::Open(path));
+  db->buffer =
+      std::make_unique<BufferManager>(db->storage.get(), buffer_pages);
+  KCPQ_ASSIGN_OR_RETURN(db->tree,
+                        RStarTree::Open(db->buffer.get(), kMetaPage));
+  return Status::OK();
+}
+
+void PrintPairs(std::FILE* out, const std::vector<PairResult>& pairs) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    std::fprintf(out, "%zu: (%g, %g) id=%llu <-> (%g, %g) id=%llu dist=%g\n",
+                 i + 1, pairs[i].p.x(), pairs[i].p.y(),
+                 static_cast<unsigned long long>(pairs[i].p_id),
+                 pairs[i].q.x(), pairs[i].q.y(),
+                 static_cast<unsigned long long>(pairs[i].q_id),
+                 pairs[i].distance);
+  }
+}
+
+void PrintQueryStats(std::FILE* out, const CpqStats& stats, double seconds) {
+  std::fprintf(out,
+               "# disk accesses: %llu (P: %llu, Q: %llu); node pairs: %llu; "
+               "distances: %llu; %.1f ms\n",
+               static_cast<unsigned long long>(stats.disk_accesses()),
+               static_cast<unsigned long long>(stats.disk_accesses_p),
+               static_cast<unsigned long long>(stats.disk_accesses_q),
+               static_cast<unsigned long long>(stats.node_pairs_processed),
+               static_cast<unsigned long long>(
+                   stats.point_distance_computations),
+               seconds * 1e3);
+}
+
+Status CmdGenerate(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 4) {
+    return Status::InvalidArgument(
+        "usage: generate <uniform|sequoia> <n> <seed> <out.csv>");
+  }
+  uint64_t n, seed;
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[1], &n));
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[2], &seed));
+  std::vector<Point> points;
+  if (flags.positional[0] == "uniform") {
+    points = GenerateUniform(n, UnitWorkspace(), seed);
+  } else if (flags.positional[0] == "sequoia") {
+    points = GenerateSequoiaLike(n, UnitWorkspace(), seed);
+  } else {
+    return Status::InvalidArgument("unknown distribution: " +
+                                   flags.positional[0]);
+  }
+  std::vector<std::pair<Point, uint64_t>> items;
+  items.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) items.emplace_back(points[i], i);
+  KCPQ_RETURN_IF_ERROR(WriteCsvPointFile(flags.positional[3], items));
+  std::fprintf(out, "wrote %zu points to %s\n", items.size(),
+               flags.positional[3].c_str());
+  return Status::OK();
+}
+
+Status CmdBuild(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 2) {
+    return Status::InvalidArgument(
+        "usage: build <in.csv> <out.db> [--bulk] [--page-size=N]");
+  }
+  KCPQ_ASSIGN_OR_RETURN(auto items, ReadCsvPointFile(flags.positional[0]));
+  size_t page_size = kDefaultPageSize;
+  if (const auto it = flags.named.find("page-size");
+      it != flags.named.end()) {
+    uint64_t v;
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &v));
+    page_size = v;
+  }
+  KCPQ_ASSIGN_OR_RETURN(
+      auto storage, FileStorageManager::Create(flags.positional[1], page_size));
+  BufferManager buffer(storage.get(), 0);
+  Timer timer;
+  std::unique_ptr<RStarTree> tree;
+  if (flags.named.count("bulk") > 0) {
+    KCPQ_ASSIGN_OR_RETURN(tree,
+                          RStarTree::BulkLoad(&buffer, std::move(items)));
+  } else {
+    KCPQ_ASSIGN_OR_RETURN(tree, RStarTree::Create(&buffer));
+    for (const auto& [p, id] : items) {
+      KCPQ_RETURN_IF_ERROR(tree->Insert(p, id));
+    }
+  }
+  KCPQ_RETURN_IF_ERROR(tree->Flush());
+  if (tree->meta_page() != kMetaPage) {
+    return Status::Internal("meta page landed off page 0");
+  }
+  std::fprintf(out,
+               "built %s: %llu points, height %d, %llu pages, %.1f ms\n",
+               flags.positional[1].c_str(),
+               static_cast<unsigned long long>(tree->size()), tree->height(),
+               static_cast<unsigned long long>(storage->PageCount()),
+               timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status CmdStats(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 1) {
+    return Status::InvalidArgument("usage: stats <db>");
+  }
+  Database db;
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], 0, &db));
+  KCPQ_RETURN_IF_ERROR(db.tree->Validate());
+  std::fprintf(out, "%s: %llu points, height %d, M=%zu m=%zu, valid\n",
+               flags.positional[0].c_str(),
+               static_cast<unsigned long long>(db.tree->size()),
+               db.tree->height(), db.tree->max_entries(),
+               db.tree->min_entries());
+  std::vector<RStarTree::LevelStats> levels;
+  KCPQ_RETURN_IF_ERROR(db.tree->CollectLevelStats(&levels));
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::fprintf(out, "  level %d: %llu nodes, %llu entries (%.1f%% fill)\n",
+                 it->level, static_cast<unsigned long long>(it->nodes),
+                 static_cast<unsigned long long>(it->entries),
+                 100.0 * static_cast<double>(it->entries) /
+                     (static_cast<double>(it->nodes) *
+                      static_cast<double>(db.tree->max_entries())));
+  }
+  return Status::OK();
+}
+
+// Shared flag handling for the two-database query commands.
+Status OpenPair(const Flags& flags, Database* p, Database* q) {
+  uint64_t buffer_pages = 0;
+  if (const auto it = flags.named.find("buffer"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &buffer_pages));
+  }
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], buffer_pages / 2, p));
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[1], buffer_pages / 2, q));
+  return Status::OK();
+}
+
+Status CmdKcp(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 3) {
+    return Status::InvalidArgument(
+        "usage: kcp <p.db> <q.db> <K> [--algorithm=heap] [--metric=l2] "
+        "[--buffer=N] [--fix-at-leaves] [--self]");
+  }
+  Database p, q;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  CpqOptions options;
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[2], &options.k));
+  if (const auto it = flags.named.find("algorithm"); it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(options.algorithm, ParseAlgorithm(it->second));
+  }
+  if (const auto it = flags.named.find("metric"); it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(options.metric, ParseMetric(it->second));
+  }
+  if (flags.named.count("fix-at-leaves") > 0) {
+    options.height_strategy = HeightStrategy::kFixAtLeaves;
+  }
+  options.self_join = flags.named.count("self") > 0;
+  CpqStats stats;
+  Timer timer;
+  KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
+                        KClosestPairs(*p.tree, *q.tree, options, &stats));
+  PrintPairs(out, pairs);
+  PrintQueryStats(out, stats, timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status CmdJoin(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 3) {
+    return Status::InvalidArgument(
+        "usage: join <p.db> <q.db> <epsilon> [--metric=l2] [--buffer=N] "
+        "[--max-results=N] [--self]");
+  }
+  Database p, q;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  double epsilon;
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[2], &epsilon));
+  DistanceJoinOptions options;
+  if (const auto it = flags.named.find("metric"); it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(options.metric, ParseMetric(it->second));
+  }
+  if (const auto it = flags.named.find("max-results");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &options.max_results));
+  }
+  options.self_join = flags.named.count("self") > 0;
+  CpqStats stats;
+  Timer timer;
+  KCPQ_ASSIGN_OR_RETURN(
+      const std::vector<PairResult> pairs,
+      DistanceRangeJoin(*p.tree, *q.tree, epsilon, options, &stats));
+  PrintPairs(out, pairs);
+  PrintQueryStats(out, stats, timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status CmdMultiway(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() < 3) {
+    return Status::InvalidArgument(
+        "usage: multiway <db1> <db2> [<db3> ...] <K> "
+        "[--edges=0-1,1-2] — closest tuples over m trees; edges default "
+        "to a chain");
+  }
+  const size_t m = flags.positional.size() - 1;
+  uint64_t k;
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional.back(), &k));
+
+  std::vector<std::unique_ptr<Database>> databases;
+  std::vector<const RStarTree*> trees;
+  for (size_t i = 0; i < m; ++i) {
+    auto db = std::make_unique<Database>();
+    KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[i], 0, db.get()));
+    trees.push_back(db->tree.get());
+    databases.push_back(std::move(db));
+  }
+
+  std::vector<MultiwayEdge> graph;
+  if (const auto it = flags.named.find("edges"); it != flags.named.end()) {
+    // "0-1,1-2" -> {{0,1},{1,2}}.
+    size_t pos = 0;
+    const std::string& spec = it->second;
+    while (pos < spec.size()) {
+      size_t end = spec.find(',', pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string edge = spec.substr(pos, end - pos);
+      const size_t dash = edge.find('-');
+      if (dash == std::string::npos) {
+        return Status::InvalidArgument("bad edge '" + edge +
+                                       "' (want a-b)");
+      }
+      uint64_t a, b;
+      KCPQ_RETURN_IF_ERROR(ParseCount(edge.substr(0, dash), &a));
+      KCPQ_RETURN_IF_ERROR(ParseCount(edge.substr(dash + 1), &b));
+      graph.push_back({static_cast<int>(a), static_cast<int>(b)});
+      pos = end + 1;
+    }
+  } else {
+    for (size_t i = 0; i + 1 < m; ++i) {
+      graph.push_back({static_cast<int>(i), static_cast<int>(i) + 1});
+    }
+  }
+
+  MultiwayOptions options;
+  options.k = k;
+  CpqStats stats;
+  Timer timer;
+  KCPQ_ASSIGN_OR_RETURN(const std::vector<TupleResult> tuples,
+                        MultiwayKClosestTuples(trees, graph, options, &stats));
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    std::fprintf(out, "%zu:", i + 1);
+    for (size_t j = 0; j < tuples[i].ids.size(); ++j) {
+      std::fprintf(out, " (%g, %g) id=%llu", tuples[i].points[j].x(),
+                   tuples[i].points[j].y(),
+                   static_cast<unsigned long long>(tuples[i].ids[j]));
+    }
+    std::fprintf(out, " aggregate=%g\n", tuples[i].aggregate_distance);
+  }
+  std::fprintf(out, "# disk accesses: %llu; tuple heap max: %llu; %.1f ms\n",
+               static_cast<unsigned long long>(stats.disk_accesses()),
+               static_cast<unsigned long long>(stats.max_heap_size),
+               timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status CmdPlan(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 3) {
+    return Status::InvalidArgument(
+        "usage: plan <p.db> <q.db> <K> [--buffer=N] — explain the "
+        "optimizer's choice without running the query");
+  }
+  Database p, q;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  uint64_t k;
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[2], &k));
+  uint64_t buffer_pages = 0;
+  if (const auto it = flags.named.find("buffer"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &buffer_pages));
+  }
+  KCPQ_ASSIGN_OR_RETURN(const CpqPlan plan,
+                        PlanKClosestPairs(*p.tree, *q.tree, k, buffer_pages));
+  std::fprintf(out,
+               "plan: algorithm=%s height=%s k=%llu\n"
+               "estimated overlap: %.1f%%\n"
+               "estimated disk accesses: %.0f\n"
+               "rationale: %s\n",
+               CpqAlgorithmName(plan.options.algorithm),
+               plan.options.height_strategy == HeightStrategy::kFixAtRoot
+                   ? "fix-at-root"
+                   : "fix-at-leaves",
+               static_cast<unsigned long long>(k),
+               plan.estimated_overlap * 100, plan.estimated_disk_accesses,
+               plan.rationale.c_str());
+  return Status::OK();
+}
+
+Status CmdSemi(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 2) {
+    return Status::InvalidArgument(
+        "usage: semi <p.db> <q.db> [--buffer=N] — nearest Q point for every "
+        "P point");
+  }
+  Database p, q;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  CpqStats stats;
+  Timer timer;
+  KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
+                        SemiClosestPairs(*p.tree, *q.tree, &stats));
+  PrintPairs(out, pairs);
+  PrintQueryStats(out, stats, timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status CmdKnn(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 4) {
+    return Status::InvalidArgument("usage: knn <db> <x> <y> <k>");
+  }
+  Database db;
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], 0, &db));
+  Point query;
+  uint64_t k;
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[1], &query.coord[0]));
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[2], &query.coord[1]));
+  KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[3], &k));
+  std::vector<Neighbor> neighbors;
+  KCPQ_RETURN_IF_ERROR(db.tree->NearestNeighbors(query, k, &neighbors));
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    std::fprintf(out, "%zu: (%g, %g) id=%llu dist=%g\n", i + 1,
+                 neighbors[i].entry.AsPoint().x(),
+                 neighbors[i].entry.AsPoint().y(),
+                 static_cast<unsigned long long>(neighbors[i].entry.id),
+                 neighbors[i].distance);
+  }
+  return Status::OK();
+}
+
+Status CmdRange(const Flags& flags, std::FILE* out) {
+  if (flags.positional.size() != 5) {
+    return Status::InvalidArgument("usage: range <db> <xlo> <ylo> <xhi> <yhi>");
+  }
+  Database db;
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], 0, &db));
+  Rect range;
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[1], &range.lo[0]));
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[2], &range.lo[1]));
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[3], &range.hi[0]));
+  KCPQ_RETURN_IF_ERROR(ParseNumber(flags.positional[4], &range.hi[1]));
+  if (!range.IsValid()) {
+    return Status::InvalidArgument("range has lo > hi");
+  }
+  std::vector<Entry> hits;
+  KCPQ_RETURN_IF_ERROR(db.tree->RangeQuery(range, &hits));
+  for (const Entry& e : hits) {
+    std::fprintf(out, "(%g, %g) id=%llu\n", e.AsPoint().x(), e.AsPoint().y(),
+                 static_cast<unsigned long long>(e.id));
+  }
+  std::fprintf(out, "# %zu points\n", hits.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "kcpq — closest pair queries over R*-tree database files\n"
+      "\n"
+      "  kcpq generate <uniform|sequoia> <n> <seed> <out.csv>\n"
+      "  kcpq build <in.csv> <out.db> [--bulk] [--page-size=N]\n"
+      "  kcpq stats <db>\n"
+      "  kcpq kcp <p.db> <q.db> <K> [--algorithm=naive|exh|sim|std|heap]\n"
+      "       [--metric=l1|l2|linf] [--buffer=N] [--fix-at-leaves] [--self]\n"
+      "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
+      "       [--max-results=N] [--self]\n"
+      "  kcpq semi <p.db> <q.db> [--buffer=N]\n"
+      "  kcpq plan <p.db> <q.db> <K> [--buffer=N]\n"
+      "  kcpq multiway <db1> <db2> [<db3> ...] <K> [--edges=0-1,1-2]\n"
+      "  kcpq knn <db> <x> <y> <k>\n"
+      "  kcpq range <db> <xlo> <ylo> <xhi> <yhi>\n",
+      out);
+}
+
+Status Run(const std::vector<std::string>& args, std::FILE* out) {
+  if (args.empty()) {
+    return Status::InvalidArgument("no command; try 'help'");
+  }
+  const std::string& command = args[0];
+  Flags flags;
+  KCPQ_RETURN_IF_ERROR(
+      ParseFlags({args.begin() + 1, args.end()}, &flags));
+  if (command == "help") {
+    PrintUsage(out);
+    return Status::OK();
+  }
+  if (command == "generate") return CmdGenerate(flags, out);
+  if (command == "build") return CmdBuild(flags, out);
+  if (command == "stats") return CmdStats(flags, out);
+  if (command == "kcp") return CmdKcp(flags, out);
+  if (command == "join") return CmdJoin(flags, out);
+  if (command == "semi") return CmdSemi(flags, out);
+  if (command == "plan") return CmdPlan(flags, out);
+  if (command == "multiway") return CmdMultiway(flags, out);
+  if (command == "knn") return CmdKnn(flags, out);
+  if (command == "range") return CmdRange(flags, out);
+  return Status::InvalidArgument("unknown command: " + command);
+}
+
+}  // namespace cli
+}  // namespace kcpq

@@ -1,0 +1,40 @@
+// Minimal CSV I/O for point data sets, used by the kcpq command-line tool.
+//
+// Format: one point per line, `x,y[,id]`. Missing ids are assigned
+// sequentially from 0. Lines starting with '#' and blank lines are
+// ignored. Parsing is strict about numbers (trailing junk is an error) so
+// malformed files fail loudly instead of silently skewing an experiment.
+
+#ifndef KCPQ_TOOLS_CSV_H_
+#define KCPQ_TOOLS_CSV_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+
+namespace kcpq {
+
+/// Parses `text` (CSV content) into (point, id) items.
+Result<std::vector<std::pair<Point, uint64_t>>> ParseCsvPoints(
+    const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::pair<Point, uint64_t>>> ReadCsvPointFile(
+    const std::string& path);
+
+/// Serializes items as `x,y,id` lines (17 significant digits: lossless for
+/// doubles).
+std::string FormatCsvPoints(
+    const std::vector<std::pair<Point, uint64_t>>& items);
+
+/// Writes items to a CSV file.
+Status WriteCsvPointFile(
+    const std::string& path,
+    const std::vector<std::pair<Point, uint64_t>>& items);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_TOOLS_CSV_H_

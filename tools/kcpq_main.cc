@@ -1,0 +1,20 @@
+// Entry point for the `kcpq` command-line tool; all logic in cli.cc.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const kcpq::Status status = kcpq::cli::Run(args, stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    if (status.code() == kcpq::StatusCode::kInvalidArgument) {
+      kcpq::cli::PrintUsage(stderr);
+    }
+    return 1;
+  }
+  return 0;
+}
