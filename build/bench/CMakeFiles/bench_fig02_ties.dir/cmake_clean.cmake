@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_ties.dir/bench_fig02_ties.cc.o"
+  "CMakeFiles/bench_fig02_ties.dir/bench_fig02_ties.cc.o.d"
+  "bench_fig02_ties"
+  "bench_fig02_ties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_ties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

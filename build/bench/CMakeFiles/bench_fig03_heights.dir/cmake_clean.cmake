@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_heights.dir/bench_fig03_heights.cc.o"
+  "CMakeFiles/bench_fig03_heights.dir/bench_fig03_heights.cc.o.d"
+  "bench_fig03_heights"
+  "bench_fig03_heights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_heights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

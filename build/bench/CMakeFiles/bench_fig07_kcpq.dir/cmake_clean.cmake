@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_kcpq.dir/bench_fig07_kcpq.cc.o"
+  "CMakeFiles/bench_fig07_kcpq.dir/bench_fig07_kcpq.cc.o.d"
+  "bench_fig07_kcpq"
+  "bench_fig07_kcpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_kcpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

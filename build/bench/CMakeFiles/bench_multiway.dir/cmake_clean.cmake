@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiway.dir/bench_multiway.cc.o"
+  "CMakeFiles/bench_multiway.dir/bench_multiway.cc.o.d"
+  "bench_multiway"
+  "bench_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

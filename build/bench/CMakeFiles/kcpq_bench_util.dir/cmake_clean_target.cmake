@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libkcpq_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_explore.dir/incremental_explore.cpp.o"
+  "CMakeFiles/incremental_explore.dir/incremental_explore.cpp.o.d"
+  "incremental_explore"
+  "incremental_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tourism.dir/tourism.cpp.o"
+  "CMakeFiles/tourism.dir/tourism.cpp.o.d"
+  "tourism"
+  "tourism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tourism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tourism.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tourism.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_buffer.dir/buffer_manager.cc.o"
+  "CMakeFiles/kcpq_buffer.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/kcpq_buffer.dir/replacement_policy.cc.o"
+  "CMakeFiles/kcpq_buffer.dir/replacement_policy.cc.o.d"
+  "libkcpq_buffer.a"
+  "libkcpq_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_common.dir/random.cc.o"
+  "CMakeFiles/kcpq_common.dir/random.cc.o.d"
+  "CMakeFiles/kcpq_common.dir/status.cc.o"
+  "CMakeFiles/kcpq_common.dir/status.cc.o.d"
+  "CMakeFiles/kcpq_common.dir/table.cc.o"
+  "CMakeFiles/kcpq_common.dir/table.cc.o.d"
+  "libkcpq_common.a"
+  "libkcpq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

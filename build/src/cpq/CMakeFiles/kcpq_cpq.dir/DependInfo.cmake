@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpq/brute.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/brute.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/brute.cc.o.d"
+  "/root/repo/src/cpq/cost_model.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/cost_model.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/cost_model.cc.o.d"
+  "/root/repo/src/cpq/cpq.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/cpq.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/cpq.cc.o.d"
+  "/root/repo/src/cpq/distance_join.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/distance_join.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/distance_join.cc.o.d"
+  "/root/repo/src/cpq/engine.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/engine.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/engine.cc.o.d"
+  "/root/repo/src/cpq/multiway.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/multiway.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/multiway.cc.o.d"
+  "/root/repo/src/cpq/planner.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/planner.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/planner.cc.o.d"
+  "/root/repo/src/cpq/tie.cc" "src/cpq/CMakeFiles/kcpq_cpq.dir/tie.cc.o" "gcc" "src/cpq/CMakeFiles/kcpq_cpq.dir/tie.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcpq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kcpq_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/kcpq_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/kcpq_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kcpq_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_cpq.dir/brute.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/brute.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/cost_model.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/cost_model.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/cpq.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/cpq.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/distance_join.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/distance_join.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/engine.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/engine.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/multiway.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/multiway.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/planner.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/planner.cc.o.d"
+  "CMakeFiles/kcpq_cpq.dir/tie.cc.o"
+  "CMakeFiles/kcpq_cpq.dir/tie.cc.o.d"
+  "libkcpq_cpq.a"
+  "libkcpq_cpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_cpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_datagen.dir/datagen.cc.o"
+  "CMakeFiles/kcpq_datagen.dir/datagen.cc.o.d"
+  "libkcpq_datagen.a"
+  "libkcpq_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/metrics.cc" "src/geometry/CMakeFiles/kcpq_geometry.dir/metrics.cc.o" "gcc" "src/geometry/CMakeFiles/kcpq_geometry.dir/metrics.cc.o.d"
+  "/root/repo/src/geometry/metrics_reference.cc" "src/geometry/CMakeFiles/kcpq_geometry.dir/metrics_reference.cc.o" "gcc" "src/geometry/CMakeFiles/kcpq_geometry.dir/metrics_reference.cc.o.d"
+  "/root/repo/src/geometry/minkowski.cc" "src/geometry/CMakeFiles/kcpq_geometry.dir/minkowski.cc.o" "gcc" "src/geometry/CMakeFiles/kcpq_geometry.dir/minkowski.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/geometry/CMakeFiles/kcpq_geometry.dir/point.cc.o" "gcc" "src/geometry/CMakeFiles/kcpq_geometry.dir/point.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcpq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

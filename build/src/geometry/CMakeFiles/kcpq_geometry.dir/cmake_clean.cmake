@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_geometry.dir/metrics.cc.o"
+  "CMakeFiles/kcpq_geometry.dir/metrics.cc.o.d"
+  "CMakeFiles/kcpq_geometry.dir/metrics_reference.cc.o"
+  "CMakeFiles/kcpq_geometry.dir/metrics_reference.cc.o.d"
+  "CMakeFiles/kcpq_geometry.dir/minkowski.cc.o"
+  "CMakeFiles/kcpq_geometry.dir/minkowski.cc.o.d"
+  "CMakeFiles/kcpq_geometry.dir/point.cc.o"
+  "CMakeFiles/kcpq_geometry.dir/point.cc.o.d"
+  "libkcpq_geometry.a"
+  "libkcpq_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

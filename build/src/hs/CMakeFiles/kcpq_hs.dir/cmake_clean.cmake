@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_hs.dir/hs.cc.o"
+  "CMakeFiles/kcpq_hs.dir/hs.cc.o.d"
+  "CMakeFiles/kcpq_hs.dir/hybrid_queue.cc.o"
+  "CMakeFiles/kcpq_hs.dir/hybrid_queue.cc.o.d"
+  "libkcpq_hs.a"
+  "libkcpq_hs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_hs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_rtree.dir/bulk_load.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/kcpq_rtree.dir/node.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/node.cc.o.d"
+  "CMakeFiles/kcpq_rtree.dir/query.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/query.cc.o.d"
+  "CMakeFiles/kcpq_rtree.dir/rtree.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/kcpq_rtree.dir/split.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/split.cc.o.d"
+  "CMakeFiles/kcpq_rtree.dir/validate.cc.o"
+  "CMakeFiles/kcpq_rtree.dir/validate.cc.o.d"
+  "libkcpq_rtree.a"
+  "libkcpq_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

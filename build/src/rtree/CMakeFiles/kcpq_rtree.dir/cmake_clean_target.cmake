@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkcpq_rtree.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_storage.dir/checksum_storage.cc.o"
+  "CMakeFiles/kcpq_storage.dir/checksum_storage.cc.o.d"
+  "CMakeFiles/kcpq_storage.dir/file_storage.cc.o"
+  "CMakeFiles/kcpq_storage.dir/file_storage.cc.o.d"
+  "CMakeFiles/kcpq_storage.dir/memory_storage.cc.o"
+  "CMakeFiles/kcpq_storage.dir/memory_storage.cc.o.d"
+  "libkcpq_storage.a"
+  "libkcpq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

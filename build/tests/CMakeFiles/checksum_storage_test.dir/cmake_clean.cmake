@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_storage_test.dir/checksum_storage_test.cc.o"
+  "CMakeFiles/checksum_storage_test.dir/checksum_storage_test.cc.o.d"
+  "checksum_storage_test"
+  "checksum_storage_test.pdb"
+  "checksum_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcpq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kcpq_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/kcpq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/kcpq_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/kcpq_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/kcpq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpq/CMakeFiles/kcpq_cpq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hs/CMakeFiles/kcpq_hs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpq_test.dir/cpq_test.cc.o"
+  "CMakeFiles/cpq_test.dir/cpq_test.cc.o.d"
+  "cpq_test"
+  "cpq_test.pdb"
+  "cpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

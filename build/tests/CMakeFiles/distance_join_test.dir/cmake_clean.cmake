@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_join_test.dir/distance_join_test.cc.o"
+  "CMakeFiles/distance_join_test.dir/distance_join_test.cc.o.d"
+  "distance_join_test"
+  "distance_join_test.pdb"
+  "distance_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

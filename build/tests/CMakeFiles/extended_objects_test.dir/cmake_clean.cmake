@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_objects_test.dir/extended_objects_test.cc.o"
+  "CMakeFiles/extended_objects_test.dir/extended_objects_test.cc.o.d"
+  "extended_objects_test"
+  "extended_objects_test.pdb"
+  "extended_objects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_objects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_test.dir/hs_test.cc.o"
+  "CMakeFiles/hs_test.dir/hs_test.cc.o.d"
+  "hs_test"
+  "hs_test.pdb"
+  "hs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

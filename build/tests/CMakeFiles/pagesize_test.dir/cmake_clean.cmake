@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesize_test.dir/pagesize_test.cc.o"
+  "CMakeFiles/pagesize_test.dir/pagesize_test.cc.o.d"
+  "pagesize_test"
+  "pagesize_test.pdb"
+  "pagesize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

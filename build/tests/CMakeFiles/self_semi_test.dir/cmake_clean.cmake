@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_semi_test.dir/self_semi_test.cc.o"
+  "CMakeFiles/self_semi_test.dir/self_semi_test.cc.o.d"
+  "self_semi_test"
+  "self_semi_test.pdb"
+  "self_semi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_semi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

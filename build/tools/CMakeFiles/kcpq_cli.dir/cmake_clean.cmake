@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_cli.dir/kcpq_main.cc.o"
+  "CMakeFiles/kcpq_cli.dir/kcpq_main.cc.o.d"
+  "kcpq"
+  "kcpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

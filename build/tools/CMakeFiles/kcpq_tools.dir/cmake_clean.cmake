@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcpq_tools.dir/cli.cc.o"
+  "CMakeFiles/kcpq_tools.dir/cli.cc.o.d"
+  "CMakeFiles/kcpq_tools.dir/csv.cc.o"
+  "CMakeFiles/kcpq_tools.dir/csv.cc.o.d"
+  "libkcpq_tools.a"
+  "libkcpq_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcpq_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kcpq_tools.
+# This may be replaced when dependencies are built.
