@@ -14,7 +14,8 @@ constexpr CpqAlgorithm kAlgorithms[] = {
     CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
     CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap};
 
-void RunPanel(const char* panel, double overlap, TreeStore& real_store) {
+void RunPanel(const char* panel, double overlap, TreeStore& real_store,
+              BenchJson* json) {
   std::printf("\nFigure 4%s: %.0f%% overlapping workspaces, disk accesses\n",
               panel, overlap * 100);
   Table table({"datasets", "EXH", "SIM", "STD", "HEAP"});
@@ -31,16 +32,19 @@ void RunPanel(const char* panel, double overlap, TreeStore& real_store) {
     table.AddRow(std::move(row));
   }
   table.Print(stdout);
+  json->AddTable(std::string("panel_") + panel, table);
 }
 
 void Main() {
   PrintFigureHeader("Figure 4",
                     "1-CPQ algorithm comparison: real (Sequoia-like) vs "
                     "random data, no buffer");
+  BenchJson json("fig04_algorithms");
   auto real_store =
       MakeStore(DataKind::kSequoiaLike, Scaled(kSequoiaCardinality), 1.0, 77);
-  RunPanel("a", 0.0, *real_store);
-  RunPanel("b", 1.0, *real_store);
+  RunPanel("a", 0.0, *real_store, &json);
+  RunPanel("b", 1.0, *real_store, &json);
+  json.Write();
   std::printf(
       "\nPaper expectation: at 0%% overlap STD/HEAP are about an order of "
       "magnitude cheaper than EXH/SIM; at 100%% overlap HEAP leads by ~20%% "

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+
+#include "buffer/replacement_policy.h"
+#include "storage/latency_storage.h"
 
 namespace kcpq {
 namespace bench {
@@ -49,6 +53,24 @@ TreeStore::View TreeStore::OpenView(size_t buffer_pages) {
   return view;
 }
 
+TreeStore::View TreeStore::OpenParallelView(
+    size_t buffer_pages, size_t shards,
+    std::chrono::microseconds read_latency) {
+  View view;
+  StorageManager* storage = &storage_;
+  if (read_latency.count() > 0) {
+    view.slow_storage =
+        std::make_unique<LatencyStorageManager>(&storage_, read_latency);
+    storage = view.slow_storage.get();
+  }
+  view.buffer = std::make_unique<BufferManager>(
+      storage, buffer_pages, shards, [] { return MakeLruPolicy(); });
+  auto opened = RStarTree::Open(view.buffer.get(), meta_);
+  KCPQ_CHECK_OK(opened.status());
+  view.tree = std::move(opened).value();
+  return view;
+}
+
 std::unique_ptr<TreeStore> MakeStore(DataKind kind, size_t n, double overlap,
                                      uint64_t seed) {
   return std::make_unique<TreeStore>(
@@ -88,6 +110,118 @@ void PrintFigureHeader(const std::string& figure,
   std::printf("%s — %s\n", figure.c_str(), description.c_str());
   std::printf("(Corral et al., SIGMOD 2000; REPRO_SCALE=%.3g)\n", ReproScale());
   std::printf("==============================================================\n");
+}
+
+namespace {
+
+// Escapes a string for embedding in a JSON document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Emits a cell as a bare JSON number when it parses fully as one (so
+// downstream tooling can chart it), otherwise as a quoted string.
+std::string JsonCell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0') return cell;
+  }
+  std::string quoted;
+  quoted.push_back('"');
+  quoted.append(JsonEscape(cell));
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void BenchJson::AddScalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, value);
+}
+
+void BenchJson::AddTable(const std::string& key, const Table& table) {
+  tables_.emplace_back(key, table);
+}
+
+void BenchJson::Write() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"repro_scale\": " << FormatDouble(ReproScale()) << ",\n"
+      << "  \"scalars\": {";
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(scalars_[i].first)
+        << "\": " << FormatDouble(scalars_[i].second);
+  }
+  out << (scalars_.empty() ? "" : "\n  ") << "},\n  \"tables\": {";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    const Table& table = tables_[t].second;
+    out << (t == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(tables_[t].first)
+        << "\": {\n      \"header\": [";
+    for (size_t c = 0; c < table.header().size(); ++c) {
+      out << (c == 0 ? "" : ", ") << "\"" << JsonEscape(table.header()[c])
+          << "\"";
+    }
+    out << "],\n      \"rows\": [";
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "        [";
+      const auto& row = table.rows()[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        out << (c == 0 ? "" : ", ") << JsonCell(row[c]);
+      }
+      out << "]";
+    }
+    out << (table.rows().empty() ? "" : "\n      ") << "]\n    }";
+  }
+  out << (tables_.empty() ? "" : "\n  ") << "}\n}\n";
+
+  std::string dir;
+  if (const char* env = std::getenv("BENCH_DIR"); env != nullptr && *env) {
+    dir = std::string(env) + "/";
+  }
+  const std::string path = dir + "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchJson: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  const std::string body = out.str();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

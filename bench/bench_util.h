@@ -13,9 +13,11 @@
 #ifndef KCPQ_BENCH_BENCH_UTIL_H_
 #define KCPQ_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
@@ -49,11 +51,22 @@ class TreeStore {
 
   /// A queryable view: its own buffer (cold) over the shared storage.
   struct View {
+    /// Optional latency-injecting wrapper; declared before the buffer so
+    /// the buffer's destructor (which flushes through it) runs first.
+    std::unique_ptr<StorageManager> slow_storage;
     std::unique_ptr<BufferManager> buffer;
     std::unique_ptr<RStarTree> tree;
   };
   /// `buffer_pages` is the per-tree share (the paper's B/2).
   View OpenView(size_t buffer_pages);
+
+  /// View for concurrent query runs: a buffer with `shards` shard locks,
+  /// optionally over a simulated disk that sleeps `read_latency` per
+  /// physical page read (storage/latency_storage.h). Zero latency reads at
+  /// memory speed.
+  View OpenParallelView(size_t buffer_pages, size_t shards,
+                        std::chrono::microseconds read_latency =
+                            std::chrono::microseconds(0));
 
   size_t size() const { return size_; }
   int height() const { return height_; }
@@ -93,6 +106,28 @@ HsOutcome RunHs(TreeStore& p, TreeStore& q, size_t k, const HsOptions& options,
 /// Prints the standard header for a figure harness.
 void PrintFigureHeader(const std::string& figure,
                        const std::string& description);
+
+/// Machine-readable record of a bench run, so successive changes can track
+/// the performance trajectory. Collects named scalars and tables and
+/// writes them as `BENCH_<name>.json` (current directory, or $BENCH_DIR
+/// when set). Table cells that parse as numbers are emitted as JSON
+/// numbers; everything else stays a string.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void AddScalar(const std::string& key, double value);
+  void AddTable(const std::string& key, const Table& table);
+
+  /// Writes the file and prints its path; failures are reported to stderr
+  /// (a bench's numbers on stdout are never lost to a JSON I/O error).
+  void Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
 
 }  // namespace bench
 }  // namespace kcpq

@@ -1,37 +1,108 @@
 #include "buffer/buffer_manager.h"
 
+#include <algorithm>
+
 namespace kcpq {
+
+namespace {
+
+/// Monotone instance-id source: ids are never reused, so a thread-local
+/// table keyed by id can never confuse a dead buffer with a new one that
+/// happens to land at the same address.
+std::atomic<uint64_t> next_instance_id{1};
+
+/// One thread's per-buffer stats. A flat vector with linear search beats a
+/// hash map here: a thread touches a handful of buffers, and the common
+/// case (repeat access to the same buffer) hits slot 0 of an MRU-ordered
+/// scan. Entries are tiny and never removed; a process would have to churn
+/// through millions of BufferManager instances on one thread for the table
+/// to matter.
+struct TlsEntry {
+  uint64_t instance_id = 0;
+  BufferStats stats;
+};
+thread_local std::vector<TlsEntry> tls_table;
+
+}  // namespace
 
 BufferManager::BufferManager(StorageManager* storage, size_t capacity_pages,
                              std::unique_ptr<ReplacementPolicy> policy)
     : storage_(storage),
       capacity_(capacity_pages),
-      policy_(std::move(policy)) {}
+      instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  auto shard = std::make_unique<Shard>();
+  shard->policy = std::move(policy);
+  shard->capacity = capacity_pages;
+  shards_.push_back(std::move(shard));
+}
+
+BufferManager::BufferManager(
+    StorageManager* storage, size_t capacity_pages, size_t shards,
+    const std::function<std::unique_ptr<ReplacementPolicy>()>& policy_factory)
+    : storage_(storage),
+      capacity_(capacity_pages),
+      instance_id_(next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  const size_t n = std::max<size_t>(shards, 1);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = policy_factory();
+    // Even split; the first capacity % n shards take the remainder.
+    shard->capacity = capacity_pages / n + (i < capacity_pages % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
 
 BufferManager::~BufferManager() {
   // Best effort; callers that care about durability call Flush themselves.
   Flush();
 }
 
+BufferStats& BufferManager::Tls() const {
+  for (size_t i = 0; i < tls_table.size(); ++i) {
+    if (tls_table[i].instance_id == instance_id_) {
+      // Move-to-front so a thread's current buffer is found in one probe.
+      if (i != 0) std::swap(tls_table[i], tls_table[0]);
+      return tls_table[0].stats;
+    }
+  }
+  tls_table.insert(tls_table.begin(), TlsEntry{instance_id_, BufferStats{}});
+  return tls_table[0].stats;
+}
+
+void BufferManager::CountHit() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  ++Tls().hits;
+}
+
+void BufferManager::CountMiss() {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  ++Tls().misses;
+}
+
 Status BufferManager::Read(PageId id, Page* out) {
   if (capacity_ == 0) {
-    ++stats_.misses;
+    CountMiss();
     return storage_->ReadPage(id, out);
   }
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
-    policy_->OnAccess(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    CountHit();
+    shard.policy->OnAccess(id);
     *out = it->second.page;
     return Status::OK();
   }
-  ++stats_.misses;
+  // Miss: fetch under the shard lock, so concurrent readers of the same
+  // page trigger exactly one storage read per residency.
+  CountMiss();
   Page page;
   KCPQ_RETURN_IF_ERROR(storage_->ReadPage(id, &page));
-  KCPQ_RETURN_IF_ERROR(EvictIfFull());
-  policy_->OnInsert(id);
+  KCPQ_RETURN_IF_ERROR(EvictIfFull(shard));
+  shard.policy->OnInsert(id);
   *out = page;
-  frames_.emplace(id, Frame{std::move(page), /*dirty=*/false});
+  shard.frames.emplace(id, Frame{std::move(page), /*dirty=*/false});
   return Status::OK();
 }
 
@@ -39,58 +110,103 @@ Status BufferManager::Write(PageId id, const Page& page) {
   if (capacity_ == 0) {
     return storage_->WritePage(id, page);
   }
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    policy_->OnAccess(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    shard.policy->OnAccess(id);
     it->second.page = page;
     it->second.dirty = true;
     return Status::OK();
   }
-  KCPQ_RETURN_IF_ERROR(EvictIfFull());
-  policy_->OnInsert(id);
-  frames_.emplace(id, Frame{page, /*dirty=*/true});
+  KCPQ_RETURN_IF_ERROR(EvictIfFull(shard));
+  shard.policy->OnInsert(id);
+  shard.frames.emplace(id, Frame{page, /*dirty=*/true});
   return Status::OK();
 }
 
 Result<PageId> BufferManager::Allocate() { return storage_->Allocate(); }
 
 Status BufferManager::Free(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    policy_->OnErase(id);
-    frames_.erase(it);
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      shard.policy->OnErase(id);
+      shard.frames.erase(it);
+    }
   }
   return storage_->Free(id);
 }
 
-Status BufferManager::EvictIfFull() {
-  if (frames_.size() < capacity_) return Status::OK();
-  const PageId victim = policy_->ChooseVictim();
-  auto it = frames_.find(victim);
-  ++stats_.evictions;
+Status BufferManager::EvictIfFull(Shard& shard) {
+  if (shard.frames.size() < shard.capacity) return Status::OK();
+  const PageId victim = shard.policy->ChooseVictim();
+  auto it = shard.frames.find(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  ++Tls().evictions;
   if (it->second.dirty) {
-    ++stats_.writebacks;
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+    ++Tls().writebacks;
     KCPQ_RETURN_IF_ERROR(storage_->WritePage(victim, it->second.page));
   }
-  frames_.erase(it);
+  shard.frames.erase(it);
   return Status::OK();
 }
 
 Status BufferManager::Flush() {
-  for (auto& [id, frame] : frames_) {
-    if (!frame.dirty) continue;
-    ++stats_.writebacks;
-    KCPQ_RETURN_IF_ERROR(storage_->WritePage(id, frame.page));
-    frame.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      if (!frame.dirty) continue;
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+      ++Tls().writebacks;
+      KCPQ_RETURN_IF_ERROR(storage_->WritePage(id, frame.page));
+      frame.dirty = false;
+    }
   }
   return Status::OK();
 }
 
 Status BufferManager::FlushAndClear() {
   KCPQ_RETURN_IF_ERROR(Flush());
-  for (const auto& [id, frame] : frames_) policy_->OnErase(id);
-  frames_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, frame] : shard->frames) shard->policy->OnErase(id);
+    shard->frames.clear();
+  }
   return Status::OK();
+}
+
+size_t BufferManager::resident() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+BufferStats BufferManager::stats() const {
+  BufferStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+BufferStats BufferManager::ThreadStats() const { return Tls(); }
+
+void BufferManager::ResetStats() {
+  // Resets the global counters only. Thread-local views are monotone and
+  // cannot be reset across threads; per-query accounting diffs them
+  // (before/after), which is reset-agnostic.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  writebacks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace kcpq

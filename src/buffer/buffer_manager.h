@@ -10,15 +10,42 @@
 //
 // Semantics are copy-in/copy-out: Read copies the cached page into the
 // caller's buffer, so callers never hold pointers into frames and no pin
-// protocol is needed (queries are single-threaded; a 1 KiB copy per node
-// access is far below the cost of deserializing the node). Writes are
-// write-back: dirty frames reach storage on eviction or Flush.
+// protocol is needed (a 1 KiB copy per node access is far below the cost
+// of deserializing the node). Writes are write-back: dirty frames reach
+// storage on eviction or Flush.
+//
+// Locking protocol (since the parallel batch executor, src/exec/): the
+// frame table is split into `shards` independent shards, each owning a
+// mutex, a frames map, a replacement policy, and a slice of the capacity.
+// A page id maps to the shard `id % shards`; the shard's mutex is held for
+// the whole Read / Write / Free operation on that page, including the
+// storage call on a miss, so a page is fetched at most once per residency
+// and the policy sees a consistent history. Operations on pages of
+// different shards never contend. Flush / FlushAndClear / resident() lock
+// one shard at a time; they are safe to run concurrently with readers but
+// see no global atomic snapshot (don't race them against writers and
+// expect exact counts). The default `shards = 1` reproduces the classic
+// single-threaded buffer byte for byte — same policy decisions, same
+// eviction order.
+//
+// Statistics: the global counters (stats()) are atomics, exact under any
+// concurrency. Per-query cost accounting needs per-*thread* counts — two
+// queries sharing the buffer would otherwise see each other's misses in a
+// before/after delta — so every hit/miss is also recorded in a
+// thread-local table keyed by buffer instance; ThreadStats() returns the
+// calling thread's view, and the query engines compute their disk-access
+// deltas from it.
 
 #ifndef KCPQ_BUFFER_BUFFER_MANAGER_H_
 #define KCPQ_BUFFER_BUFFER_MANAGER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "buffer/replacement_policy.h"
 #include "common/status.h"
@@ -26,8 +53,8 @@
 
 namespace kcpq {
 
-/// Hit/miss accounting. `misses` equals the physical reads this buffer
-/// caused; `logical_reads = hits + misses`.
+/// Hit/miss accounting snapshot. `misses` equals the physical reads this
+/// buffer caused; `logical_reads = hits + misses`.
 struct BufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -41,9 +68,20 @@ struct BufferStats {
 class BufferManager {
  public:
   /// `storage` must outlive the buffer manager. `capacity_pages` may be 0
-  /// (pass-through). `policy` defaults to LRU, the paper's setting.
+  /// (pass-through). `policy` defaults to LRU, the paper's setting. This
+  /// constructor builds a single-shard buffer: correct under concurrency,
+  /// but every access serializes on one mutex.
   BufferManager(StorageManager* storage, size_t capacity_pages,
                 std::unique_ptr<ReplacementPolicy> policy = MakeLruPolicy());
+
+  /// Sharded constructor for concurrent workloads: `shards` (>= 1)
+  /// independent shard locks; `policy_factory` is called once per shard
+  /// (each shard replaces pages independently). Capacity is split across
+  /// shards as evenly as possible.
+  BufferManager(StorageManager* storage, size_t capacity_pages, size_t shards,
+                const std::function<std::unique_ptr<ReplacementPolicy>()>&
+                    policy_factory);
+
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -70,9 +108,17 @@ class BufferManager {
   Status FlushAndClear();
 
   size_t capacity() const { return capacity_; }
-  size_t resident() const { return frames_.size(); }
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  size_t shards() const { return shards_.size(); }
+  size_t resident() const;
+
+  /// Snapshot of the global counters (by value: they are atomics).
+  BufferStats stats() const;
+  /// The calling thread's contribution to the counters — the basis for
+  /// per-query disk-access deltas when queries run concurrently. Threads
+  /// that never touched this buffer see all-zero stats.
+  BufferStats ThreadStats() const;
+  void ResetStats();
+
   StorageManager* storage() const { return storage_; }
 
  private:
@@ -81,14 +127,38 @@ class BufferManager {
     bool dirty = false;
   };
 
-  /// Ensures space for one more frame, evicting (with write-back) if full.
-  Status EvictIfFull();
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, Frame> frames;
+    std::unique_ptr<ReplacementPolicy> policy;
+    size_t capacity = 0;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
+  /// Ensures space in `shard` for one more frame, evicting (with
+  /// write-back) if full. Caller holds shard.mu.
+  Status EvictIfFull(Shard& shard);
+
+  /// This thread's stats slot for this buffer instance.
+  BufferStats& Tls() const;
+
+  void CountHit();
+  void CountMiss();
 
   StorageManager* storage_;
   size_t capacity_;
-  std::unique_ptr<ReplacementPolicy> policy_;
-  std::unordered_map<PageId, Frame> frames_;
-  BufferStats stats_;
+  /// unique_ptr: Shard holds a mutex and cannot move.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Distinguishes buffer instances in the thread-local stats table (ids
+  /// are never reused, unlike addresses).
+  const uint64_t instance_id_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
 };
 
 }  // namespace kcpq

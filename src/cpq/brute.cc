@@ -2,19 +2,59 @@
 
 #include <cmath>
 
+#include "cpq/leaf_kernel.h"
 #include "cpq/result_heap.h"
 
 namespace kcpq {
 
+namespace {
+
+/// A point dressed up with its degenerate rect so the shared sweep kernel
+/// (which speaks rects) can enumerate point pairs.
+struct SweepPoint {
+  Rect rect;
+  Point pt;
+  uint64_t id = 0;
+};
+
+std::vector<SweepPoint> ToSweepPoints(
+    const std::vector<std::pair<Point, uint64_t>>& items) {
+  std::vector<SweepPoint> out;
+  out.reserve(items.size());
+  for (const auto& [pt, id] : items) {
+    out.push_back(SweepPoint{Rect::FromPoint(pt), pt, id});
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<PairResult> BruteForceKClosestPairs(
     const std::vector<std::pair<Point, uint64_t>>& p,
     const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
-    bool self_join, Metric metric) {
+    bool self_join, Metric metric, LeafKernel kernel) {
   ResultHeap heap(k, metric);
-  for (const auto& [pp, pid] : p) {
-    for (const auto& [qq, qid] : q) {
-      if (self_join && pid >= qid) continue;
-      heap.Offer(PointDistancePow(pp, qq, metric), pp, qq, pid, qid);
+  if (kernel == LeafKernel::kPlaneSweep) {
+    const std::vector<SweepPoint> sp = ToSweepPoints(p);
+    const std::vector<SweepPoint> sq = ToSweepPoints(q);
+    cpq_internal::SweepScratch<SweepPoint> scratch;
+    cpq_internal::PlaneSweepPairs(
+        sp, sq, metric, /*strict=*/false, &scratch,
+        [](const SweepPoint& it) -> const Rect& { return it.rect; },
+        [&] { return heap.Bound(); },
+        [&](const SweepPoint& a, const SweepPoint& b) {
+          if (!self_join || a.id < b.id) {
+            heap.Offer(PointDistancePow(a.pt, b.pt, metric), a.pt, b.pt, a.id,
+                       b.id);
+          }
+          return true;
+        });
+  } else {
+    for (const auto& [pp, pid] : p) {
+      for (const auto& [qq, qid] : q) {
+        if (self_join && pid >= qid) continue;
+        heap.Offer(PointDistancePow(pp, qq, metric), pp, qq, pid, qid);
+      }
     }
   }
   return std::move(heap).Extract();

@@ -16,11 +16,15 @@ namespace kcpq {
 
 /// K closest pairs between two id-tagged point vectors, ascending distance.
 /// `self_join` skips reflexive pairs and reports each unordered pair once
-/// (p_id < q_id), matching SelfKClosestPairs.
+/// (p_id < q_id), matching SelfKClosestPairs. `kernel` selects the pair
+/// enumeration strategy; the default stays kNestedLoop so the test oracle
+/// remains independent of the sweep code it validates (a dedicated test
+/// asserts sweep == nested here too).
 std::vector<PairResult> BruteForceKClosestPairs(
     const std::vector<std::pair<Point, uint64_t>>& p,
     const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
-    bool self_join = false, Metric metric = Metric::kL2);
+    bool self_join = false, Metric metric = Metric::kL2,
+    LeafKernel kernel = LeafKernel::kNestedLoop);
 
 /// For each point of `p`, its nearest point of `q`; ascending distance.
 /// The brute-force reference for SemiClosestPairs.

@@ -25,6 +25,16 @@ const char* CpqAlgorithmName(CpqAlgorithm a) {
   return "?";
 }
 
+const char* LeafKernelName(LeafKernel k) {
+  switch (k) {
+    case LeafKernel::kNestedLoop:
+      return "NESTED";
+    case LeafKernel::kPlaneSweep:
+      return "SWEEP";
+  }
+  return "?";
+}
+
 Result<std::vector<PairResult>> KClosestPairs(const RStarTree& tree_p,
                                               const RStarTree& tree_q,
                                               const CpqOptions& options,
@@ -114,8 +124,8 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
   CpqStats local;
   CpqStats* s = stats != nullptr ? stats : &local;
   *s = CpqStats{};
-  const BufferStats before_p = tree_p.buffer()->stats();
-  const BufferStats before_q = tree_q.buffer()->stats();
+  const BufferStats before_p = tree_p.buffer()->ThreadStats();
+  const BufferStats before_q = tree_q.buffer()->ThreadStats();
 
   std::vector<PairResult> out;
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
@@ -133,8 +143,8 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
               if (a.distance != b.distance) return a.distance < b.distance;
               return a.p_id < b.p_id;
             });
-  s->disk_accesses_p = tree_p.buffer()->stats().misses - before_p.misses;
-  s->disk_accesses_q = tree_q.buffer()->stats().misses - before_q.misses;
+  s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
+  s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
   return out;
 }
 

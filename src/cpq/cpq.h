@@ -53,6 +53,21 @@ enum class CpqAlgorithm {
 
 const char* CpqAlgorithmName(CpqAlgorithm a);
 
+/// How two leaf nodes' entries are combined once the traversal bottoms out.
+enum class LeafKernel {
+  /// The paper's implicit choice: test all |P_leaf| x |Q_leaf| pairs.
+  kNestedLoop,
+  /// Sort both leaves along the best-spread axis and sweep: a pair whose
+  /// separation on the sweep axis alone already exceeds the pruning bound
+  /// is skipped without computing its distance, and — the sweep's payoff —
+  /// so is every pair after it in sweep order. Same results (the skipped
+  /// pairs are exactly ones the nested loop would reject), typically a
+  /// large reduction in point-distance computations.
+  kPlaneSweep,
+};
+
+const char* LeafKernelName(LeafKernel k);
+
 /// How node pairs at different tree levels are handled (Section 3.7).
 enum class HeightStrategy {
   /// Classic spatial-join style: descend both trees until the shorter one
@@ -108,6 +123,11 @@ struct CpqOptions {
   /// pairs (same record id) are skipped and each unordered pair is
   /// reported once (p_id < q_id). Set by SelfKClosestPairs.
   bool self_join = false;
+
+  /// Leaf node-pair combination strategy; ablation knob. The plane sweep
+  /// returns the same distance multiset as the nested loop for every
+  /// algorithm and metric (tests/parallel_test.cc locks this in).
+  LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
 };
 
 /// One reported closest pair.
@@ -127,6 +147,9 @@ struct CpqStats {
   uint64_t candidate_pairs_generated = 0;
   uint64_t candidate_pairs_pruned = 0;
   uint64_t point_distance_computations = 0;
+  /// Leaf point pairs skipped by the plane-sweep kernel's axis test
+  /// (0 under kNestedLoop). Skipped + computed = enumerated pairs.
+  uint64_t leaf_pairs_skipped = 0;
   /// High-water mark of the kHeap algorithm's pair heap (0 otherwise).
   uint64_t max_heap_size = 0;
   /// Buffer misses (= physical reads) per tree during the query.

@@ -68,36 +68,57 @@ class JoinWalker {
  private:
   Status EmitLeafPairs(const Node& node_p, const Node& node_q,
                        bool same_node) {
-    for (const Entry& ep : node_p.entries) {
-      for (const Entry& eq : node_q.entries) {
-        if (options_.self_join) {
-          if (same_node) {
-            if (ep.id >= eq.id) continue;
-          } else if (ep.id == eq.id) {
-            continue;
-          }
+    // Shared by both kernels; returns false (aborting the enumeration) only
+    // when the max_results valve trips, leaving the error in `status`.
+    Status status;
+    const auto consider = [&](const Entry& ep, const Entry& eq) {
+      if (options_.self_join) {
+        if (same_node) {
+          if (ep.id >= eq.id) return true;
+        } else if (ep.id == eq.id) {
+          return true;
         }
-        ++stats_->point_distance_computations;
-        const double d = MinMinDistPow(ep.rect, eq.rect, options_.metric);
-        if (d > epsilon_pow_) continue;
-        if (options_.max_results > 0 &&
-            out_->size() >= options_.max_results) {
-          return Status::ResourceExhausted(
-              "distance join exceeded max_results = " +
-              std::to_string(options_.max_results));
-        }
-        Point p, q;
-        ClosestPoints(ep.rect, eq.rect, &p, &q);
-        if (options_.self_join && ep.id > eq.id) {
-          out_->push_back(PairResult{q, p, eq.id, ep.id,
-                                     PowToDistance(d, options_.metric)});
-        } else {
-          out_->push_back(PairResult{
-              p, q, ep.id, eq.id, PowToDistance(d, options_.metric)});
+      }
+      ++stats_->point_distance_computations;
+      const double d = MinMinDistPow(ep.rect, eq.rect, options_.metric);
+      if (d > epsilon_pow_) return true;
+      if (options_.max_results > 0 && out_->size() >= options_.max_results) {
+        status = Status::ResourceExhausted(
+            "distance join exceeded max_results = " +
+            std::to_string(options_.max_results));
+        return false;
+      }
+      Point p, q;
+      ClosestPoints(ep.rect, eq.rect, &p, &q);
+      if (options_.self_join && ep.id > eq.id) {
+        out_->push_back(PairResult{q, p, eq.id, ep.id,
+                                   PowToDistance(d, options_.metric)});
+      } else {
+        out_->push_back(PairResult{
+            p, q, ep.id, eq.id, PowToDistance(d, options_.metric)});
+      }
+      return true;
+    };
+
+    if (options_.leaf_kernel == LeafKernel::kPlaneSweep) {
+      // strict = true: the join keeps distance == ε exactly, so only pairs
+      // whose axis separation strictly exceeds ε are provably rejectable.
+      const uint64_t total = static_cast<uint64_t>(node_p.entries.size()) *
+                             node_q.entries.size();
+      const uint64_t visited = cpq_internal::PlaneSweepPairs(
+          node_p.entries, node_q.entries, options_.metric, /*strict=*/true,
+          &sweep_scratch_,
+          [](const Entry& e) -> const Rect& { return e.rect; },
+          [&] { return epsilon_pow_; }, consider);
+      if (status.ok()) stats_->leaf_pairs_skipped += total - visited;
+    } else {
+      for (const Entry& ep : node_p.entries) {
+        for (const Entry& eq : node_q.entries) {
+          if (!consider(ep, eq)) return status;
         }
       }
     }
-    return Status::OK();
+    return status;
   }
 
   const RStarTree& tree_p_;
@@ -106,6 +127,7 @@ class JoinWalker {
   const DistanceJoinOptions& options_;
   CpqStats* stats_;
   std::vector<PairResult>* out_;
+  cpq_internal::SweepScratch<Entry> sweep_scratch_;
 };
 
 void SortResults(std::vector<PairResult>* out) {
@@ -131,13 +153,13 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
   std::vector<PairResult> out;
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
 
-  const BufferStats before_p = tree_p.buffer()->stats();
-  const BufferStats before_q = tree_q.buffer()->stats();
+  const BufferStats before_p = tree_p.buffer()->ThreadStats();
+  const BufferStats before_q = tree_q.buffer()->ThreadStats();
   JoinWalker walker(tree_p, tree_q, DistanceToPow(epsilon, options.metric),
                     options, s, &out);
   KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page()));
-  s->disk_accesses_p = tree_p.buffer()->stats().misses - before_p.misses;
-  s->disk_accesses_q = tree_q.buffer()->stats().misses - before_q.misses;
+  s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
+  s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
   SortResults(&out);
   return out;
 }

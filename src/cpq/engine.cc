@@ -56,8 +56,8 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   if (options_.k == 0) return Status::OK();
   if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
 
-  const BufferStats before_p = tree_p_.buffer()->stats();
-  const BufferStats before_q = tree_q_.buffer()->stats();
+  const BufferStats before_p = tree_p_.buffer()->ThreadStats();
+  const BufferStats before_q = tree_q_.buffer()->ThreadStats();
 
   Rect mbr_p, mbr_q;
   KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
@@ -78,9 +78,9 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   KCPQ_RETURN_IF_ERROR(status);
 
   stats_->disk_accesses_p =
-      tree_p_.buffer()->stats().misses - before_p.misses;
+      tree_p_.buffer()->ThreadStats().misses - before_p.misses;
   stats_->disk_accesses_q =
-      tree_q_.buffer()->stats().misses - before_q.misses;
+      tree_q_.buffer()->ThreadStats().misses - before_q.misses;
 
   *out = std::move(results_).Extract();
   return Status::OK();
@@ -112,25 +112,46 @@ void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
   // Self-join: symmetric node pairs were skipped at generation time, so a
   // cross-node unordered object pair reaches this loop exactly once (in
   // arbitrary order — normalize on output); within one node, the id filter
-  // keeps each unordered pair once and drops reflexive pairs.
-  for (const Entry& ep : node_p.entries) {
-    for (const Entry& eq : node_q.entries) {
-      if (options_.self_join) {
-        if (same_node) {
-          if (ep.id >= eq.id) continue;
-        } else if (ep.id == eq.id) {
-          continue;
-        }
+  // keeps each unordered pair once and drops reflexive pairs. The filter
+  // lives inside `consider` so both kernels apply identical rules.
+  const auto consider = [&](const Entry& ep, const Entry& eq) {
+    if (options_.self_join) {
+      if (same_node) {
+        if (ep.id >= eq.id) return true;
+      } else if (ep.id == eq.id) {
+        return true;
       }
-      ++stats_->point_distance_computations;
-      const double d2 = MinMinDistPow(ep.rect, eq.rect, options_.metric);
-      if (d2 >= results_.Bound()) continue;  // cheap reject before points
-      Point p, q;
-      ClosestPoints(ep.rect, eq.rect, &p, &q);
-      if (options_.self_join && ep.id > eq.id) {
-        results_.Offer(d2, q, p, eq.id, ep.id);
-      } else {
-        results_.Offer(d2, p, q, ep.id, eq.id);
+    }
+    ++stats_->point_distance_computations;
+    const double d2 = MinMinDistPow(ep.rect, eq.rect, options_.metric);
+    if (d2 >= results_.Bound()) return true;  // cheap reject before points
+    Point p, q;
+    ClosestPoints(ep.rect, eq.rect, &p, &q);
+    if (options_.self_join && ep.id > eq.id) {
+      results_.Offer(d2, q, p, eq.id, ep.id);
+    } else {
+      results_.Offer(d2, p, q, ep.id, eq.id);
+    }
+    return true;
+  };
+
+  if (options_.leaf_kernel == LeafKernel::kPlaneSweep) {
+    // Pairs the sweep skips have sweep-axis separation alone >= the result
+    // heap's bound, so their full distance would fail the `d2 >= Bound()`
+    // reject above — identical results, fewer distance computations. The
+    // bound is re-read per skip test, so pairs offered early in this very
+    // sweep tighten it for the rest.
+    const uint64_t total =
+        static_cast<uint64_t>(node_p.entries.size()) * node_q.entries.size();
+    const uint64_t visited = PlaneSweepPairs(
+        node_p.entries, node_q.entries, options_.metric, /*strict=*/false,
+        &sweep_scratch_, [](const Entry& e) -> const Rect& { return e.rect; },
+        [&] { return results_.Bound(); }, consider);
+    stats_->leaf_pairs_skipped += total - visited;
+  } else {
+    for (const Entry& ep : node_p.entries) {
+      for (const Entry& eq : node_q.entries) {
+        consider(ep, eq);
       }
     }
   }

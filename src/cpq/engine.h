@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cpq/cpq.h"
+#include "cpq/leaf_kernel.h"
 #include "cpq/result_heap.h"
 #include "cpq/tie.h"
 #include "rtree/rtree.h"
@@ -112,6 +113,8 @@ class CpqEngine {
   double bound_;
   /// Scratch for MAXMAXDIST accumulation (avoids reallocating per node).
   std::vector<std::pair<double, uint64_t>> maxmax_scratch_;
+  /// Sorted-copy buffers for the plane-sweep leaf kernel.
+  SweepScratch<Entry> sweep_scratch_;
 };
 
 /// Lower bound on points under a node that has been read.

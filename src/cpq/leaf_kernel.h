@@ -1,0 +1,144 @@
+// Plane-sweep leaf kernel, shared by every leaf/leaf (and object/object)
+// combination loop in the query engines (cpq/engine.cc, distance_join.cc,
+// hs/hs.cc, brute.cc).
+//
+// Idea (classic in the closest-pair literature — the optimized
+// divide-and-conquer of Pereira & Lobo and the plane-sweep KCPQ variants
+// that followed the paper): sort both entry sets along one axis and visit
+// pairs in sweep order. For a reference entry `r` and the other set's
+// entries in ascending lower-coordinate order, the axis separation
+// `other.lo - r.hi` is non-decreasing, and its power-space value
+// (AxisGapPow) lower-bounds the pair's full distance under every Minkowski
+// metric. So the first time the axis separation alone exceeds the pruning
+// bound, the scan for `r` stops: every remaining pair is provably farther
+// than the bound, without computing a single full distance.
+//
+// The kernel only *enumerates* the surviving pairs; the caller's visitor
+// keeps its own filtering / counting / result handling, which is what makes
+// one template serve four engines with different semantics. The visitor
+// returns false to abort the whole sweep (used by the ε-join's max_results
+// guard). The bound is re-read through a callable on every skip test, so a
+// bound tightened by the visitor mid-sweep prunes the remaining pairs of
+// the same leaf pair — strictly better than the nested loop's behavior.
+//
+// Pair coverage: each cross pair (a, b) is visited exactly once, by
+// whichever side enters the sweep first (smaller lo on the sweep axis; ties
+// go to `a`). Orientation is preserved: the visitor always receives
+// (a-item, b-item) regardless of which side was the reference.
+
+#ifndef KCPQ_CPQ_LEAF_KERNEL_H_
+#define KCPQ_CPQ_LEAF_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/minkowski.h"
+#include "geometry/rect.h"
+
+namespace kcpq {
+namespace cpq_internal {
+
+/// Reusable sorted-copy buffers so per-leaf-pair sweeps don't reallocate.
+template <typename Item>
+struct SweepScratch {
+  std::vector<Item> a;
+  std::vector<Item> b;
+};
+
+/// The axis along which the union of both sets' extents is largest —
+/// maximizing spread maximizes the chance the axis test fires early.
+template <typename Item, typename RectOf>
+int BestSweepAxis(const std::vector<Item>& a, const std::vector<Item>& b,
+                  RectOf rect_of) {
+  double lo[kDims], hi[kDims];
+  for (int d = 0; d < kDims; ++d) {
+    lo[d] = std::numeric_limits<double>::infinity();
+    hi[d] = -std::numeric_limits<double>::infinity();
+  }
+  auto account = [&](const std::vector<Item>& items) {
+    for (const Item& item : items) {
+      const auto& r = rect_of(item);
+      for (int d = 0; d < kDims; ++d) {
+        lo[d] = std::min(lo[d], r.lo[d]);
+        hi[d] = std::max(hi[d], r.hi[d]);
+      }
+    }
+  };
+  account(a);
+  account(b);
+  int best = 0;
+  double best_spread = -1.0;
+  for (int d = 0; d < kDims; ++d) {
+    const double spread = hi[d] - lo[d];
+    if (spread > best_spread) {
+      best_spread = spread;
+      best = d;
+    }
+  }
+  return best;
+}
+
+/// Sweeps `a` x `b` and calls `visit(a_item, b_item)` for every pair whose
+/// sweep-axis separation does not already violate `bound()` (power space).
+/// `strict` selects the violation test: with strict = false a pair is
+/// skipped when AxisGapPow >= bound (for engines that discard distances
+/// >= bound, like the K-CPQ result heap); with strict = true only when
+/// AxisGapPow > bound (for the ε-join, whose results include distance ==
+/// epsilon exactly). `visit` returns false to abort. Returns the number of
+/// pairs visited, so callers can account skips as |a|·|b| − visited.
+template <typename Item, typename RectOf, typename BoundFn, typename VisitFn>
+uint64_t PlaneSweepPairs(const std::vector<Item>& a, const std::vector<Item>& b,
+                         Metric metric, bool strict,
+                         SweepScratch<Item>* scratch, RectOf rect_of,
+                         BoundFn bound, VisitFn visit) {
+  const int axis = BestSweepAxis(a, b, rect_of);
+  scratch->a.assign(a.begin(), a.end());
+  scratch->b.assign(b.begin(), b.end());
+  const auto by_lo = [&](const Item& x, const Item& y) {
+    return rect_of(x).lo[axis] < rect_of(y).lo[axis];
+  };
+  std::sort(scratch->a.begin(), scratch->a.end(), by_lo);
+  std::sort(scratch->b.begin(), scratch->b.end(), by_lo);
+
+  // The axis separation between the reference and a later entry of the
+  // other list: positive only when the later entry starts past the
+  // reference's upper face, in which case it is the exact axis gap.
+  const auto beyond_bound = [&](double ref_hi, const Item& other) {
+    const double gap = rect_of(other).lo[axis] - ref_hi;
+    if (gap <= 0.0) return false;
+    const double axis_pow = AxisGapPow(gap, metric);
+    const double t = bound();
+    return strict ? axis_pow > t : axis_pow >= t;
+  };
+
+  uint64_t visited = 0;
+  size_t i = 0, j = 0;
+  while (i < scratch->a.size() && j < scratch->b.size()) {
+    if (rect_of(scratch->a[i]).lo[axis] <= rect_of(scratch->b[j]).lo[axis]) {
+      const Item& ref = scratch->a[i];
+      const double ref_hi = rect_of(ref).hi[axis];
+      for (size_t jj = j; jj < scratch->b.size(); ++jj) {
+        if (beyond_bound(ref_hi, scratch->b[jj])) break;
+        ++visited;
+        if (!visit(ref, scratch->b[jj])) return visited;
+      }
+      ++i;
+    } else {
+      const Item& ref = scratch->b[j];
+      const double ref_hi = rect_of(ref).hi[axis];
+      for (size_t ii = i; ii < scratch->a.size(); ++ii) {
+        if (beyond_bound(ref_hi, scratch->a[ii])) break;
+        ++visited;
+        if (!visit(scratch->a[ii], ref)) return visited;
+      }
+      ++j;
+    }
+  }
+  return visited;
+}
+
+}  // namespace cpq_internal
+}  // namespace kcpq
+
+#endif  // KCPQ_CPQ_LEAF_KERNEL_H_

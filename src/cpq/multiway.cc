@@ -257,13 +257,13 @@ Result<std::vector<TupleResult>> MultiwayKClosestTuples(
   before.reserve(trees.size());
   for (const RStarTree* tree : trees) {
     if (tree->size() == 0) return out;
-    before.push_back(tree->buffer()->stats());
+    before.push_back(tree->buffer()->ThreadStats());
   }
   MultiwayEngine engine(trees, graph, options, s);
   KCPQ_RETURN_IF_ERROR(engine.Run(&out));
   for (size_t i = 0; i < trees.size(); ++i) {
     s->disk_accesses_p +=
-        trees[i]->buffer()->stats().misses - before[i].misses;
+        trees[i]->buffer()->ThreadStats().misses - before[i].misses;
   }
   return out;
 }

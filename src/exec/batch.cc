@@ -1,0 +1,73 @@
+#include "exec/batch.h"
+
+#include <utility>
+
+#include "exec/thread_pool.h"
+
+namespace kcpq {
+
+namespace {
+
+void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
+            const BatchQuery& query, BatchQueryResult* result) {
+  Result<std::vector<PairResult>> r = [&] {
+    switch (query.kind) {
+      case BatchQueryKind::kClosestPairs:
+        return KClosestPairs(tree_p, tree_q, query.options, &result->stats);
+      case BatchQueryKind::kSelfClosestPairs:
+        return SelfKClosestPairs(tree_p, query.options, &result->stats);
+      case BatchQueryKind::kSemiClosestPairs:
+        return SemiClosestPairs(tree_p, tree_q, &result->stats);
+    }
+    return Result<std::vector<PairResult>>(
+        Status::InvalidArgument("unknown batch query kind"));
+  }();
+  if (r.ok()) {
+    result->pairs = std::move(r).value();
+    result->status = Status::OK();
+  } else {
+    result->status = r.status();
+  }
+}
+
+}  // namespace
+
+std::vector<BatchQueryResult> BatchKClosestPairs(
+    const RStarTree& tree_p, const RStarTree& tree_q,
+    const std::vector<BatchQuery>& queries, const BatchOptions& options,
+    BatchStats* stats) {
+  std::vector<BatchQueryResult> results(queries.size());
+
+  const size_t threads =
+      options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
+  if (threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      RunOne(tree_p, tree_q, queries[i], &results[i]);
+    }
+  } else {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      pool.Submit([&, i] { RunOne(tree_p, tree_q, queries[i], &results[i]); });
+    }
+    pool.Wait();
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->queries = results.size();
+    for (const BatchQueryResult& r : results) {
+      if (!r.status.ok()) {
+        ++stats->failed;
+        continue;
+      }
+      stats->node_pairs_processed += r.stats.node_pairs_processed;
+      stats->point_distance_computations +=
+          r.stats.point_distance_computations;
+      stats->leaf_pairs_skipped += r.stats.leaf_pairs_skipped;
+      stats->disk_accesses += r.stats.disk_accesses();
+    }
+  }
+  return results;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,78 @@
+// Parallel batch query executor.
+//
+// Runs many *independent* closest-pair queries concurrently against shared
+// R*-trees: a server answering CPQ requests from multiple clients, or an
+// experiment sweeping a parameter grid. Parallelism is per query — each
+// query runs single-threaded exactly as it would alone, so per-query
+// results and CpqStats are identical at any thread count; only wall-clock
+// time changes. The shared state below the queries (the trees' buffer
+// managers and storage) is thread-safe since the sharded BufferManager
+// (see buffer/buffer_manager.h for the locking protocol), which is what
+// makes this correct without per-query tree copies.
+//
+// On a workload whose cost is disk accesses — the paper's cost model —
+// batching wins by overlapping I/O waits, independent of core count; see
+// bench/bench_parallel.cc.
+
+#ifndef KCPQ_EXEC_BATCH_H_
+#define KCPQ_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpq/cpq.h"
+#include "rtree/rtree.h"
+
+namespace kcpq {
+
+enum class BatchQueryKind {
+  /// KClosestPairs(tree_p, tree_q, options).
+  kClosestPairs,
+  /// SelfKClosestPairs(tree_p, options); tree_q ignored.
+  kSelfClosestPairs,
+  /// SemiClosestPairs(tree_p, tree_q); options.k / algorithm ignored.
+  kSemiClosestPairs,
+};
+
+/// One query of a batch.
+struct BatchQuery {
+  BatchQueryKind kind = BatchQueryKind::kClosestPairs;
+  CpqOptions options;
+};
+
+/// One query's outcome, at the same index as its BatchQuery.
+struct BatchQueryResult {
+  Status status;
+  std::vector<PairResult> pairs;
+  CpqStats stats;
+};
+
+struct BatchOptions {
+  /// Worker threads. 0 = ThreadPool::DefaultThreads(); 1 = run inline on
+  /// the calling thread (no pool, deterministic execution order).
+  size_t threads = 0;
+};
+
+/// Whole-batch aggregates (sums over the per-query stats).
+struct BatchStats {
+  uint64_t queries = 0;
+  uint64_t failed = 0;
+  uint64_t node_pairs_processed = 0;
+  uint64_t point_distance_computations = 0;
+  uint64_t leaf_pairs_skipped = 0;
+  uint64_t disk_accesses = 0;
+};
+
+/// Runs every query of `queries` against (`tree_p`, `tree_q`) on
+/// `options.threads` workers; returns per-query results in input order.
+/// Individual query failures land in their BatchQueryResult::status (and
+/// BatchStats::failed) without affecting other queries. Both trees must
+/// stay unmodified for the duration of the call.
+std::vector<BatchQueryResult> BatchKClosestPairs(
+    const RStarTree& tree_p, const RStarTree& tree_q,
+    const std::vector<BatchQuery>& queries, const BatchOptions& options = {},
+    BatchStats* stats = nullptr);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_EXEC_BATCH_H_

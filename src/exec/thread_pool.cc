@@ -1,0 +1,61 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kcpq {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = std::max<size_t>(threads, 1);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return shutdown_ || !queue_.empty(); });
+    // Shutdown still drains the queue: every submitted task runs.
+    if (queue_.empty()) return;  // implies shutdown_
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) all_done_.notify_all();
+  }
+}
+
+}  // namespace kcpq

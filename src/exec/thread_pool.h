@@ -1,0 +1,60 @@
+// Fixed-size thread pool for the batch query executor.
+//
+// Deliberately minimal: a mutex-guarded FIFO of std::function tasks, N
+// worker threads, and a Wait() barrier that blocks until every submitted
+// task has *finished* (not merely been dequeued). Queries are coarse tasks
+// (milliseconds to seconds), so a lock-free queue would buy nothing.
+
+#ifndef KCPQ_EXEC_THREAD_POOL_H_
+#define KCPQ_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kcpq {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). Workers idle until tasks
+  /// arrive.
+  explicit ThreadPool(size_t threads);
+
+  /// Drains the queue completely (destruction implies Wait), then joins
+  /// the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. Safe from any thread, including worker threads.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  size_t threads() const { return workers_.size(); }
+
+  /// A sensible default worker count: the hardware concurrency, or 1 when
+  /// the runtime cannot tell.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;   // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_EXEC_THREAD_POOL_H_

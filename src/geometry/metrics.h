@@ -26,6 +26,14 @@
 
 namespace kcpq {
 
+/// Squared point-to-point distance — the leaf-loop fast path. Identical to
+/// SquaredDistance (point.h); this alias exists so hot loops that otherwise
+/// speak the Rect metric vocabulary (MinMinDistSquared et al.) can name the
+/// degenerate case explicitly.
+inline double DistanceSquared(const Point& a, const Point& b) {
+  return SquaredDistance(a, b);
+}
+
 /// Smallest possible squared distance between a point in `a` and a point in
 /// `b`. Zero when the rectangles intersect.
 double MinMinDistSquared(const Rect& a, const Rect& b);

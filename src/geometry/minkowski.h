@@ -34,6 +34,15 @@ const char* MetricName(Metric metric);
 /// Distance between two points in power space.
 double PointDistancePow(const Point& a, const Point& b, Metric metric);
 
+/// Power-space contribution of a single-axis separation `gap` (>= 0): gap²
+/// for L2, gap for L1 and Linf. For every Minkowski metric this
+/// lower-bounds the full power-space distance of any pair separated by
+/// `gap` along one axis — the plane-sweep leaf kernel's skip test
+/// (cpq/leaf_kernel.h) relies on exactly this monotone bound.
+inline double AxisGapPow(double gap, Metric metric) {
+  return metric == Metric::kL2 ? gap * gap : gap;
+}
+
 /// Power-space value -> true distance (sqrt for L2, identity otherwise).
 double PowToDistance(double pow_value, Metric metric);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cpq/leaf_kernel.h"
 #include "geometry/metrics.h"
 #include "hs/hybrid_queue.h"
 
@@ -79,6 +80,7 @@ class JoinImpl {
   HsOptions options_;
   HybridQueue queue_;
   KBound k_bound_;
+  cpq_internal::SweepScratch<Entry> sweep_scratch_;
   HsStats stats_;
   uint64_t next_seq_ = 0;
   uint64_t results_emitted_ = 0;
@@ -126,8 +128,8 @@ void JoinImpl::PushItem(QueueItem item) {
 
 Status JoinImpl::Start() {
   started_ = true;
-  before_p_ = tree_p_.buffer()->stats();
-  before_q_ = tree_q_.buffer()->stats();
+  before_p_ = tree_p_.buffer()->ThreadStats();
+  before_q_ = tree_q_.buffer()->ThreadStats();
   if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
   Rect mbr_p, mbr_q;
   KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
@@ -163,18 +165,35 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
   Node node_a, node_b;
   KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a));
   KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b));
-  for (const Entry& ea : node_a.entries) {
+  const auto push_pair = [&](const Entry& ea, const Entry& eb) {
     const ItemSide ca = node_a.IsLeaf() ? ObjectSide(ea)
                                         : NodeSide(ea, node_a.level - 1);
+    const ItemSide cb = node_b.IsLeaf() ? ObjectSide(eb)
+                                        : NodeSide(eb, node_b.level - 1);
+    QueueItem item;
+    item.a = ca;
+    item.b = cb;
+    item.key = KeyOf(ca, cb);
+    item.tie_level = TieLevelOf(ca, cb);
+    PushItem(item);
+    return true;
+  };
+  if (options_.leaf_kernel == LeafKernel::kPlaneSweep && node_a.IsLeaf() &&
+      node_b.IsLeaf()) {
+    // Object pairs the sweep skips have axis separation alone > the k_bound
+    // prune threshold, so their key (>= that separation, squared space)
+    // would fail PushItem's `key > Bound()` drop. The bound is re-read each
+    // skip test: object pairs pushed earlier in this sweep tighten it. The
+    // join's keys are L2-only (KeyOf), hence kL2 here.
+    cpq_internal::PlaneSweepPairs(
+        node_a.entries, node_b.entries, Metric::kL2, /*strict=*/true,
+        &sweep_scratch_, [](const Entry& e) -> const Rect& { return e.rect; },
+        [&] { return k_bound_.Bound(); }, push_pair);
+    return Status::OK();
+  }
+  for (const Entry& ea : node_a.entries) {
     for (const Entry& eb : node_b.entries) {
-      const ItemSide cb = node_b.IsLeaf() ? ObjectSide(eb)
-                                          : NodeSide(eb, node_b.level - 1);
-      QueueItem item;
-      item.a = ca;
-      item.b = cb;
-      item.key = KeyOf(ca, cb);
-      item.tie_level = TieLevelOf(ca, cb);
-      PushItem(item);
+      push_pair(ea, eb);
     }
   }
   return Status::OK();
@@ -199,9 +218,9 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       out.distance = std::sqrt(item.key);
       ++results_emitted_;
       stats_.disk_accesses_p =
-          tree_p_.buffer()->stats().misses - before_p_.misses;
+          tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
       stats_.disk_accesses_q =
-          tree_q_.buffer()->stats().misses - before_q_.misses;
+          tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
       stats_.queue_spill_reads = queue_.spill_reads();
       stats_.queue_spill_writes = queue_.spill_writes();
       return std::optional<PairResult>(out);
@@ -235,8 +254,8 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
           ExpandOneSide(tree_q_, item.b, item.a, /*node_first=*/false));
     }
   }
-  stats_.disk_accesses_p = tree_p_.buffer()->stats().misses - before_p_.misses;
-  stats_.disk_accesses_q = tree_q_.buffer()->stats().misses - before_q_.misses;
+  stats_.disk_accesses_p = tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
+  stats_.disk_accesses_q = tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
   stats_.queue_spill_reads = queue_.spill_reads();
   stats_.queue_spill_writes = queue_.spill_writes();
   return std::optional<PairResult>();

@@ -52,6 +52,13 @@ struct HsOptions {
 
   /// Page size of the queue's own overflow storage.
   size_t queue_page_size = kDefaultPageSize;
+
+  /// How kSimultaneous combines two leaf nodes (see CpqOptions::leaf_kernel).
+  /// The sweep skips object pairs whose sweep-axis separation alone exceeds
+  /// the k_bound prune threshold — pairs PushItem would drop anyway — before
+  /// their keys are ever computed. No effect when k_bound == 0 (the prune
+  /// threshold stays infinite) or on non-leaf expansions.
+  LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
 };
 
 struct HsStats {

@@ -17,8 +17,12 @@
 //     src/hs) can traverse two trees in lockstep, with every node access
 //     going through — and being counted by — the tree's BufferManager.
 //
-// Thread-compatibility: instances are single-threaded, like the paper's
-// system.
+// Thread-compatibility: construction and mutation (Insert / bulk load)
+// are single-threaded, like the paper's system. Read-only traversal of a
+// finished tree (ReadNode et al.) is safe from multiple threads provided
+// the underlying BufferManager is — the sharded configuration documented
+// in buffer/buffer_manager.h; the batch executor (src/exec) relies on
+// exactly this to run concurrent queries against shared trees.
 
 #ifndef KCPQ_RTREE_RTREE_H_
 #define KCPQ_RTREE_RTREE_H_

@@ -56,13 +56,13 @@ Result<PageId> ChecksummedStorageManager::Allocate() {
 Status ChecksummedStorageManager::ReadPage(PageId id, Page* page) {
   Page raw;
   KCPQ_RETURN_IF_ERROR(base_->ReadPage(id, &raw));
-  ++stats_.reads;
+  CountRead();
   const size_t payload = page_size();
   uint32_t stored;
   std::memcpy(&stored, raw.data() + payload, 4);
   const uint32_t computed = Crc32c(raw.data(), payload);
   if (stored != computed && !IsAllZero(raw.data(), raw.size())) {
-    ++corruption_detections_;
+    corruption_detections_.fetch_add(1, std::memory_order_relaxed);
     return Status::Corruption("checksum mismatch on page " +
                               std::to_string(id));
   }
@@ -75,7 +75,7 @@ Status ChecksummedStorageManager::WritePage(PageId id, const Page& page) {
   if (page.size() != page_size()) {
     return Status::InvalidArgument("page size mismatch on write");
   }
-  ++stats_.writes;
+  CountWrite();
   Page raw(base_->page_size());
   std::memcpy(raw.data(), page.data(), page.size());
   const uint32_t crc = Crc32c(page.data(), page.size());

@@ -10,6 +10,8 @@
 #ifndef KCPQ_STORAGE_CHECKSUM_STORAGE_H_
 #define KCPQ_STORAGE_CHECKSUM_STORAGE_H_
 
+#include <atomic>
+
 #include "storage/storage_manager.h"
 
 namespace kcpq {
@@ -30,11 +32,14 @@ class ChecksummedStorageManager final : public StorageManager {
   Status Sync() override { return base_->Sync(); }
 
   /// Number of checksum mismatches detected so far.
-  uint64_t corruption_detections() const { return corruption_detections_; }
+  uint64_t corruption_detections() const {
+    return corruption_detections_.load(std::memory_order_relaxed);
+  }
 
  private:
   StorageManager* base_;
-  uint64_t corruption_detections_ = 0;
+  /// Atomic: concurrent page reads may detect corruption simultaneously.
+  std::atomic<uint64_t> corruption_detections_{0};
 };
 
 }  // namespace kcpq

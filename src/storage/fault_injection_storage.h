@@ -54,12 +54,12 @@ class FaultInjectionStorageManager final : public StorageManager {
   }
   Status ReadPage(PageId id, Page* page) override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("ReadPage"));
-    ++stats_.reads;
+    CountRead();
     return base_->ReadPage(id, page);
   }
   Status WritePage(PageId id, const Page& page) override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("WritePage"));
-    ++stats_.writes;
+    CountWrite();
     return base_->WritePage(id, page);
   }
   Status Sync() override {

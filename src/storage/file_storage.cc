@@ -126,7 +126,7 @@ Status FileStorageManager::Free(PageId id) {
 
 Status FileStorageManager::ReadPage(PageId id, Page* page) {
   if (id >= page_count_) return Status::OutOfRange("read of unknown page");
-  ++stats_.reads;
+  CountRead();
   page->Resize(page_size());
   return ReadRaw(PageOffset(id), page->data(), page->size());
 }
@@ -136,7 +136,7 @@ Status FileStorageManager::WritePage(PageId id, const Page& page) {
   if (page.size() != page_size()) {
     return Status::InvalidArgument("page size mismatch on write");
   }
-  ++stats_.writes;
+  CountWrite();
   return WriteRaw(PageOffset(id), page.data(), page.size());
 }
 

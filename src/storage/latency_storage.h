@@ -1,0 +1,67 @@
+// Latency-injecting storage decorator: a simulated disk with real waits.
+//
+// The paper costs queries in disk accesses because on 2000-era hardware
+// each page read dominated everything else; MemoryStorageManager keeps the
+// *counts* honest but serves pages at RAM speed. This wrapper adds the
+// missing dimension back: every ReadPage / WritePage sleeps for a
+// configurable duration before delegating, so wall-clock behavior matches
+// a device with that access time. The parallel batch executor's benches
+// use it to show what thread-level concurrency actually buys on an
+// I/O-bound workload — overlapping the waits — independent of how many
+// CPU cores happen to be available.
+//
+// Thread-safety: stateless beyond the inner manager, so the decorator is
+// as concurrent as what it wraps; sleeps happen outside any lock.
+
+#ifndef KCPQ_STORAGE_LATENCY_STORAGE_H_
+#define KCPQ_STORAGE_LATENCY_STORAGE_H_
+
+#include <chrono>
+#include <thread>
+
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+class LatencyStorageManager final : public StorageManager {
+ public:
+  /// `base` must outlive this wrapper. Latencies are per operation; zero
+  /// disables the sleep for that operation kind.
+  LatencyStorageManager(StorageManager* base,
+                        std::chrono::microseconds read_latency,
+                        std::chrono::microseconds write_latency =
+                            std::chrono::microseconds(0))
+      : StorageManager(base->page_size()),
+        base_(base),
+        read_latency_(read_latency),
+        write_latency_(write_latency) {}
+
+  uint64_t PageCount() const override { return base_->PageCount(); }
+  Result<PageId> Allocate() override { return base_->Allocate(); }
+  Status Free(PageId id) override { return base_->Free(id); }
+
+  Status ReadPage(PageId id, Page* page) override {
+    if (read_latency_.count() > 0) std::this_thread::sleep_for(read_latency_);
+    CountRead();
+    return base_->ReadPage(id, page);
+  }
+
+  Status WritePage(PageId id, const Page& page) override {
+    if (write_latency_.count() > 0) {
+      std::this_thread::sleep_for(write_latency_);
+    }
+    CountWrite();
+    return base_->WritePage(id, page);
+  }
+
+  Status Sync() override { return base_->Sync(); }
+
+ private:
+  StorageManager* base_;
+  const std::chrono::microseconds read_latency_;
+  const std::chrono::microseconds write_latency_;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_LATENCY_STORAGE_H_

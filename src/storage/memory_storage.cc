@@ -32,7 +32,7 @@ Status MemoryStorageManager::Free(PageId id) {
 
 Status MemoryStorageManager::ReadPage(PageId id, Page* page) {
   KCPQ_RETURN_IF_ERROR(CheckId(id));
-  ++stats_.reads;
+  CountRead();
   *page = pages_[id];
   return Status::OK();
 }
@@ -42,7 +42,7 @@ Status MemoryStorageManager::WritePage(PageId id, const Page& page) {
   if (page.size() != page_size()) {
     return Status::InvalidArgument("page size mismatch on write");
   }
-  ++stats_.writes;
+  CountWrite();
   pages_[id] = page;
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #ifndef KCPQ_STORAGE_STORAGE_MANAGER_H_
 #define KCPQ_STORAGE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/status.h"
@@ -17,8 +18,9 @@
 
 namespace kcpq {
 
-/// Physical I/O counters. Reset between experiment phases to isolate the
-/// cost of one query from tree-construction cost.
+/// Physical I/O counters (a snapshot; see StorageManager::stats). Reset
+/// between experiment phases to isolate the cost of one query from
+/// tree-construction cost.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
@@ -26,8 +28,14 @@ struct IoStats {
   void Reset() { *this = IoStats{}; }
 };
 
-/// Abstract page store. Implementations are single-threaded (the paper's
-/// system is single-user); no internal locking.
+/// Abstract page store.
+///
+/// Thread-safety contract (since the parallel batch executor): concurrent
+/// ReadPage / WritePage calls on *distinct* pages must be safe on every
+/// implementation — that is all the sharded buffer manager above ever
+/// issues concurrently. Allocate / Free / structural mutation remain
+/// single-threaded (trees are built before queries run against them).
+/// I/O counters are atomic, so mixed-thread counts are exact.
 class StorageManager {
  public:
   virtual ~StorageManager() = default;
@@ -58,15 +66,28 @@ class StorageManager {
   /// Flushes any implementation buffering to durable storage.
   virtual Status Sync() = 0;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the I/O counters (by value: the counters are atomics).
+  IoStats stats() const {
+    IoStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   explicit StorageManager(size_t page_size) : page_size_(page_size) {}
 
-  IoStats stats_;
+  /// Implementations call these from ReadPage / WritePage.
+  void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
   size_t page_size_;
 };
 

@@ -49,6 +49,41 @@ TEST_P(DistanceJoinTest, MatchesBruteForceAcrossEpsilons) {
 INSTANTIATE_TEST_SUITE_P(Epsilons, DistanceJoinTest,
                          ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2));
 
+// Both leaf kernels across epsilons: identical join result, and the sweep
+// must actually skip pairs once epsilon prunes anything.
+TEST_P(DistanceJoinTest, LeafKernelsAgreeAcrossEpsilons) {
+  const double epsilon = GetParam();
+  const auto p_items = MakeUniformItems(500, 1100);
+  const auto q_items = MakeClusteredItems(500, 1101);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  const auto want = BruteForceDistanceRangeJoin(p_items, q_items, epsilon);
+  CpqStats nested_stats, sweep_stats;
+  DistanceJoinOptions options;
+  options.leaf_kernel = LeafKernel::kNestedLoop;
+  auto nested =
+      DistanceRangeJoin(fp.tree(), fq.tree(), epsilon, options, &nested_stats);
+  options.leaf_kernel = LeafKernel::kPlaneSweep;
+  auto sweep =
+      DistanceRangeJoin(fp.tree(), fq.tree(), epsilon, options, &sweep_stats);
+  ASSERT_TRUE(nested.ok());
+  ASSERT_TRUE(sweep.ok());
+  ExpectSameJoin(nested.value(), want);
+  ExpectSameJoin(sweep.value(), want);
+  EXPECT_EQ(nested_stats.leaf_pairs_skipped, 0u);
+  // Skipped + computed covers exactly the pairs the nested loop tested.
+  EXPECT_EQ(sweep_stats.point_distance_computations +
+                sweep_stats.leaf_pairs_skipped,
+            nested_stats.point_distance_computations);
+  if (epsilon > 0.0 && epsilon <= 0.05) {
+    EXPECT_GT(sweep_stats.leaf_pairs_skipped, 0u);
+    EXPECT_LT(sweep_stats.point_distance_computations,
+              nested_stats.point_distance_computations);
+  }
+}
+
 TEST(DistanceJoinTest, NegativeEpsilonRejected) {
   TreeFixture fp, fq;
   KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(10, 1002)));

@@ -11,6 +11,7 @@
 #include "cpq/multiway.h"
 #include "cpq/planner.h"
 #include "datagen/datagen.h"
+#include "exec/batch.h"
 #include "rtree/rtree.h"
 #include "storage/file_storage.h"
 #include "tools/csv.h"
@@ -80,6 +81,13 @@ Result<Metric> ParseMetric(const std::string& name) {
   if (name == "linf") return Metric::kLinf;
   return Status::InvalidArgument("unknown metric '" + name +
                                  "' (l1|l2|linf)");
+}
+
+Result<LeafKernel> ParseKernel(const std::string& name) {
+  if (name == "nested") return LeafKernel::kNestedLoop;
+  if (name == "sweep") return LeafKernel::kPlaneSweep;
+  return Status::InvalidArgument("unknown leaf kernel '" + name +
+                                 "' (nested|sweep)");
 }
 
 // An opened database: storage + buffer + tree, kept alive together.
@@ -222,6 +230,22 @@ Status OpenPair(const Flags& flags, Database* p, Database* q) {
   }
   KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], buffer_pages / 2, p));
   KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[1], buffer_pages / 2, q));
+  // Concurrent queries (--threads > 1) want sharded buffers: rebuild the
+  // buffer layer with enough shards that workers rarely collide.
+  uint64_t threads = 1;
+  if (const auto it = flags.named.find("threads"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &threads));
+  }
+  if (threads > 1) {
+    for (Database* db : {p, q}) {
+      db->tree.reset();
+      db->buffer = std::make_unique<BufferManager>(
+          db->storage.get(), buffer_pages / 2, /*shards=*/64,
+          [] { return MakeLruPolicy(); });
+      KCPQ_ASSIGN_OR_RETURN(db->tree,
+                            RStarTree::Open(db->buffer.get(), kMetaPage));
+    }
+  }
   return Status::OK();
 }
 
@@ -229,7 +253,8 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   if (flags.positional.size() != 3) {
     return Status::InvalidArgument(
         "usage: kcp <p.db> <q.db> <K> [--algorithm=heap] [--metric=l2] "
-        "[--buffer=N] [--fix-at-leaves] [--self]");
+        "[--buffer=N] [--fix-at-leaves] [--self] [--kernel=nested|sweep] "
+        "[--threads=N] [--repeat=N]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -241,10 +266,49 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   if (const auto it = flags.named.find("metric"); it != flags.named.end()) {
     KCPQ_ASSIGN_OR_RETURN(options.metric, ParseMetric(it->second));
   }
+  if (const auto it = flags.named.find("kernel"); it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(options.leaf_kernel, ParseKernel(it->second));
+  }
   if (flags.named.count("fix-at-leaves") > 0) {
     options.height_strategy = HeightStrategy::kFixAtLeaves;
   }
   options.self_join = flags.named.count("self") > 0;
+
+  uint64_t threads = 1;
+  uint64_t repeat = 1;
+  if (const auto it = flags.named.find("threads"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &threads));
+    if (threads == 0) threads = 1;
+  }
+  if (const auto it = flags.named.find("repeat"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &repeat));
+    if (repeat == 0) repeat = 1;
+  }
+
+  if (threads > 1 || repeat > 1) {
+    // Batch mode: the same query `repeat` times across `threads` workers —
+    // the multi-client throughput scenario (src/exec/batch.h).
+    std::vector<BatchQuery> batch(repeat);
+    for (BatchQuery& bq : batch) bq.options = options;
+    BatchOptions batch_options;
+    batch_options.threads = static_cast<size_t>(threads);
+    BatchStats batch_stats;
+    Timer timer;
+    const std::vector<BatchQueryResult> results = BatchKClosestPairs(
+        *p.tree, *q.tree, batch, batch_options, &batch_stats);
+    const double seconds = timer.ElapsedSeconds();
+    for (const BatchQueryResult& r : results) KCPQ_RETURN_IF_ERROR(r.status);
+    PrintPairs(out, results.front().pairs);
+    PrintQueryStats(out, results.front().stats, seconds);
+    std::fprintf(out,
+                 "batch: %llu queries on %llu threads in %.3f s "
+                 "(%.1f queries/s)\n",
+                 static_cast<unsigned long long>(repeat),
+                 static_cast<unsigned long long>(threads), seconds,
+                 static_cast<double>(repeat) / seconds);
+    return Status::OK();
+  }
+
   CpqStats stats;
   Timer timer;
   KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
@@ -457,6 +521,7 @@ void PrintUsage(std::FILE* out) {
       "  kcpq stats <db>\n"
       "  kcpq kcp <p.db> <q.db> <K> [--algorithm=naive|exh|sim|std|heap]\n"
       "       [--metric=l1|l2|linf] [--buffer=N] [--fix-at-leaves] [--self]\n"
+      "       [--kernel=nested|sweep] [--threads=N] [--repeat=N]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self]\n"
       "  kcpq semi <p.db> <q.db> [--buffer=N]\n"
