@@ -1,0 +1,21 @@
+#include "common/query_control.h"
+
+namespace kcpq {
+
+const char* StopCauseName(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kNodeBudget:
+      return "node-budget";
+    case StopCause::kMemoryBudget:
+      return "memory-budget";
+    case StopCause::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace kcpq

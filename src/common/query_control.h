@@ -1,0 +1,183 @@
+// Query lifecycle control: deadlines, cooperative cancellation, and
+// resource budgets, shared by every query execution path (cpq, hs, exec).
+//
+// A QueryControl rides inside the query options. The engines poll
+// `Check()` at node-pair granularity (each poll is an atomic load or two
+// and at most one clock read — noise next to a page read). When a limit
+// trips, the engine does NOT error out: it drains to a *partial result*
+// and reports a QueryQuality alongside, including a certified
+// `guaranteed_lower_bound` derived from the branch-and-bound invariant
+// (the smallest MINMINDIST among unexpanded node pairs lower-bounds every
+// undiscovered pair — see docs/robustness.md for the proof sketch).
+
+#ifndef KCPQ_COMMON_QUERY_CONTROL_H_
+#define KCPQ_COMMON_QUERY_CONTROL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace kcpq {
+
+/// Why a query stopped before exhausting its search space. kNone means the
+/// query ran to completion.
+enum class StopCause {
+  kNone = 0,
+  kDeadline,
+  kNodeBudget,
+  kMemoryBudget,
+  kCancelled,
+};
+
+/// Stable human-readable name ("deadline", ...).
+const char* StopCauseName(StopCause cause);
+
+/// Observer half of a cancellation pair. Default-constructed tokens are
+/// inert (never cancelled); real tokens come from a CancellationSource.
+/// Copyable and cheap to poll from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once any linked source has been cancelled.
+  bool cancelled() const {
+    for (const auto& flag : flags_) {
+      if (flag->load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  /// True when this token is linked to at least one source.
+  bool can_be_cancelled() const { return !flags_.empty(); }
+
+  /// A token observing every source either input observes. Used by the
+  /// batch executor to merge a per-query token with the batch-wide one.
+  static CancellationToken Combine(const CancellationToken& a,
+                                   const CancellationToken& b) {
+    CancellationToken out;
+    out.flags_.reserve(a.flags_.size() + b.flags_.size());
+    out.flags_.insert(out.flags_.end(), a.flags_.begin(), a.flags_.end());
+    out.flags_.insert(out.flags_.end(), b.flags_.begin(), b.flags_.end());
+    return out;
+  }
+
+ private:
+  friend class CancellationSource;
+  std::vector<std::shared_ptr<const std::atomic<bool>>> flags_;
+};
+
+/// Owner half: whoever holds the source can cancel every query polling a
+/// token derived from it. Thread-safe; cancellation is sticky.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  CancellationToken token() const {
+    CancellationToken t;
+    t.flags_.push_back(flag_);
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-query execution limits. Default-constructed control is unlimited:
+/// no deadline, no budgets, no cancellation — the zero-cost common case.
+struct QueryControl {
+  using Clock = std::chrono::steady_clock;
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// Wall-clock deadline. Queries past it stop with StopCause::kDeadline.
+  Clock::time_point deadline = kNoDeadline;
+
+  /// Maximum R-tree node reads (logical ReadNode calls, counted by the
+  /// engine, so the limit is deterministic and independent of buffer
+  /// hits). 0 = unlimited. Checked at node-pair granularity, so a query
+  /// may overshoot by one pair's reads.
+  uint64_t max_node_accesses = 0;
+
+  /// Maximum bytes of live candidate state (pair heap / candidate lists /
+  /// priority queue, estimated by the engine). 0 = unlimited.
+  uint64_t max_candidate_bytes = 0;
+
+  /// Cooperative cancellation; inert by default.
+  CancellationToken cancel;
+
+  /// Control with only a deadline, `budget` from now.
+  static QueryControl WithDeadlineAfter(std::chrono::nanoseconds budget) {
+    QueryControl c;
+    c.deadline = Clock::now() + budget;
+    return c;
+  }
+
+  bool IsUnlimited() const {
+    return deadline == kNoDeadline && max_node_accesses == 0 &&
+           max_candidate_bytes == 0 && !cancel.can_be_cancelled();
+  }
+
+  /// The stop decision, polled by the engines. Budget checks come before
+  /// the deadline so budget-limited runs are deterministic (the clock is
+  /// only read when a deadline is actually set).
+  StopCause Check(uint64_t node_accesses, uint64_t candidate_bytes) const {
+    if (cancel.cancelled()) return StopCause::kCancelled;
+    if (max_node_accesses != 0 && node_accesses >= max_node_accesses) {
+      return StopCause::kNodeBudget;
+    }
+    if (max_candidate_bytes != 0 && candidate_bytes >= max_candidate_bytes) {
+      return StopCause::kMemoryBudget;
+    }
+    if (deadline != kNoDeadline && Clock::now() >= deadline) {
+      return StopCause::kDeadline;
+    }
+    return StopCause::kNone;
+  }
+
+  /// The stricter of two controls: earlier deadline, smaller non-zero
+  /// budgets, union of cancellation sources. Used to merge batch-wide
+  /// control into each query's own.
+  static QueryControl Merged(const QueryControl& a, const QueryControl& b) {
+    const auto min_nonzero = [](uint64_t x, uint64_t y) {
+      if (x == 0) return y;
+      if (y == 0) return x;
+      return std::min(x, y);
+    };
+    QueryControl out;
+    out.deadline = std::min(a.deadline, b.deadline);
+    out.max_node_accesses = min_nonzero(a.max_node_accesses,
+                                        b.max_node_accesses);
+    out.max_candidate_bytes = min_nonzero(a.max_candidate_bytes,
+                                          b.max_candidate_bytes);
+    out.cancel = CancellationToken::Combine(a.cancel, b.cancel);
+    return out;
+  }
+};
+
+/// Quality report accompanying every query result. For a completed query
+/// it is the trivial certificate (exact, bound = +infinity); for a partial
+/// one it is the anytime guarantee:
+///
+///  * Every pair of the *true* answer that is missing from the partial
+///    result has distance >= guaranteed_lower_bound (in true distance
+///    units under the query's metric).
+///  * is_exact additionally certifies that the partial result IS a true
+///    answer (the bound proves nothing better remained undiscovered).
+struct QueryQuality {
+  StopCause stop_cause = StopCause::kNone;
+  uint64_t pairs_found = 0;
+  double guaranteed_lower_bound = std::numeric_limits<double>::infinity();
+  bool is_exact = true;
+
+  bool is_partial() const { return stop_cause != StopCause::kNone; }
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_COMMON_QUERY_CONTROL_H_

@@ -14,6 +14,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kIoTransient:
+      return "IoTransient";
     case StatusCode::kCorruption:
       return "Corruption";
     case StatusCode::kFailedPrecondition:

@@ -32,6 +32,7 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kIoError,
+  kIoTransient,
   kCorruption,
   kFailedPrecondition,
   kResourceExhausted,
@@ -68,6 +69,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// A retryable I/O failure (timeout, contention, spurious short read). A
+  /// RetryingStorageManager treats only these as safe to retry; kIoError
+  /// remains permanent.
+  static Status IoTransient(std::string msg) {
+    return Status(StatusCode::kIoTransient, std::move(msg));
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -85,6 +92,8 @@ class Status {
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for failures that may succeed if simply retried.
+  bool IsTransient() const { return code_ == StatusCode::kIoTransient; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -32,8 +32,23 @@ std::vector<SweepPoint> ToSweepPoints(
 std::vector<PairResult> BruteForceKClosestPairs(
     const std::vector<std::pair<Point, uint64_t>>& p,
     const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
-    bool self_join, Metric metric, LeafKernel kernel) {
+    bool self_join, Metric metric, LeafKernel kernel,
+    const QueryControl& control, QueryQuality* quality) {
   ResultHeap heap(k, metric);
+  StopCause stop = StopCause::kNone;
+  // Stop granularity: one outer point (= |q| distance tests) per poll.
+  // Node budgets are meaningless here (no tree is read), so only the
+  // cancel / deadline limits are honored.
+  uint64_t outer = 0;
+  const auto should_stop = [&] {
+    if (stop != StopCause::kNone) return true;
+    if (control.IsUnlimited()) return false;
+    stop = control.Check(0, 0);
+    if (stop == StopCause::kNodeBudget || stop == StopCause::kMemoryBudget) {
+      stop = StopCause::kNone;
+    }
+    return stop != StopCause::kNone;
+  };
   if (kernel == LeafKernel::kPlaneSweep) {
     const std::vector<SweepPoint> sp = ToSweepPoints(p);
     const std::vector<SweepPoint> sq = ToSweepPoints(q);
@@ -43,6 +58,7 @@ std::vector<PairResult> BruteForceKClosestPairs(
         [](const SweepPoint& it) -> const Rect& { return it.rect; },
         [&] { return heap.Bound(); },
         [&](const SweepPoint& a, const SweepPoint& b) {
+          if (++outer % 1024 == 0 && should_stop()) return false;
           if (!self_join || a.id < b.id) {
             heap.Offer(PointDistancePow(a.pt, b.pt, metric), a.pt, b.pt, a.id,
                        b.id);
@@ -51,10 +67,20 @@ std::vector<PairResult> BruteForceKClosestPairs(
         });
   } else {
     for (const auto& [pp, pid] : p) {
+      if (should_stop()) break;
       for (const auto& [qq, qid] : q) {
         if (self_join && pid >= qid) continue;
         heap.Offer(PointDistancePow(pp, qq, metric), pp, qq, pid, qid);
       }
+    }
+  }
+  if (quality != nullptr) {
+    *quality = QueryQuality{};
+    quality->stop_cause = stop;
+    quality->pairs_found = heap.size();
+    if (stop != StopCause::kNone) {
+      quality->guaranteed_lower_bound = 0.0;  // a scan certifies nothing
+      quality->is_exact = false;
     }
   }
   return std::move(heap).Extract();

@@ -20,11 +20,18 @@ namespace kcpq {
 /// enumeration strategy; the default stays kNestedLoop so the test oracle
 /// remains independent of the sweep code it validates (a dedicated test
 /// asserts sweep == nested here too).
+///
+/// `control` stops the scan early (deadline / cancellation; checked per
+/// outer point, node budgets do not apply — no tree is involved). Since a
+/// half-finished scan certifies nothing, a stopped run reports
+/// guaranteed_lower_bound = 0 in `*quality` (when given) and keeps the
+/// pairs seen so far.
 std::vector<PairResult> BruteForceKClosestPairs(
     const std::vector<std::pair<Point, uint64_t>>& p,
     const std::vector<std::pair<Point, uint64_t>>& q, size_t k,
     bool self_join = false, Metric metric = Metric::kL2,
-    LeafKernel kernel = LeafKernel::kNestedLoop);
+    LeafKernel kernel = LeafKernel::kNestedLoop,
+    const QueryControl& control = {}, QueryQuality* quality = nullptr);
 
 /// For each point of `p`, its nearest point of `q`; ascending distance.
 /// The brute-force reference for SemiClosestPairs.

@@ -60,8 +60,13 @@ namespace {
 // *every* leaf point to everything beneath the subtree, so the traversal
 // stops when the key exceeds the worst unresolved best. Amortizes one Q
 // descent over up to M points (vs. one descent per point).
+// `control` is polled per popped Q node; on a stop the leaf's half-built
+// best lists are discarded (per-point NN answers are only emitted whole)
+// and `*stop` tells the caller to end the scan.
 Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
-                           CpqStats* stats, std::vector<PairResult>* out) {
+                           const QueryControl& control, CpqStats* stats,
+                           std::vector<PairResult>* out,
+                           uint64_t* node_accesses, StopCause* stop) {
   struct QueueItem {
     double key;
     PageId page;
@@ -81,9 +86,15 @@ Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
     queue.pop();
     const double worst = *std::max_element(best.begin(), best.end());
     if (item.key > worst) break;  // no leaf point can improve
+    if (!control.IsUnlimited()) {
+      *stop = control.Check(*node_accesses,
+                            out->size() * sizeof(PairResult));
+      if (*stop != StopCause::kNone) return Status::OK();
+    }
     Node node;
     KCPQ_RETURN_IF_ERROR(tree_q.ReadNode(item.page, &node));
     ++stats->node_pairs_processed;
+    ++*node_accesses;
     if (node.IsLeaf()) {
       for (const Entry& eq : node.entries) {
         for (size_t i = 0; i < leaf.entries.size(); ++i) {
@@ -120,7 +131,8 @@ Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
 
 Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
                                                  const RStarTree& tree_q,
-                                                 CpqStats* stats) {
+                                                 CpqStats* stats,
+                                                 const QueryControl& control) {
   CpqStats local;
   CpqStats* s = stats != nullptr ? stats : &local;
   *s = CpqStats{};
@@ -131,12 +143,19 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
   out.reserve(tree_p.size());
 
+  uint64_t node_accesses = 0;
+  // Pre-trip check: a pre-cancelled or pre-expired query touches no pages.
+  StopCause stop = control.Check(0, 0);
   Status inner = Status::OK();
-  KCPQ_RETURN_IF_ERROR(tree_p.ScanLeaves([&](const Node& leaf) {
-    inner = GroupNearestForLeaf(tree_q, leaf, s, &out);
-    return inner.ok();
-  }));
-  KCPQ_RETURN_IF_ERROR(inner);
+  if (stop == StopCause::kNone) {
+    KCPQ_RETURN_IF_ERROR(tree_p.ScanLeaves([&](const Node& leaf) {
+      ++node_accesses;  // the P leaf itself
+      inner = GroupNearestForLeaf(tree_q, leaf, control, s, &out,
+                                  &node_accesses, &stop);
+      return inner.ok() && stop == StopCause::kNone;
+    }));
+    KCPQ_RETURN_IF_ERROR(inner);
+  }
 
   std::sort(out.begin(), out.end(),
             [](const PairResult& a, const PairResult& b) {
@@ -145,6 +164,16 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
             });
   s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
   s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
+  s->node_accesses = node_accesses;
+  s->quality.stop_cause = stop;
+  s->quality.pairs_found = out.size();
+  if (stop != StopCause::kNone) {
+    // A per-point NN result says nothing about the unvisited P points, so
+    // the only honest global lower bound is zero; the partial result is
+    // still complete and exact for every P point it covers.
+    s->quality.guaranteed_lower_bound = 0.0;
+    s->quality.is_exact = false;
+  }
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/status.h"
 #include "geometry/minkowski.h"
 #include "geometry/point.h"
@@ -128,6 +129,12 @@ struct CpqOptions {
   /// returns the same distance multiset as the nested loop for every
   /// algorithm and metric (tests/parallel_test.cc locks this in).
   LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
+
+  /// Lifecycle limits (deadline / budgets / cancellation). Default is
+  /// unlimited. When a limit trips mid-query the engine returns OK with a
+  /// *partial* result and describes it in CpqStats::quality; it never
+  /// converts expiry into an error.
+  QueryControl control;
 };
 
 /// One reported closest pair.
@@ -155,6 +162,14 @@ struct CpqStats {
   /// Buffer misses (= physical reads) per tree during the query.
   uint64_t disk_accesses_p = 0;
   uint64_t disk_accesses_q = 0;
+  /// Logical R-tree node reads (2 per processed node pair); the quantity
+  /// QueryControl::max_node_accesses limits. Unlike disk accesses it is
+  /// independent of buffer state, so budget stops are deterministic.
+  uint64_t node_accesses = 0;
+
+  /// Result quality certificate: trivial (exact) for completed queries,
+  /// the anytime bound for partial ones. See QueryQuality.
+  QueryQuality quality;
 
   uint64_t disk_accesses() const { return disk_accesses_p + disk_accesses_q; }
 };
@@ -173,10 +188,14 @@ Result<std::vector<PairResult>> SelfKClosestPairs(const RStarTree& tree,
                                                   CpqStats* stats = nullptr);
 
 /// Semi-CPQ (Section 6, future work): for every point of P, its nearest
-/// point in Q; results in ascending distance. |result| == |P|.
-Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
-                                                 const RStarTree& tree_q,
-                                                 CpqStats* stats = nullptr);
+/// point in Q; results in ascending distance. |result| == |P| when the
+/// query completes. Under `control` limits the scan stops early with the
+/// nearest-neighbor lists of the P-leaves finished so far (quality reports
+/// a zero lower bound: per-point NN results certify nothing about the
+/// unvisited points).
+Result<std::vector<PairResult>> SemiClosestPairs(
+    const RStarTree& tree_p, const RStarTree& tree_q,
+    CpqStats* stats = nullptr, const QueryControl& control = {});
 
 }  // namespace kcpq
 

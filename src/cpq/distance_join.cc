@@ -25,11 +25,19 @@ class JoinWalker {
         stats_(stats),
         out_(out) {}
 
-  Status Walk(PageId page_p, PageId page_q) {
+  /// `minmin_pow` is the pair's own MINMINDIST (power space), precomputed
+  /// by the caller — on a stop it becomes frontier instead of work.
+  Status Walk(PageId page_p, PageId page_q, double minmin_pow) {
+    if (ShouldStop()) {
+      FoldFrontier(minmin_pow);
+      return Status::OK();
+    }
+
     Node node_p, node_q;
     KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(page_p, &node_p));
     KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(page_q, &node_q));
     ++stats_->node_pairs_processed;
+    node_accesses_ += 2;
 
     const DescendChoice choice = ChooseDescend(node_p.level, node_q.level,
                                                options_.height_strategy);
@@ -53,19 +61,40 @@ class JoinWalker {
           continue;
         }
         ++stats_->candidate_pairs_generated;
-        if (MinMinDistPow(rp, rq, options_.metric) > epsilon_pow_) {
+        const double child_minmin = MinMinDistPow(rp, rq, options_.metric);
+        if (child_minmin > epsilon_pow_) {
           ++stats_->candidate_pairs_pruned;
+          continue;
+        }
+        // Drain once stopped (possibly by a deeper recursion).
+        if (stop_ != StopCause::kNone) {
+          FoldFrontier(child_minmin);
           continue;
         }
         KCPQ_RETURN_IF_ERROR(
             Walk(expand_p ? node_p.entries[i].id : page_p,
-                 expand_q ? node_q.entries[j].id : page_q));
+                 expand_q ? node_q.entries[j].id : page_q, child_minmin));
       }
     }
     return Status::OK();
   }
 
+  uint64_t node_accesses() const { return node_accesses_; }
+  StopCause stop_cause() const { return stop_; }
+  double frontier_min_pow() const { return frontier_min_pow_; }
+
  private:
+  bool ShouldStop() {
+    if (stop_ != StopCause::kNone) return true;
+    if (options_.control.IsUnlimited()) return false;
+    stop_ = options_.control.Check(node_accesses_,
+                                   out_->size() * sizeof(PairResult));
+    return stop_ != StopCause::kNone;
+  }
+
+  void FoldFrontier(double minmin_pow) {
+    frontier_min_pow_ = std::min(frontier_min_pow_, minmin_pow);
+  }
   Status EmitLeafPairs(const Node& node_p, const Node& node_q,
                        bool same_node) {
     // Shared by both kernels; returns false (aborting the enumeration) only
@@ -128,6 +157,9 @@ class JoinWalker {
   CpqStats* stats_;
   std::vector<PairResult>* out_;
   cpq_internal::SweepScratch<Entry> sweep_scratch_;
+  uint64_t node_accesses_ = 0;
+  StopCause stop_ = StopCause::kNone;
+  double frontier_min_pow_ = std::numeric_limits<double>::infinity();
 };
 
 void SortResults(std::vector<PairResult>* out) {
@@ -153,13 +185,39 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
   std::vector<PairResult> out;
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
 
+  // Pre-trip check: a pre-cancelled or pre-expired join touches no pages.
+  // Nothing was examined, so certify nothing: bound 0, not exact.
+  const StopCause pre = options.control.Check(0, 0);
+  if (pre != StopCause::kNone) {
+    s->quality.stop_cause = pre;
+    s->quality.guaranteed_lower_bound = 0.0;
+    s->quality.is_exact = false;
+    return out;
+  }
+
   const BufferStats before_p = tree_p.buffer()->ThreadStats();
   const BufferStats before_q = tree_q.buffer()->ThreadStats();
-  JoinWalker walker(tree_p, tree_q, DistanceToPow(epsilon, options.metric),
-                    options, s, &out);
-  KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page()));
+  const double epsilon_pow = DistanceToPow(epsilon, options.metric);
+  JoinWalker walker(tree_p, tree_q, epsilon_pow, options, s, &out);
+  Rect mbr_p, mbr_q;
+  KCPQ_RETURN_IF_ERROR(tree_p.RootMbr(&mbr_p));
+  KCPQ_RETURN_IF_ERROR(tree_q.RootMbr(&mbr_q));
+  KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page(),
+                                   MinMinDistPow(mbr_p, mbr_q,
+                                                 options.metric)));
   s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
   s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
+  s->node_accesses = walker.node_accesses();
+  s->quality.stop_cause = walker.stop_cause();
+  s->quality.pairs_found = out.size();
+  if (walker.stop_cause() != StopCause::kNone) {
+    const double frontier = walker.frontier_min_pow();
+    s->quality.guaranteed_lower_bound =
+        PowToDistance(frontier, options.metric);
+    // The stop is harmless when nothing qualifying was left unexpanded:
+    // an empty frontier, or one entirely beyond ε.
+    s->quality.is_exact = frontier > epsilon_pow;
+  }
   SortResults(&out);
   return out;
 }

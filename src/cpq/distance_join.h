@@ -25,6 +25,13 @@ struct DistanceJoinOptions {
   /// Leaf node-pair combination strategy (see CpqOptions::leaf_kernel);
   /// the sweep skips pairs whose sweep-axis separation alone exceeds ε.
   LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
+
+  /// Lifecycle limits (see CpqOptions::control). A stopped join returns OK
+  /// with the pairs found so far; quality.guaranteed_lower_bound certifies
+  /// that every *unreported* qualifying pair is at least that far apart
+  /// (so is_exact holds when the frontier lies beyond ε). The memory
+  /// budget meters the materialized result vector.
+  QueryControl control;
 };
 
 /// All pairs within `epsilon` (a true distance, not power-space), in

@@ -59,31 +59,62 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   const BufferStats before_p = tree_p_.buffer()->ThreadStats();
   const BufferStats before_q = tree_q_.buffer()->ThreadStats();
 
-  Rect mbr_p, mbr_q;
-  KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
-  KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
-  tie_context_.root_area_p = mbr_p.Area();
-  tie_context_.root_area_q = mbr_q.Area();
-  tie_context_.metric = options_.metric;
-
-  NodeRef root_p{tree_p_.root_page(), tree_p_.height() - 1, mbr_p, 1};
-  NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1};
-
-  Status status;
-  if (options_.algorithm == CpqAlgorithm::kHeap) {
-    status = RunHeap(root_p, root_q);
+  // Pre-trip check (a pre-cancelled or pre-expired query must not touch
+  // the trees at all). Nothing was examined, so certify nothing: bound 0.
+  if (ShouldStop(0)) {
+    frontier_min_pow_ = 0.0;
   } else {
-    status = ProcessPairRecursive(root_p, root_q);
+    Rect mbr_p, mbr_q;
+    KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
+    KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
+    tie_context_.root_area_p = mbr_p.Area();
+    tie_context_.root_area_q = mbr_q.Area();
+    tie_context_.metric = options_.metric;
+
+    NodeRef root_p{tree_p_.root_page(), tree_p_.height() - 1, mbr_p, 1};
+    NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1};
+
+    Status status;
+    if (options_.algorithm == CpqAlgorithm::kHeap) {
+      status = RunHeap(root_p, root_q);
+    } else {
+      status = ProcessPairRecursive(root_p, root_q);
+    }
+    KCPQ_RETURN_IF_ERROR(status);
   }
-  KCPQ_RETURN_IF_ERROR(status);
 
   stats_->disk_accesses_p =
       tree_p_.buffer()->ThreadStats().misses - before_p.misses;
   stats_->disk_accesses_q =
       tree_q_.buffer()->ThreadStats().misses - before_q.misses;
+  stats_->node_accesses = node_accesses_;
+
+  // Quality certificate. A completed query keeps the default (exact,
+  // bound = +inf). A stopped one reports the frontier minimum: no pair the
+  // traversal never saw can be closer than it (docs/robustness.md). The
+  // stop can still be provably harmless — frontier empty, or every
+  // frontier pair already worse than the full K-heap — in which case the
+  // partial result *is* a true answer and is_exact stays set.
+  stats_->quality.stop_cause = stop_;
+  stats_->quality.pairs_found = results_.size();
+  if (stop_ != StopCause::kNone) {
+    stats_->quality.guaranteed_lower_bound =
+        PowToDistance(frontier_min_pow_, options_.metric);
+    stats_->quality.is_exact =
+        frontier_min_pow_ == std::numeric_limits<double>::infinity() ||
+        (results_.full() && results_.Bound() <= frontier_min_pow_);
+  }
 
   *out = std::move(results_).Extract();
   return Status::OK();
+}
+
+bool CpqEngine::ShouldStop(uint64_t extra_bytes) {
+  if (stop_ != StopCause::kNone) return true;
+  if (options_.control.IsUnlimited()) return false;
+  stop_ = options_.control.Check(node_accesses_,
+                                 candidate_bytes_ + extra_bytes);
+  return stop_ != StopCause::kNone;
 }
 
 Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
@@ -91,6 +122,7 @@ Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
   KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(ref_p->page, node_p));
   KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(ref_q->page, node_q));
   ++stats_->node_pairs_processed;
+  node_accesses_ += 2;
   // Refresh the refs with exact facts from the pages (roots start with
   // placeholder min_points; fixed nodes get tighter counts).
   ref_p->level = node_p->level;
@@ -255,6 +287,13 @@ void CpqEngine::TightenBoundFromCandidates(
 
 Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
                                        const NodeRef& ref_q) {
+  // Stop check at node-pair granularity, *before* the reads: a stopped
+  // query folds this unexpanded pair into the frontier bound instead.
+  if (ShouldStop(0)) {
+    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric));
+    return Status::OK();
+  }
+
   NodeRef p = ref_p;
   NodeRef q = ref_q;
   Node node_p, node_q;
@@ -270,6 +309,8 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
   std::vector<Candidate> candidates;
   GenerateCandidates(p, node_p, q, node_q, choice, &candidates);
   if (TightensBound()) TightenBoundFromCandidates(candidates);
+  const uint64_t frame_bytes = candidates.size() * sizeof(Candidate);
+  candidate_bytes_ += frame_bytes;
 
   if (options_.algorithm == CpqAlgorithm::kSortedDistances) {
     std::sort(candidates.begin(), candidates.end(), CandidateLess());
@@ -282,8 +323,19 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
       ++stats_->candidate_pairs_pruned;
       continue;
     }
-    KCPQ_RETURN_IF_ERROR(ProcessPairRecursive(cand.p, cand.q));
+    // Once stopped (possibly by a deeper recursion), drain: the remaining
+    // un-pruned candidates become frontier, not work.
+    if (stop_ != StopCause::kNone) {
+      FoldFrontier(cand.minmin);
+      continue;
+    }
+    const Status s = ProcessPairRecursive(cand.p, cand.q);
+    if (!s.ok()) {
+      candidate_bytes_ -= frame_bytes;
+      return s;
+    }
   }
+  candidate_bytes_ -= frame_bytes;
   return Status::OK();
 }
 
@@ -311,6 +363,12 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
     const Candidate top = heap.top();
     heap.pop();
     if (top.minmin > bound_) break;  // nothing better can remain (CP5)
+    // The heap pops in ascending MINMINDIST, so on a stop the popped key
+    // alone is the frontier minimum — everything still queued is farther.
+    if (ShouldStop(heap.size() * sizeof(Candidate))) {
+      FoldFrontier(top.minmin);
+      break;
+    }
 
     NodeRef p = top.p;
     NodeRef q = top.q;

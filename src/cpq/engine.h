@@ -87,6 +87,17 @@ class CpqEngine {
   /// (MINMAXDIST for K = 1; MAXMAXDIST count accumulation for K > 1).
   void TightenBoundFromCandidates(const std::vector<Candidate>& candidates);
 
+  /// Polls QueryControl (at node-pair granularity). Once a stop cause is
+  /// latched it stays latched — the traversal switches from expanding the
+  /// frontier to draining it into `frontier_min_pow_`.
+  bool ShouldStop(uint64_t extra_bytes);
+
+  /// Records an unexpanded node pair's MINMINDIST: the minimum over all of
+  /// them is the certificate that no undiscovered pair can be closer.
+  void FoldFrontier(double minmin_pow) {
+    frontier_min_pow_ = std::min(frontier_min_pow_, minmin_pow);
+  }
+
   /// True for algorithms that prune with MINMINDIST (all but kNaive).
   bool Prunes() const { return options_.algorithm != CpqAlgorithm::kNaive; }
   /// True for algorithms that tighten T beyond found pairs.
@@ -115,6 +126,18 @@ class CpqEngine {
   std::vector<std::pair<double, uint64_t>> maxmax_scratch_;
   /// Sorted-copy buffers for the plane-sweep leaf kernel.
   SweepScratch<Entry> sweep_scratch_;
+
+  // --- lifecycle control state ---
+  /// Logical node reads so far (2 per ReadPair); the budgeted quantity.
+  uint64_t node_accesses_ = 0;
+  /// Live candidate-state bytes (recursion frames' candidate vectors; the
+  /// kHeap pair heap is accounted separately via ShouldStop's extra).
+  uint64_t candidate_bytes_ = 0;
+  /// Latched stop cause; kNone while the query is allowed to expand.
+  StopCause stop_ = StopCause::kNone;
+  /// Min MINMINDIST (power space) over node pairs left unexpanded by a
+  /// stop; +infinity when the search space was exhausted.
+  double frontier_min_pow_ = std::numeric_limits<double>::infinity();
 };
 
 /// Lower bound on points under a node that has been read.

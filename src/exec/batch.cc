@@ -6,18 +6,55 @@
 
 namespace kcpq {
 
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kPartial:
+      return "partial";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 namespace {
 
+QueryOutcome OutcomeOf(const BatchQueryResult& result) {
+  if (!result.status.ok()) return QueryOutcome::kFailed;
+  if (result.stats.quality.stop_cause == StopCause::kCancelled) {
+    return QueryOutcome::kCancelled;
+  }
+  if (result.stats.quality.is_partial()) return QueryOutcome::kPartial;
+  return QueryOutcome::kOk;
+}
+
 void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
-            const BatchQuery& query, BatchQueryResult* result) {
+            const BatchQuery& query, const BatchOptions& batch_options,
+            const CancellationToken& batch_token, BatchQueryResult* result) {
+  // Effective control: the query's own limits tightened by the batch-wide
+  // ones, plus the batch cancellation token (fail-fast and external batch
+  // cancels both flow through it).
+  QueryControl batch_control = batch_options.control;
+  batch_control.cancel =
+      CancellationToken::Combine(batch_control.cancel, batch_token);
+  const QueryControl merged =
+      QueryControl::Merged(query.options.control, batch_control);
+
   Result<std::vector<PairResult>> r = [&] {
     switch (query.kind) {
       case BatchQueryKind::kClosestPairs:
-        return KClosestPairs(tree_p, tree_q, query.options, &result->stats);
-      case BatchQueryKind::kSelfClosestPairs:
-        return SelfKClosestPairs(tree_p, query.options, &result->stats);
+      case BatchQueryKind::kSelfClosestPairs: {
+        CpqOptions options = query.options;
+        options.control = merged;
+        return query.kind == BatchQueryKind::kClosestPairs
+                   ? KClosestPairs(tree_p, tree_q, options, &result->stats)
+                   : SelfKClosestPairs(tree_p, options, &result->stats);
+      }
       case BatchQueryKind::kSemiClosestPairs:
-        return SemiClosestPairs(tree_p, tree_q, &result->stats);
+        return SemiClosestPairs(tree_p, tree_q, &result->stats, merged);
     }
     return Result<std::vector<PairResult>>(
         Status::InvalidArgument("unknown batch query kind"));
@@ -28,6 +65,7 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
   } else {
     result->status = r.status();
   }
+  result->outcome = OutcomeOf(*result);
 }
 
 }  // namespace
@@ -38,16 +76,25 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
     BatchStats* stats) {
   std::vector<BatchQueryResult> results(queries.size());
 
+  // One source per batch; every query polls its token. Fail-fast trips it
+  // from whichever worker fails first.
+  CancellationSource batch_source;
+  const CancellationToken batch_token = batch_source.token();
+  const auto run_one = [&](size_t i) {
+    RunOne(tree_p, tree_q, queries[i], options, batch_token, &results[i]);
+    if (options.cancel_batch_on_first_failure && !results[i].status.ok()) {
+      batch_source.Cancel();
+    }
+  };
+
   const size_t threads =
       options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
   if (threads == 1) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      RunOne(tree_p, tree_q, queries[i], &results[i]);
-    }
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
   } else {
     ThreadPool pool(threads);
     for (size_t i = 0; i < queries.size(); ++i) {
-      pool.Submit([&, i] { RunOne(tree_p, tree_q, queries[i], &results[i]); });
+      pool.Submit([&run_one, i] { run_one(i); });
     }
     pool.Wait();
   }
@@ -56,10 +103,21 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
     *stats = BatchStats{};
     stats->queries = results.size();
     for (const BatchQueryResult& r : results) {
-      if (!r.status.ok()) {
-        ++stats->failed;
-        continue;
+      switch (r.outcome) {
+        case QueryOutcome::kOk:
+          ++stats->ok;
+          break;
+        case QueryOutcome::kPartial:
+          ++stats->partial;
+          break;
+        case QueryOutcome::kCancelled:
+          ++stats->cancelled;
+          break;
+        case QueryOutcome::kFailed:
+          ++stats->failed;
+          break;
       }
+      if (!r.status.ok()) continue;
       stats->node_pairs_processed += r.stats.node_pairs_processed;
       stats->point_distance_computations +=
           r.stats.point_distance_computations;

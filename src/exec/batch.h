@@ -40,22 +40,53 @@ struct BatchQuery {
   CpqOptions options;
 };
 
+/// How one query of a batch ended.
+enum class QueryOutcome {
+  /// Ran to completion; the result is exact.
+  kOk,
+  /// A deadline or budget tripped; partial result with a quality
+  /// certificate in CpqStats::quality.
+  kPartial,
+  /// Stopped by cancellation (its own token or batch fail-fast); whatever
+  /// pairs were drained are still returned.
+  kCancelled,
+  /// An error Status (I/O and the like); no pairs.
+  kFailed,
+};
+
+const char* QueryOutcomeName(QueryOutcome outcome);
+
 /// One query's outcome, at the same index as its BatchQuery.
 struct BatchQueryResult {
   Status status;
   std::vector<PairResult> pairs;
   CpqStats stats;
+  QueryOutcome outcome = QueryOutcome::kOk;
 };
 
 struct BatchOptions {
   /// Worker threads. 0 = ThreadPool::DefaultThreads(); 1 = run inline on
   /// the calling thread (no pool, deterministic execution order).
   size_t threads = 0;
+
+  /// Batch-wide lifecycle limits, merged (QueryControl::Merged) into every
+  /// query's own control: the deadline is shared by the whole batch, and
+  /// the batch cancellation token is observed by every query.
+  QueryControl control;
+
+  /// When true, the first query that *fails* (error Status, not a partial)
+  /// cancels every sibling still running; their outcomes come back
+  /// kCancelled. Off by default: one bad query does not spoil a batch.
+  bool cancel_batch_on_first_failure = false;
 };
 
 /// Whole-batch aggregates (sums over the per-query stats).
 struct BatchStats {
   uint64_t queries = 0;
+  /// Outcome counts; ok + partial + cancelled + failed == queries.
+  uint64_t ok = 0;
+  uint64_t partial = 0;
+  uint64_t cancelled = 0;
   uint64_t failed = 0;
   uint64_t node_pairs_processed = 0;
   uint64_t point_distance_computations = 0;

@@ -85,6 +85,8 @@ class JoinImpl {
   uint64_t next_seq_ = 0;
   uint64_t results_emitted_ = 0;
   bool started_ = false;
+  /// Latched stop cause; once set, Next() keeps returning nullopt.
+  StopCause stop_ = StopCause::kNone;
   BufferStats before_p_;
   BufferStats before_q_;
 };
@@ -148,6 +150,7 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
                                const ItemSide& other, bool node_first) {
   Node node;
   KCPQ_RETURN_IF_ERROR(tree.ReadNode(node_side.id, &node));
+  ++stats_.node_accesses;
   for (const Entry& entry : node.entries) {
     const ItemSide child = node.IsLeaf() ? ObjectSide(entry)
                                          : NodeSide(entry, node.level - 1);
@@ -165,6 +168,7 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
   Node node_a, node_b;
   KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a));
   KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b));
+  stats_.node_accesses += 2;
   const auto push_pair = [&](const Entry& ea, const Entry& eb) {
     const ItemSide ca = node_a.IsLeaf() ? ObjectSide(ea)
                                         : NodeSide(ea, node_a.level - 1);
@@ -201,6 +205,7 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
 
 Result<std::optional<PairResult>> JoinImpl::Next() {
   if (!started_) KCPQ_RETURN_IF_ERROR(Start());
+  if (stop_ != StopCause::kNone) return std::optional<PairResult>();
   if (options_.k_bound > 0 && results_emitted_ >= options_.k_bound) {
     return std::optional<PairResult>();
   }
@@ -217,6 +222,7 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       out.q_id = item.b.id;
       out.distance = std::sqrt(item.key);
       ++results_emitted_;
+      stats_.quality.pairs_found = results_emitted_;
       stats_.disk_accesses_p =
           tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
       stats_.disk_accesses_q =
@@ -224,6 +230,27 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       stats_.queue_spill_reads = queue_.spill_reads();
       stats_.queue_spill_writes = queue_.spill_writes();
       return std::optional<PairResult>(out);
+    }
+    // About to spend I/O expanding a node pair: poll the control. On a
+    // stop the popped key certifies everything not yet emitted — the
+    // queue pops in ascending key order, so nothing remaining (or beneath
+    // it) can be closer than this item.
+    if (!options_.control.IsUnlimited()) {
+      stop_ = options_.control.Check(
+          stats_.node_accesses, queue_.size() * sizeof(QueueItem));
+      if (stop_ != StopCause::kNone) {
+        stats_.quality.stop_cause = stop_;
+        stats_.quality.pairs_found = results_emitted_;
+        stats_.quality.guaranteed_lower_bound = std::sqrt(item.key);
+        stats_.quality.is_exact = false;
+        stats_.disk_accesses_p =
+            tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
+        stats_.disk_accesses_q =
+            tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
+        stats_.queue_spill_reads = queue_.spill_reads();
+        stats_.queue_spill_writes = queue_.spill_writes();
+        return std::optional<PairResult>();
+      }
     }
     if (item.a.is_node && item.b.is_node) {
       switch (options_.traversal) {
@@ -258,6 +285,7 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
   stats_.disk_accesses_q = tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
   stats_.queue_spill_reads = queue_.spill_reads();
   stats_.queue_spill_writes = queue_.spill_writes();
+  stats_.quality.pairs_found = results_emitted_;
   return std::optional<PairResult>();
 }
 

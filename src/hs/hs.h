@@ -59,6 +59,13 @@ struct HsOptions {
   /// their keys are ever computed. No effect when k_bound == 0 (the prune
   /// threshold stays infinite) or on non-leaf expansions.
   LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
+
+  /// Lifecycle limits (see CpqOptions::control), polled before each node
+  /// expansion. Because the join emits pairs in ascending distance, a
+  /// stopped join's output is an exact *prefix* of the full result and the
+  /// popped key at the stop is the certified lower bound on everything it
+  /// did not emit. The memory budget meters the priority queue.
+  QueryControl control;
 };
 
 struct HsStats {
@@ -71,6 +78,15 @@ struct HsStats {
   /// Buffer misses per R-tree during the join.
   uint64_t disk_accesses_p = 0;
   uint64_t disk_accesses_q = 0;
+  /// Logical R-tree node reads (1 per one-sided expansion, 2 per
+  /// simultaneous one); the quantity HsOptions::control budgets.
+  uint64_t node_accesses = 0;
+
+  /// Result quality certificate (see QueryQuality). An HS stop is gentler
+  /// than a CPQ one: the emitted pairs are exactly the closest
+  /// `pairs_found` pairs, and guaranteed_lower_bound is the key of the
+  /// first item the join did not process.
+  QueryQuality quality;
 
   uint64_t disk_accesses() const { return disk_accesses_p + disk_accesses_q; }
 };

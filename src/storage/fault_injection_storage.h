@@ -5,11 +5,22 @@
 // on every call once tripped. Used by the failure-injection tests to prove
 // that every layer above (buffer, R-tree, query engines) propagates I/O
 // errors as Status instead of crashing or corrupting state.
+//
+// Faults come in two flavours matching the Status taxonomy: permanent
+// (kIoError — the default, never safe to retry) and transient
+// (kIoTransient — FailNextN and the transient probabilistic mode), which a
+// RetryingStorageManager stacked on top is allowed to absorb.
+//
+// Injection state is mutex-guarded so the wrapper honours the
+// StorageManager thread-safety contract (the batch chaos tests drive it
+// from many threads through the sharded buffer manager).
 
 #ifndef KCPQ_STORAGE_FAULT_INJECTION_STORAGE_H_
 #define KCPQ_STORAGE_FAULT_INJECTION_STORAGE_H_
 
+#include <atomic>
 #include <limits>
+#include <mutex>
 
 #include "common/random.h"
 #include "storage/storage_manager.h"
@@ -22,25 +33,45 @@ class FaultInjectionStorageManager final : public StorageManager {
   explicit FaultInjectionStorageManager(StorageManager* base)
       : StorageManager(base->page_size()), base_(base), rng_(0) {}
 
-  /// Fails every operation after the next `n` successful ones.
-  void FailAfter(uint64_t n) { countdown_ = n; }
+  /// Fails every operation after the next `n` successful ones (permanent
+  /// fault: once tripped, all operations fail until Heal()).
+  void FailAfter(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    countdown_ = n;
+  }
+
+  /// Fails the next `n` operations with a *transient* code, then succeeds
+  /// again. Deterministic, so retry paths are testable exactly: a retry
+  /// policy with >= n attempts must fully recover.
+  void FailNextN(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    transient_remaining_ = n;
+  }
 
   /// Fails each operation independently with probability `p`
-  /// (deterministic in `seed`).
-  void FailWithProbability(double p, uint64_t seed) {
+  /// (deterministic in `seed`). `transient` selects the fault flavour.
+  void FailWithProbability(double p, uint64_t seed, bool transient = false) {
+    std::lock_guard<std::mutex> lock(mu_);
     probability_ = p;
+    probability_transient_ = transient;
     rng_ = Xoshiro256pp(seed);
   }
 
-  /// Stops injecting faults (also resets a tripped countdown).
+  /// Stops injecting faults (also resets a tripped countdown and any
+  /// pending transient failures).
   void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
     countdown_ = kNever;
     probability_ = 0.0;
+    probability_transient_ = false;
     tripped_ = false;
+    transient_remaining_ = 0;
   }
 
   /// Number of faults injected so far.
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
 
   uint64_t PageCount() const override { return base_->PageCount(); }
 
@@ -71,31 +102,41 @@ class FaultInjectionStorageManager final : public StorageManager {
   static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
 
   Status MaybeFail(const char* op) {
-    if (tripped_) return Fault(op);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (transient_remaining_ > 0) {
+      --transient_remaining_;
+      return Fault(op, /*transient=*/true);
+    }
+    if (tripped_) return Fault(op, /*transient=*/false);
     if (countdown_ != kNever) {
       if (countdown_ == 0) {
         tripped_ = true;
-        return Fault(op);
+        return Fault(op, /*transient=*/false);
       }
       --countdown_;
     }
     if (probability_ > 0.0 && rng_.NextDouble() < probability_) {
-      return Fault(op);
+      return Fault(op, probability_transient_);
     }
     return Status::OK();
   }
 
-  Status Fault(const char* op) {
-    ++faults_injected_;
-    return Status::IoError(std::string("injected fault in ") + op);
+  Status Fault(const char* op, bool transient) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    std::string msg = std::string("injected fault in ") + op;
+    return transient ? Status::IoTransient(std::move(msg))
+                     : Status::IoError(std::move(msg));
   }
 
   StorageManager* base_;
+  std::mutex mu_;
   Xoshiro256pp rng_;
   uint64_t countdown_ = kNever;
+  uint64_t transient_remaining_ = 0;
   double probability_ = 0.0;
+  bool probability_transient_ = false;
   bool tripped_ = false;
-  uint64_t faults_injected_ = 0;
+  std::atomic<uint64_t> faults_injected_{0};
 };
 
 }  // namespace kcpq

@@ -1,0 +1,152 @@
+// Retrying storage decorator: absorbs transient I/O faults.
+//
+// Wraps any StorageManager and re-issues operations that fail with a
+// *transient* status (Status::IsTransient(), i.e. kIoTransient), using
+// capped exponential backoff with deterministic jitter. Permanent errors
+// (kIoError, kCorruption, ...) pass through untouched on the first
+// attempt — retrying those would hide real damage.
+//
+// Because a retried page read either eventually succeeds (returning the
+// same bytes the fault-free run would have seen) or surfaces the original
+// transient error after exhaustion, stacking this decorator under the
+// buffer manager makes query results bit-identical to a fault-free run
+// whenever the fault burst is shorter than the retry budget.
+//
+// The decorator is stateless per operation (retry bookkeeping lives on the
+// stack; counters are atomics), so it inherits the thread-safety contract
+// of its base verbatim.
+
+#ifndef KCPQ_STORAGE_RETRYING_STORAGE_H_
+#define KCPQ_STORAGE_RETRYING_STORAGE_H_
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+/// Backoff schedule for RetryingStorageManager. attempt i (0-based retry)
+/// sleeps min(initial_backoff * multiplier^i, max_backoff), scaled by a
+/// deterministic jitter factor in [1 - jitter_fraction, 1]. With
+/// initial_backoff == 0 no sleeping happens at all (the test default:
+/// deterministic and fast).
+struct RetryPolicy {
+  int max_retries = 3;
+  std::chrono::microseconds initial_backoff{100};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5000};
+  double jitter_fraction = 0.5;
+  /// Seed for the jitter hash; together with the operation salt and the
+  /// attempt number it makes every sleep reproducible.
+  uint64_t seed = 0;
+};
+
+class RetryingStorageManager final : public StorageManager {
+ public:
+  /// `base` must outlive this wrapper.
+  RetryingStorageManager(StorageManager* base, RetryPolicy policy = {})
+      : StorageManager(base->page_size()), base_(base), policy_(policy) {}
+
+  /// Total retry attempts issued (excludes the first try of each op).
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  /// Operations that failed transiently at least once but then succeeded.
+  uint64_t recovered() const {
+    return recovered_.load(std::memory_order_relaxed);
+  }
+  /// Operations that stayed transiently failed through every retry.
+  uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t PageCount() const override { return base_->PageCount(); }
+
+  Result<PageId> Allocate() override {
+    Result<PageId> r = base_->Allocate();
+    if (r.ok() || !r.status().IsTransient()) return r;
+    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      MaybeSleep(0x616c6c6f63ULL, attempt);  // "alloc"
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      r = base_->Allocate();
+      if (r.ok()) {
+        recovered_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
+      if (!r.status().IsTransient()) return r;
+    }
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  Status Free(PageId id) override {
+    return WithRetries(Salt(0x66726565ULL, id),  // "free"
+                       [&] { return base_->Free(id); });
+  }
+  Status ReadPage(PageId id, Page* page) override {
+    Status s = WithRetries(Salt(0x72656164ULL, id),  // "read"
+                           [&] { return base_->ReadPage(id, page); });
+    if (s.ok()) CountRead();
+    return s;
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    Status s = WithRetries(Salt(0x77726974ULL, id),  // "writ"
+                           [&] { return base_->WritePage(id, page); });
+    if (s.ok()) CountWrite();
+    return s;
+  }
+  Status Sync() override {
+    return WithRetries(0x73796e63ULL,  // "sync"
+                       [&] { return base_->Sync(); });
+  }
+
+ private:
+  static uint64_t Salt(uint64_t op, PageId id) {
+    return op ^ (static_cast<uint64_t>(id) << 8);
+  }
+
+  template <typename Op>
+  Status WithRetries(uint64_t salt, Op&& op) {
+    Status s = op();
+    if (s.ok() || !s.IsTransient()) return s;
+    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      MaybeSleep(salt, attempt);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      s = op();
+      if (!s.IsTransient()) {
+        if (s.ok()) recovered_.fetch_add(1, std::memory_order_relaxed);
+        return s;
+      }
+    }
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  void MaybeSleep(uint64_t salt, int attempt) const {
+    if (policy_.initial_backoff.count() <= 0) return;
+    double backoff = static_cast<double>(policy_.initial_backoff.count());
+    for (int i = 0; i < attempt; ++i) backoff *= policy_.multiplier;
+    const double cap = static_cast<double>(policy_.max_backoff.count());
+    if (backoff > cap) backoff = cap;
+    // Deterministic jitter: hash (seed, op salt, attempt) to a factor in
+    // [1 - jitter_fraction, 1]. Lock-free and reproducible across runs.
+    SplitMix64 h(policy_.seed ^ salt ^ (static_cast<uint64_t>(attempt) + 1));
+    const double u =
+        static_cast<double>(h.Next() >> 11) * 0x1.0p-53;  // [0, 1)
+    const double factor = 1.0 - policy_.jitter_fraction * u;
+    const auto sleep_us = static_cast<int64_t>(backoff * factor);
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+  }
+
+  StorageManager* base_;
+  RetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> recovered_{0};
+  std::atomic<uint64_t> exhausted_{0};
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_RETRYING_STORAGE_H_

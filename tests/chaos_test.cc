@@ -6,10 +6,14 @@
 
 #include <string>
 
+#include "buffer/replacement_policy.h"
 #include "cpq/brute.h"
 #include "cpq/cpq.h"
+#include "exec/batch.h"
 #include "gtest/gtest.h"
 #include "hs/hs.h"
+#include "storage/fault_injection_storage.h"
+#include "storage/retrying_storage.h"
 #include "tests/test_util.h"
 
 namespace kcpq {
@@ -177,6 +181,161 @@ TEST_P(EraseChaosTest, CpqCorrectAfterRandomErases) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EraseChaosTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+
+// Fault chaos for the batch executor: trees served through a flaky storage
+// stack (memory -> fault injection -> retry decorator -> sharded buffer).
+// Transient faults must be absorbed with bit-identical results at every
+// thread count; permanent faults must come back as clean per-query errors
+// with consistent outcome accounting.
+class BatchFaultChaosTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchFaultChaosTest, TransientFaultsAbsorbedPermanentFaultsClean) {
+  const size_t threads = GetParam();
+  const auto p_items = MakeUniformItems(900, 4401);
+  const auto q_items = MakeClusteredItems(800, 4402);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  std::vector<BatchQuery> batch(12);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].options.k = 1 + i * 4;
+    batch[i].options.algorithm =
+        (i % 2 == 0) ? CpqAlgorithm::kHeap : CpqAlgorithm::kSortedDistances;
+    if (i % 3 == 0) batch[i].kind = BatchQueryKind::kSemiClosestPairs;
+  }
+
+  // Fault-free reference run against the fixture trees.
+  const std::vector<BatchQueryResult> want =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, BatchOptions{});
+  for (const BatchQueryResult& r : want) KCPQ_ASSERT_OK(r.status);
+
+  // The flaky stack: 20% of storage operations fail transiently; 16
+  // retries make exhaustion astronomically unlikely; zero initial backoff
+  // keeps the test fast and sleep-free.
+  FaultInjectionStorageManager faulty_p(&fp.storage());
+  FaultInjectionStorageManager faulty_q(&fq.storage());
+  RetryPolicy policy;
+  policy.max_retries = 16;
+  policy.initial_backoff = std::chrono::microseconds(0);
+  RetryingStorageManager retry_p(&faulty_p, policy);
+  RetryingStorageManager retry_q(&faulty_q, policy);
+  BufferManager buffer_p(&retry_p, 8, /*shards=*/4,
+                         [] { return MakeLruPolicy(); });
+  BufferManager buffer_q(&retry_q, 8, /*shards=*/4,
+                         [] { return MakeLruPolicy(); });
+  auto tree_p = RStarTree::Open(&buffer_p, fp.tree().meta_page());
+  auto tree_q = RStarTree::Open(&buffer_q, fq.tree().meta_page());
+  ASSERT_TRUE(tree_p.ok());
+  ASSERT_TRUE(tree_q.ok());
+  faulty_p.FailWithProbability(0.2, /*seed=*/91, /*transient=*/true);
+  faulty_q.FailWithProbability(0.2, /*seed=*/92, /*transient=*/true);
+
+  BatchOptions options;
+  options.threads = threads;
+  BatchStats stats;
+  const std::vector<BatchQueryResult> got = BatchKClosestPairs(
+      *tree_p.value(), *tree_q.value(), batch, options, &stats);
+  EXPECT_EQ(stats.ok, stats.queries);
+  EXPECT_GT(faulty_p.faults_injected() + faulty_q.faults_injected(), 0u);
+  EXPECT_GT(retry_p.recovered() + retry_q.recovered(), 0u);
+  EXPECT_EQ(retry_p.exhausted() + retry_q.exhausted(), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    const std::string label = "query " + std::to_string(i) + " threads " +
+                              std::to_string(threads);
+    KCPQ_ASSERT_OK(got[i].status);
+    EXPECT_EQ(got[i].outcome, QueryOutcome::kOk) << label;
+    ASSERT_EQ(got[i].pairs.size(), want[i].pairs.size()) << label;
+    for (size_t r = 0; r < want[i].pairs.size(); ++r) {
+      EXPECT_EQ(got[i].pairs[r].p_id, want[i].pairs[r].p_id) << label;
+      EXPECT_EQ(got[i].pairs[r].q_id, want[i].pairs[r].q_id) << label;
+      EXPECT_EQ(got[i].pairs[r].distance, want[i].pairs[r].distance) << label;
+    }
+  }
+
+  // Now a genuinely bad disk: permanent faults are NOT retried; each query
+  // either completes correctly (fault pattern missed it) or fails with a
+  // clean kIoError, and the outcome ledger stays consistent.
+  faulty_p.Heal();
+  faulty_q.Heal();
+  faulty_q.FailWithProbability(0.1, /*seed=*/93, /*transient=*/false);
+  const uint64_t exhausted_before = retry_p.exhausted() + retry_q.exhausted();
+  BatchStats perm_stats;
+  const std::vector<BatchQueryResult> perm = BatchKClosestPairs(
+      *tree_p.value(), *tree_q.value(), batch, options, &perm_stats);
+  EXPECT_EQ(perm_stats.ok + perm_stats.partial + perm_stats.cancelled +
+                perm_stats.failed,
+            perm_stats.queries);
+  EXPECT_EQ(retry_p.exhausted() + retry_q.exhausted(), exhausted_before);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    const std::string label = "perm query " + std::to_string(i);
+    if (perm[i].status.ok()) {
+      EXPECT_EQ(perm[i].outcome, QueryOutcome::kOk) << label;
+      ASSERT_EQ(perm[i].pairs.size(), want[i].pairs.size()) << label;
+      for (size_t r = 0; r < want[i].pairs.size(); ++r) {
+        EXPECT_EQ(perm[i].pairs[r].distance, want[i].pairs[r].distance)
+            << label;
+      }
+    } else {
+      EXPECT_EQ(perm[i].outcome, QueryOutcome::kFailed) << label;
+      EXPECT_EQ(perm[i].status.code(), StatusCode::kIoError) << label;
+      EXPECT_TRUE(perm[i].pairs.empty()) << label;
+    }
+  }
+}
+
+TEST_P(BatchFaultChaosTest, FailFastCancelsSiblings) {
+  const size_t threads = GetParam();
+  const auto p_items = MakeUniformItems(600, 4501);
+  const auto q_items = MakeUniformItems(600, 4502);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  FaultInjectionStorageManager faulty_p(&fp.storage());
+  BufferManager buffer_p(&faulty_p, 0);
+  auto tree_p = RStarTree::Open(&buffer_p, fp.tree().meta_page());
+  ASSERT_TRUE(tree_p.ok());
+
+  std::vector<BatchQuery> batch(16);
+  for (size_t i = 0; i < batch.size(); ++i) batch[i].options.k = 4;
+
+  // Kill the disk after the trees are open: every query needs reads, so
+  // the first one fails and (fail-fast) cancels everything still pending.
+  faulty_p.FailAfter(0);
+  BatchOptions options;
+  options.threads = threads;
+  options.cancel_batch_on_first_failure = true;
+  BatchStats stats;
+  const std::vector<BatchQueryResult> results = BatchKClosestPairs(
+      *tree_p.value(), fq.tree(), batch, options, &stats);
+  EXPECT_EQ(stats.ok + stats.partial + stats.cancelled + stats.failed,
+            stats.queries);
+  EXPECT_EQ(stats.ok, 0u);
+  EXPECT_GE(stats.failed, 1u);
+  for (const BatchQueryResult& r : results) {
+    if (r.outcome == QueryOutcome::kCancelled) {
+      KCPQ_EXPECT_OK(r.status);
+      EXPECT_EQ(r.stats.quality.stop_cause, StopCause::kCancelled);
+      EXPECT_FALSE(r.stats.quality.is_exact);
+    } else {
+      EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+      EXPECT_EQ(r.status.code(), StatusCode::kIoError);
+    }
+  }
+  // Single-threaded fail-fast is fully deterministic: query 0 fails, every
+  // later query observes the cancellation before its first read.
+  if (threads == 1) {
+    EXPECT_EQ(results[0].outcome, QueryOutcome::kFailed);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.cancelled, batch.size() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchFaultChaosTest,
+                         ::testing::Values(size_t{1}, size_t{4}, size_t{8}));
 
 }  // namespace
 }  // namespace kcpq

@@ -192,6 +192,69 @@ TEST_F(CliTest, MultiwayCommand) {
       RunCli({"multiway", db_p_, db_q_, "2", "--edges=01"}, &out).ok());
 }
 
+TEST_F(CliTest, KcpNodeBudgetPrintsQualityReport) {
+  BuildBoth("800");
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "5", "--max-node-accesses=2"}, &out));
+  EXPECT_NE(out.find("# partial (node-budget):"), std::string::npos);
+  EXPECT_NE(out.find("guaranteed lower bound"), std::string::npos);
+}
+
+TEST_F(CliTest, KcpGenerousDeadlineIsExact) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "3", "--deadline-ms=60000"}, &out));
+  EXPECT_EQ(out.find("# partial"), std::string::npos);
+  EXPECT_NE(out.find("3: ("), std::string::npos);
+}
+
+TEST_F(CliTest, KcpRejectsNegativeDeadline) {
+  BuildBoth("100");
+  std::string out;
+  const Status status =
+      RunCli({"kcp", db_p_, db_q_, "1", "--deadline-ms=-5"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, KcpIoRetriesAccepted) {
+  BuildBoth("300");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "2", "--io-retries=2"}, &out));
+  EXPECT_NE(out.find("2: ("), std::string::npos);
+}
+
+TEST_F(CliTest, KcpBatchOutcomesLineAndFailFast) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "2", "--threads=4",
+                         "--repeat=6", "--fail-fast"},
+                        &out));
+  EXPECT_NE(out.find("outcomes: ok=6 partial=0 cancelled=0 failed=0"),
+            std::string::npos);
+  // A batch under a tiny node budget reports every query partial.
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "2", "--threads=2",
+                         "--repeat=4", "--max-node-accesses=2"},
+                        &out));
+  EXPECT_NE(out.find("outcomes: ok=0 partial=4 cancelled=0 failed=0"),
+            std::string::npos);
+  EXPECT_NE(out.find("# partial (node-budget):"), std::string::npos);
+}
+
+TEST_F(CliTest, JoinAndSemiHonorNodeBudget) {
+  BuildBoth("500");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"join", db_p_, db_q_, "0.01",
+                         "--max-node-accesses=2"},
+                        &out));
+  EXPECT_NE(out.find("# partial (node-budget):"), std::string::npos);
+  KCPQ_ASSERT_OK(
+      RunCli({"semi", db_p_, db_q_, "--max-node-accesses=2"}, &out));
+  EXPECT_NE(out.find("# partial (node-budget):"), std::string::npos);
+}
+
 TEST_F(CliTest, BuildRejectsMissingCsv) {
   std::string out;
   EXPECT_FALSE(RunCli({"build", "/tmp/kcpq_no_such.csv", db_p_}, &out).ok());

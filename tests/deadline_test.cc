@@ -1,0 +1,476 @@
+// Query lifecycle control tests: the anytime bound certificate, partial
+// result determinism, and the per-path degradation semantics of
+// QueryControl (see docs/robustness.md).
+//
+// The central property, checked against the brute oracle across seeded
+// workloads and budget cutoffs: a budget-stopped K-CPQ returns OK with a
+// quality report whose guaranteed_lower_bound is never exceeded by a true
+// closer pair — every true pair strictly below the bound is already in the
+// partial result.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cpq/brute.h"
+#include "cpq/cpq.h"
+#include "cpq/distance_join.h"
+#include "exec/batch.h"
+#include "gtest/gtest.h"
+#include "hs/hs.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeClusteredItems;
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+constexpr double kTol = 1e-9;
+
+// The anytime certificate, versus the brute oracle:
+//  * every true top-K pair with distance < glb must be in the partial
+//    result (the bound is honest), and
+//  * element-wise, partial[i] can never beat the true i-th distance (the
+//    partial pairs are genuine pairs).
+void ExpectBoundHolds(const std::vector<PairResult>& partial,
+                      const std::vector<PairResult>& brute, double glb,
+                      const std::string& label) {
+  size_t guaranteed = 0;
+  while (guaranteed < brute.size() &&
+         brute[guaranteed].distance < glb - kTol) {
+    ++guaranteed;
+  }
+  ASSERT_GE(partial.size(), guaranteed) << label;
+  for (size_t i = 0; i < guaranteed; ++i) {
+    // The `guaranteed` closest pairs overall all sit in the partial
+    // result, and nothing can sort below them: the sorted prefixes match.
+    EXPECT_NEAR(partial[i].distance, brute[i].distance, kTol) << label;
+  }
+  for (size_t i = 0; i < partial.size() && i < brute.size(); ++i) {
+    EXPECT_GE(partial[i].distance, brute[i].distance - kTol) << label;
+  }
+}
+
+void ExpectSameDistances(const std::vector<PairResult>& got,
+                         const std::vector<PairResult>& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, want[i].distance, kTol) << label;
+  }
+}
+
+class AnytimeBoundTest : public ::testing::TestWithParam<int> {};
+
+// 50 seeded workloads x several node-access budgets x the bounding
+// algorithms: the partial result is OK-status, deterministic, and its
+// certificate holds against the brute oracle. Exhaustive completion
+// (budget larger than the query needs) must degrade to the exact answer
+// with a clean (non-partial) quality report.
+TEST_P(AnytimeBoundTest, CertifiedBoundHoldsVsBruteOracle) {
+  const int seed = GetParam();
+  const size_t np = 150 + static_cast<size_t>(seed % 4) * 60;
+  const size_t nq = 150 + static_cast<size_t>((seed / 4) % 4) * 60;
+  const size_t k = (seed % 3 == 0) ? 4 : (seed % 3 == 1) ? 10 : 32;
+  const auto p_items = MakeUniformItems(np, 7000 + seed * 2);
+  const auto q_items = (seed % 2 == 0)
+                           ? MakeUniformItems(nq, 7001 + seed * 2)
+                           : MakeClusteredItems(nq, 7001 + seed * 2);
+  // Small pages -> real multi-level trees at these sizes, so budgets in
+  // the tens actually interrupt mid-traversal.
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const std::vector<PairResult> brute =
+      BruteForceKClosestPairs(p_items, q_items, k);
+
+  constexpr uint64_t kBudgets[] = {2, 6, 12, 24, 60, 150, 1u << 20};
+  constexpr CpqAlgorithm kAlgorithms[] = {
+      CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+      CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap};
+  for (const CpqAlgorithm algorithm : kAlgorithms) {
+    for (const uint64_t budget : kBudgets) {
+      const std::string label = std::string(CpqAlgorithmName(algorithm)) +
+                                " budget " + std::to_string(budget) +
+                                " seed " + std::to_string(seed);
+      CpqOptions options;
+      options.algorithm = algorithm;
+      options.k = k;
+      options.control.max_node_accesses = budget;
+      CpqStats stats;
+      Result<std::vector<PairResult>> r =
+          KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+      KCPQ_ASSERT_OK(r.status());
+      const std::vector<PairResult>& partial = r.value();
+      EXPECT_EQ(stats.quality.pairs_found, partial.size()) << label;
+
+      if (!stats.quality.is_partial()) {
+        // Budget never tripped: the full, exact answer.
+        ExpectSameDistances(partial, brute, label);
+        EXPECT_TRUE(stats.quality.is_exact) << label;
+        continue;
+      }
+      EXPECT_EQ(stats.quality.stop_cause, StopCause::kNodeBudget) << label;
+      // The budget is enforced promptly: overshoot is at most the final
+      // node pair's two reads.
+      EXPECT_LE(stats.node_accesses, budget + 2) << label;
+      const double glb = stats.quality.guaranteed_lower_bound;
+      EXPECT_GE(glb, 0.0) << label;
+      ExpectBoundHolds(partial, brute, glb, label);
+      if (stats.quality.is_exact) ExpectSameDistances(partial, brute, label);
+
+      // Node-access budgets are deterministic: a re-run is bit-identical.
+      CpqStats stats2;
+      Result<std::vector<PairResult>> r2 =
+          KClosestPairs(fp.tree(), fq.tree(), options, &stats2);
+      KCPQ_ASSERT_OK(r2.status());
+      ASSERT_EQ(r2.value().size(), partial.size()) << label;
+      for (size_t i = 0; i < partial.size(); ++i) {
+        EXPECT_EQ(r2.value()[i].p_id, partial[i].p_id) << label;
+        EXPECT_EQ(r2.value()[i].q_id, partial[i].q_id) << label;
+        EXPECT_EQ(r2.value()[i].distance, partial[i].distance) << label;
+      }
+      EXPECT_EQ(stats2.quality.guaranteed_lower_bound, glb) << label;
+      EXPECT_EQ(stats2.node_accesses, stats.node_accesses) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, AnytimeBoundTest,
+                         ::testing::Range(0, 50));
+
+// Partial results at a fixed node-access budget are identical regardless
+// of the batch thread count: the budget counts logical node reads, not
+// wall-clock or buffer behavior.
+TEST(DeadlineTest, PartialResultsDeterministicAcrossThreadCounts) {
+  const auto p_items = MakeUniformItems(500, 7201);
+  const auto q_items = MakeClusteredItems(450, 7202);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  std::vector<BatchQuery> batch;
+  constexpr CpqAlgorithm kAlgorithms[] = {
+      CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+      CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap};
+  for (const CpqAlgorithm algorithm : kAlgorithms) {
+    for (const uint64_t budget : {8u, 40u, 200u}) {
+      BatchQuery query;
+      query.options.algorithm = algorithm;
+      query.options.k = 16;
+      query.options.control.max_node_accesses = budget;
+      batch.push_back(query);
+    }
+  }
+
+  std::vector<std::vector<BatchQueryResult>> runs;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    BatchOptions options;
+    options.threads = threads;
+    runs.push_back(BatchKClosestPairs(fp.tree(), fq.tree(), batch, options));
+  }
+  const auto& base = runs.front();
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      const std::string label = "query " + std::to_string(i) + " run " +
+                                std::to_string(run);
+      KCPQ_ASSERT_OK(base[i].status);
+      KCPQ_ASSERT_OK(runs[run][i].status);
+      EXPECT_EQ(runs[run][i].outcome, base[i].outcome) << label;
+      EXPECT_EQ(runs[run][i].stats.quality.stop_cause,
+                base[i].stats.quality.stop_cause)
+          << label;
+      EXPECT_EQ(runs[run][i].stats.quality.guaranteed_lower_bound,
+                base[i].stats.quality.guaranteed_lower_bound)
+          << label;
+      EXPECT_EQ(runs[run][i].stats.node_accesses, base[i].stats.node_accesses)
+          << label;
+      ASSERT_EQ(runs[run][i].pairs.size(), base[i].pairs.size()) << label;
+      for (size_t r = 0; r < base[i].pairs.size(); ++r) {
+        EXPECT_EQ(runs[run][i].pairs[r].p_id, base[i].pairs[r].p_id) << label;
+        EXPECT_EQ(runs[run][i].pairs[r].q_id, base[i].pairs[r].q_id) << label;
+        EXPECT_EQ(runs[run][i].pairs[r].distance, base[i].pairs[r].distance)
+            << label;
+      }
+    }
+  }
+}
+
+// An already-expired deadline stops the query on its first poll — still an
+// OK status, still a valid (vacuous or better) certificate.
+TEST(DeadlineTest, ExpiredDeadlineReturnsPartialNotError) {
+  const auto p_items = MakeUniformItems(300, 7301);
+  const auto q_items = MakeUniformItems(300, 7302);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  CpqOptions options;
+  options.k = 5;
+  options.control.deadline = QueryControl::Clock::now() -
+                             std::chrono::milliseconds(1);
+  CpqStats stats;
+  Result<std::vector<PairResult>> r =
+      KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+  KCPQ_ASSERT_OK(r.status());
+  EXPECT_EQ(stats.quality.stop_cause, StopCause::kDeadline);
+  EXPECT_FALSE(stats.quality.is_exact);
+  EXPECT_EQ(r.value().size(), 0u);
+  // Root pair was never expanded: the honest bound is root MINMINDIST,
+  // certainly finite and >= 0.
+  EXPECT_GE(stats.quality.guaranteed_lower_bound, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.quality.guaranteed_lower_bound));
+}
+
+// A generous deadline changes nothing: exact result, clean quality.
+TEST(DeadlineTest, GenerousDeadlineRunsToCompletion) {
+  const auto p_items = MakeUniformItems(200, 7303);
+  const auto q_items = MakeUniformItems(200, 7304);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  CpqOptions options;
+  options.k = 7;
+  options.control = QueryControl::WithDeadlineAfter(std::chrono::hours(1));
+  CpqStats stats;
+  Result<std::vector<PairResult>> r =
+      KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+  KCPQ_ASSERT_OK(r.status());
+  EXPECT_FALSE(stats.quality.is_partial());
+  EXPECT_TRUE(stats.quality.is_exact);
+  ExpectSameDistances(r.value(), BruteForceKClosestPairs(p_items, q_items, 7),
+                      "generous deadline");
+}
+
+// A pre-cancelled token stops before any work; cancellation mid-flight is
+// the batch fail-fast test's job (chaos_test.cc).
+TEST(DeadlineTest, CancelledTokenStopsQuery) {
+  const auto p_items = MakeUniformItems(300, 7305);
+  const auto q_items = MakeUniformItems(300, 7306);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  CancellationSource source;
+  source.Cancel();
+  CpqOptions options;
+  options.k = 5;
+  options.control.cancel = source.token();
+  CpqStats stats;
+  Result<std::vector<PairResult>> r =
+      KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+  KCPQ_ASSERT_OK(r.status());
+  EXPECT_EQ(stats.quality.stop_cause, StopCause::kCancelled);
+  EXPECT_EQ(stats.node_accesses, 0u);
+}
+
+// A starvation-level candidate-memory budget trips kMemoryBudget; the
+// certificate still holds.
+TEST(DeadlineTest, MemoryBudgetTripsAndCertifies) {
+  const auto p_items = MakeUniformItems(400, 7307);
+  const auto q_items = MakeUniformItems(400, 7308);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    CpqOptions options;
+    options.algorithm = algorithm;
+    options.k = 8;
+    options.control.max_candidate_bytes = 512;
+    CpqStats stats;
+    Result<std::vector<PairResult>> r =
+        KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+    KCPQ_ASSERT_OK(r.status());
+    ASSERT_TRUE(stats.quality.is_partial());
+    EXPECT_EQ(stats.quality.stop_cause, StopCause::kMemoryBudget);
+    ExpectBoundHolds(r.value(), BruteForceKClosestPairs(p_items, q_items, 8),
+                     stats.quality.guaranteed_lower_bound,
+                     CpqAlgorithmName(algorithm));
+  }
+}
+
+// ε-join under a node budget: the unreported qualifying pairs all lie at
+// or beyond the certified bound.
+TEST(DeadlineTest, DistanceJoinPartialBoundHolds) {
+  const auto p_items = MakeUniformItems(400, 7401);
+  const auto q_items = MakeUniformItems(400, 7402);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const double epsilon = 0.05;
+  const std::vector<PairResult> brute =
+      BruteForceDistanceRangeJoin(p_items, q_items, epsilon);
+
+  bool saw_partial = false;
+  for (const uint64_t budget : {4u, 16u, 64u, 1u << 20}) {
+    DistanceJoinOptions options;
+    options.control.max_node_accesses = budget;
+    CpqStats stats;
+    Result<std::vector<PairResult>> r =
+        DistanceRangeJoin(fp.tree(), fq.tree(), epsilon, options, &stats);
+    KCPQ_ASSERT_OK(r.status());
+    const std::string label = "join budget " + std::to_string(budget);
+    if (!stats.quality.is_partial()) {
+      ExpectSameDistances(r.value(), brute, label);
+      continue;
+    }
+    saw_partial = true;
+    const double glb = stats.quality.guaranteed_lower_bound;
+    // Every reported pair is genuine: present in the brute join.
+    EXPECT_LE(r.value().size(), brute.size()) << label;
+    // Every brute pair below the bound is reported (count them: both lists
+    // are ascending).
+    size_t guaranteed = 0;
+    while (guaranteed < brute.size() &&
+           brute[guaranteed].distance < glb - kTol) {
+      ++guaranteed;
+    }
+    ASSERT_GE(r.value().size(), guaranteed) << label;
+    for (size_t i = 0; i < guaranteed; ++i) {
+      EXPECT_NEAR(r.value()[i].distance, brute[i].distance, kTol) << label;
+    }
+    if (stats.quality.is_exact) ExpectSameDistances(r.value(), brute, label);
+  }
+  EXPECT_TRUE(saw_partial) << "budgets too generous to exercise the stop";
+}
+
+// HS under a budget emits an exact ascending prefix, and its bound is the
+// key of the first unprocessed item.
+TEST(DeadlineTest, HsPartialIsExactPrefix) {
+  const auto p_items = MakeUniformItems(350, 7501);
+  const auto q_items = MakeClusteredItems(350, 7502);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const size_t k = 24;
+  const std::vector<PairResult> brute =
+      BruteForceKClosestPairs(p_items, q_items, k);
+
+  bool saw_partial = false;
+  for (const uint64_t budget : {3u, 10u, 40u, 1u << 20}) {
+    HsOptions options;
+    options.control.max_node_accesses = budget;
+    HsStats stats;
+    Result<std::vector<PairResult>> r =
+        HsKClosestPairs(fp.tree(), fq.tree(), k, options, &stats);
+    KCPQ_ASSERT_OK(r.status());
+    const std::string label = "hs budget " + std::to_string(budget);
+    ASSERT_LE(r.value().size(), brute.size()) << label;
+    // Whether stopped or not, HS output is a prefix of the true answer.
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      EXPECT_NEAR(r.value()[i].distance, brute[i].distance, kTol) << label;
+    }
+    if (stats.quality.is_partial()) {
+      saw_partial = true;
+      EXPECT_EQ(stats.quality.pairs_found, r.value().size()) << label;
+      // Everything not emitted is at least glb away.
+      const double glb = stats.quality.guaranteed_lower_bound;
+      if (r.value().size() < brute.size()) {
+        EXPECT_GE(brute[r.value().size()].distance, glb - kTol) << label;
+      }
+    } else {
+      EXPECT_EQ(r.value().size(), brute.size()) << label;
+    }
+  }
+  EXPECT_TRUE(saw_partial) << "budgets too generous to exercise the stop";
+}
+
+// Semi-CPQ under a budget: the partial result is per-point exact for the
+// points it covers, and honestly reports a zero bound.
+TEST(DeadlineTest, SemiPartialIsPerPointExact) {
+  const auto p_items = MakeUniformItems(300, 7601);
+  const auto q_items = MakeUniformItems(300, 7602);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const std::vector<PairResult> brute =
+      BruteForceSemiClosestPairs(p_items, q_items);
+
+  QueryControl control;
+  control.max_node_accesses = 30;
+  CpqStats stats;
+  Result<std::vector<PairResult>> r =
+      SemiClosestPairs(fp.tree(), fq.tree(), &stats, control);
+  KCPQ_ASSERT_OK(r.status());
+  ASSERT_TRUE(stats.quality.is_partial());
+  EXPECT_EQ(stats.quality.guaranteed_lower_bound, 0.0);
+  EXPECT_FALSE(stats.quality.is_exact);
+  EXPECT_LT(r.value().size(), brute.size());
+  // Each covered P point got its true nearest neighbor.
+  for (const PairResult& pr : r.value()) {
+    const auto it = std::find_if(
+        brute.begin(), brute.end(),
+        [&](const PairResult& b) { return b.p_id == pr.p_id; });
+    ASSERT_NE(it, brute.end());
+    EXPECT_NEAR(pr.distance, it->distance, kTol);
+  }
+}
+
+// The brute oracle itself respects deadlines/cancellation (it is used as a
+// guard in long differential loops).
+TEST(DeadlineTest, BruteForceHonorsControl) {
+  const auto p_items = MakeUniformItems(500, 7701);
+  const auto q_items = MakeUniformItems(500, 7702);
+  QueryControl cancelled;
+  CancellationSource source;
+  source.Cancel();
+  cancelled.cancel = source.token();
+  QueryQuality quality;
+  const std::vector<PairResult> partial = BruteForceKClosestPairs(
+      p_items, q_items, 10, /*self_join=*/false, Metric::kL2,
+      LeafKernel::kNestedLoop, cancelled, &quality);
+  EXPECT_EQ(quality.stop_cause, StopCause::kCancelled);
+  EXPECT_FALSE(quality.is_exact);
+  EXPECT_EQ(quality.guaranteed_lower_bound, 0.0);
+  EXPECT_TRUE(partial.empty());
+
+  // Node/memory budgets do not apply to a scan: they never trip it.
+  QueryControl budget_only;
+  budget_only.max_node_accesses = 1;
+  QueryQuality q2;
+  const std::vector<PairResult> full = BruteForceKClosestPairs(
+      p_items, q_items, 10, /*self_join=*/false, Metric::kL2,
+      LeafKernel::kNestedLoop, budget_only, &q2);
+  EXPECT_FALSE(q2.is_partial());
+  EXPECT_EQ(full.size(), 10u);
+}
+
+// QueryControl::Merged picks the stricter of each limit.
+TEST(DeadlineTest, MergedControlIsStricter) {
+  QueryControl a;
+  a.max_node_accesses = 100;
+  const auto t1 = QueryControl::Clock::now() + std::chrono::seconds(5);
+  a.deadline = t1;
+  QueryControl b;
+  b.max_node_accesses = 40;
+  b.max_candidate_bytes = 1 << 20;
+  CancellationSource source;
+  b.cancel = source.token();
+
+  const QueryControl merged = QueryControl::Merged(a, b);
+  EXPECT_EQ(merged.max_node_accesses, 40u);
+  EXPECT_EQ(merged.max_candidate_bytes, uint64_t{1} << 20);
+  EXPECT_EQ(merged.deadline, t1);
+  EXPECT_EQ(merged.Check(0, 0), StopCause::kNone);
+  source.Cancel();
+  EXPECT_EQ(merged.Check(0, 0), StopCause::kCancelled);
+  EXPECT_EQ(merged.Check(40, 0), StopCause::kCancelled);  // cancel wins
+}
+
+}  // namespace
+}  // namespace kcpq

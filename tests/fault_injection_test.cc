@@ -2,6 +2,8 @@
 // propagate injected I/O errors as Status values — no aborts, no silent
 // data loss after healing.
 
+#include <cstring>
+
 #include "buffer/buffer_manager.h"
 #include "cpq/cpq.h"
 #include "gtest/gtest.h"
@@ -9,6 +11,7 @@
 #include "rtree/rtree.h"
 #include "storage/fault_injection_storage.h"
 #include "storage/memory_storage.h"
+#include "storage/retrying_storage.h"
 #include "tests/test_util.h"
 
 namespace kcpq {
@@ -162,6 +165,132 @@ TEST(FaultInjectionTest, EraseFailurePropagates) {
     }
   }
   EXPECT_FALSE(status.ok());
+}
+
+TEST(FaultInjectionStorageTest, FailNextNIsTransientThenHeals) {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty(&base);
+  const PageId id = faulty.Allocate().value();
+  Page page(base.page_size());
+
+  faulty.FailNextN(3);
+  for (int i = 0; i < 3; ++i) {
+    const Status s = faulty.WritePage(id, page);
+    ASSERT_FALSE(s.ok()) << i;
+    EXPECT_TRUE(s.IsTransient()) << i;
+    EXPECT_EQ(s.code(), StatusCode::kIoTransient) << i;
+  }
+  // Exactly n: the fourth operation succeeds without Heal().
+  KCPQ_EXPECT_OK(faulty.WritePage(id, page));
+  EXPECT_EQ(faulty.faults_injected(), 3u);
+
+  // Heal() clears a pending countdown.
+  faulty.FailNextN(100);
+  faulty.Heal();
+  KCPQ_EXPECT_OK(faulty.WritePage(id, page));
+}
+
+TEST(RetryingStorageTest, RecoversFromTransientBurst) {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty(&base);
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.initial_backoff = std::chrono::microseconds(0);
+  RetryingStorageManager retrying(&faulty, policy);
+
+  const PageId id = retrying.Allocate().value();
+  Page page(base.page_size());
+  for (size_t i = 0; i < page.size(); ++i) {
+    page.data()[i] = static_cast<uint8_t>(i);
+  }
+  KCPQ_ASSERT_OK(retrying.WritePage(id, page));
+
+  faulty.FailNextN(4);  // within the retry budget
+  Page read_back(base.page_size());
+  KCPQ_ASSERT_OK(retrying.ReadPage(id, &read_back));
+  EXPECT_EQ(std::memcmp(read_back.data(), page.data(), page.size()), 0);
+  EXPECT_EQ(retrying.retries(), 4u);
+  EXPECT_EQ(retrying.recovered(), 1u);
+  EXPECT_EQ(retrying.exhausted(), 0u);
+}
+
+TEST(RetryingStorageTest, ExhaustsOnLongBurstAndSurfacesTransient) {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty(&base);
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.initial_backoff = std::chrono::microseconds(0);
+  RetryingStorageManager retrying(&faulty, policy);
+  const PageId id = retrying.Allocate().value();
+  Page page(base.page_size());
+
+  faulty.FailNextN(10);  // outlasts 1 try + 3 retries
+  const Status s = retrying.ReadPage(id, &page);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(retrying.retries(), 3u);
+  EXPECT_EQ(retrying.exhausted(), 1u);
+  EXPECT_EQ(faulty.faults_injected(), 4u);  // the burst was not fully drained
+}
+
+TEST(RetryingStorageTest, PermanentErrorsAreNotRetried) {
+  MemoryStorageManager base;
+  FaultInjectionStorageManager faulty(&base);
+  RetryingStorageManager retrying(&faulty);
+  const PageId id = retrying.Allocate().value();
+  Page page(base.page_size());
+
+  faulty.FailAfter(0);  // permanent kIoError from here on
+  const Status s = retrying.ReadPage(id, &page);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_FALSE(s.IsTransient());
+  EXPECT_EQ(retrying.retries(), 0u);  // passed through on the first attempt
+  EXPECT_EQ(faulty.faults_injected(), 1u);
+}
+
+TEST(RetryingStorageTest, QueryOverFlakyDiskIsBitIdenticalToFaultFreeRun) {
+  // The PR's acceptance criterion: a query stacked over
+  // memory -> fault injection -> retrying -> buffer, with transient faults
+  // injected mid-query, returns bit-identical pairs to a fault-free run.
+  const auto p_items = MakeUniformItems(1500, 1107);
+  const auto q_items = MakeUniformItems(1500, 1108);
+  kcpq::testing::TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 25;
+  auto want = KClosestPairs(fp.tree(), fq.tree(), options);
+  KCPQ_ASSERT_OK(want.status());
+
+  FaultInjectionStorageManager faulty_p(&fp.storage());
+  FaultInjectionStorageManager faulty_q(&fq.storage());
+  RetryPolicy policy;
+  policy.max_retries = 12;
+  policy.initial_backoff = std::chrono::microseconds(0);
+  RetryingStorageManager retry_p(&faulty_p, policy);
+  RetryingStorageManager retry_q(&faulty_q, policy);
+  BufferManager buffer_p(&retry_p, 0);
+  BufferManager buffer_q(&retry_q, 0);
+  auto tree_p = RStarTree::Open(&buffer_p, fp.tree().meta_page());
+  auto tree_q = RStarTree::Open(&buffer_q, fq.tree().meta_page());
+  ASSERT_TRUE(tree_p.ok());
+  ASSERT_TRUE(tree_q.ok());
+  faulty_p.FailWithProbability(0.25, /*seed=*/31, /*transient=*/true);
+  faulty_q.FailWithProbability(0.25, /*seed=*/32, /*transient=*/true);
+
+  auto got = KClosestPairs(*tree_p.value(), *tree_q.value(), options);
+  KCPQ_ASSERT_OK(got.status());
+  EXPECT_GT(faulty_p.faults_injected() + faulty_q.faults_injected(), 0u);
+  EXPECT_GT(retry_p.recovered() + retry_q.recovered(), 0u);
+  ASSERT_EQ(got.value().size(), want.value().size());
+  for (size_t i = 0; i < want.value().size(); ++i) {
+    EXPECT_EQ(got.value()[i].p_id, want.value()[i].p_id) << i;
+    EXPECT_EQ(got.value()[i].q_id, want.value()[i].q_id) << i;
+    EXPECT_EQ(got.value()[i].distance, want.value()[i].distance) << i;
+  }
 }
 
 TEST(FaultInjectionTest, IntermittentFaultsNeverCrashQueries) {

@@ -14,6 +14,7 @@
 #include "exec/batch.h"
 #include "rtree/rtree.h"
 #include "storage/file_storage.h"
+#include "storage/retrying_storage.h"
 #include "tools/csv.h"
 
 namespace kcpq {
@@ -90,21 +91,69 @@ Result<LeafKernel> ParseKernel(const std::string& name) {
                                  "' (nested|sweep)");
 }
 
-// An opened database: storage + buffer + tree, kept alive together.
+// An opened database: storage (+ optional retry decorator) + buffer +
+// tree, kept alive together.
 struct Database {
   std::unique_ptr<FileStorageManager> storage;
+  std::unique_ptr<RetryingStorageManager> retrying;
   std::unique_ptr<BufferManager> buffer;
   std::unique_ptr<RStarTree> tree;
+
+  /// What the buffer manager should sit on: the retry decorator when
+  /// --io-retries is in play, the raw file otherwise.
+  StorageManager* top_storage() {
+    return retrying != nullptr
+               ? static_cast<StorageManager*>(retrying.get())
+               : static_cast<StorageManager*>(storage.get());
+  }
 };
 
 Status OpenDatabase(const std::string& path, size_t buffer_pages,
-                    Database* db) {
+                    Database* db, uint64_t io_retries = 0) {
   KCPQ_ASSIGN_OR_RETURN(db->storage, FileStorageManager::Open(path));
+  if (io_retries > 0) {
+    RetryPolicy policy;
+    policy.max_retries = static_cast<int>(io_retries);
+    db->retrying =
+        std::make_unique<RetryingStorageManager>(db->storage.get(), policy);
+  }
   db->buffer =
-      std::make_unique<BufferManager>(db->storage.get(), buffer_pages);
+      std::make_unique<BufferManager>(db->top_storage(), buffer_pages);
   KCPQ_ASSIGN_OR_RETURN(db->tree,
                         RStarTree::Open(db->buffer.get(), kMetaPage));
   return Status::OK();
+}
+
+// Parses the lifecycle-control flags shared by kcp / join / semi.
+Status ParseControlFlags(const Flags& flags, QueryControl* control) {
+  if (const auto it = flags.named.find("deadline-ms");
+      it != flags.named.end()) {
+    double ms;
+    KCPQ_RETURN_IF_ERROR(ParseNumber(it->second, &ms));
+    if (ms < 0) {
+      return Status::InvalidArgument("--deadline-ms must be >= 0");
+    }
+    control->deadline =
+        QueryControl::Clock::now() +
+        std::chrono::duration_cast<QueryControl::Clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+  }
+  if (const auto it = flags.named.find("max-node-accesses");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &control->max_node_accesses));
+  }
+  return Status::OK();
+}
+
+void PrintQuality(std::FILE* out, const QueryQuality& quality) {
+  if (!quality.is_partial()) return;
+  std::fprintf(out,
+               "# partial (%s): %llu pairs, guaranteed lower bound %g, "
+               "exact: %s\n",
+               StopCauseName(quality.stop_cause),
+               static_cast<unsigned long long>(quality.pairs_found),
+               quality.guaranteed_lower_bound,
+               quality.is_exact ? "yes" : "no");
 }
 
 void PrintPairs(std::FILE* out, const std::vector<PairResult>& pairs) {
@@ -228,8 +277,15 @@ Status OpenPair(const Flags& flags, Database* p, Database* q) {
   if (const auto it = flags.named.find("buffer"); it != flags.named.end()) {
     KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &buffer_pages));
   }
-  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], buffer_pages / 2, p));
-  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[1], buffer_pages / 2, q));
+  uint64_t io_retries = 0;
+  if (const auto it = flags.named.find("io-retries");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &io_retries));
+  }
+  KCPQ_RETURN_IF_ERROR(
+      OpenDatabase(flags.positional[0], buffer_pages / 2, p, io_retries));
+  KCPQ_RETURN_IF_ERROR(
+      OpenDatabase(flags.positional[1], buffer_pages / 2, q, io_retries));
   // Concurrent queries (--threads > 1) want sharded buffers: rebuild the
   // buffer layer with enough shards that workers rarely collide.
   uint64_t threads = 1;
@@ -240,7 +296,7 @@ Status OpenPair(const Flags& flags, Database* p, Database* q) {
     for (Database* db : {p, q}) {
       db->tree.reset();
       db->buffer = std::make_unique<BufferManager>(
-          db->storage.get(), buffer_pages / 2, /*shards=*/64,
+          db->top_storage(), buffer_pages / 2, /*shards=*/64,
           [] { return MakeLruPolicy(); });
       KCPQ_ASSIGN_OR_RETURN(db->tree,
                             RStarTree::Open(db->buffer.get(), kMetaPage));
@@ -254,7 +310,8 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     return Status::InvalidArgument(
         "usage: kcp <p.db> <q.db> <K> [--algorithm=heap] [--metric=l2] "
         "[--buffer=N] [--fix-at-leaves] [--self] [--kernel=nested|sweep] "
-        "[--threads=N] [--repeat=N]");
+        "[--threads=N] [--repeat=N] [--deadline-ms=N] "
+        "[--max-node-accesses=N] [--io-retries=N] [--fail-fast]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -287,11 +344,15 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
 
   if (threads > 1 || repeat > 1) {
     // Batch mode: the same query `repeat` times across `threads` workers —
-    // the multi-client throughput scenario (src/exec/batch.h).
+    // the multi-client throughput scenario (src/exec/batch.h). The
+    // deadline / budget flags apply batch-wide here.
     std::vector<BatchQuery> batch(repeat);
     for (BatchQuery& bq : batch) bq.options = options;
     BatchOptions batch_options;
     batch_options.threads = static_cast<size_t>(threads);
+    KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &batch_options.control));
+    batch_options.cancel_batch_on_first_failure =
+        flags.named.count("fail-fast") > 0;
     BatchStats batch_stats;
     Timer timer;
     const std::vector<BatchQueryResult> results = BatchKClosestPairs(
@@ -299,21 +360,29 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     const double seconds = timer.ElapsedSeconds();
     for (const BatchQueryResult& r : results) KCPQ_RETURN_IF_ERROR(r.status);
     PrintPairs(out, results.front().pairs);
+    PrintQuality(out, results.front().stats.quality);
     PrintQueryStats(out, results.front().stats, seconds);
     std::fprintf(out,
                  "batch: %llu queries on %llu threads in %.3f s "
-                 "(%.1f queries/s)\n",
+                 "(%.1f queries/s); outcomes: ok=%llu partial=%llu "
+                 "cancelled=%llu failed=%llu\n",
                  static_cast<unsigned long long>(repeat),
                  static_cast<unsigned long long>(threads), seconds,
-                 static_cast<double>(repeat) / seconds);
+                 static_cast<double>(repeat) / seconds,
+                 static_cast<unsigned long long>(batch_stats.ok),
+                 static_cast<unsigned long long>(batch_stats.partial),
+                 static_cast<unsigned long long>(batch_stats.cancelled),
+                 static_cast<unsigned long long>(batch_stats.failed));
     return Status::OK();
   }
 
+  KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &options.control));
   CpqStats stats;
   Timer timer;
   KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
                         KClosestPairs(*p.tree, *q.tree, options, &stats));
   PrintPairs(out, pairs);
+  PrintQuality(out, stats.quality);
   PrintQueryStats(out, stats, timer.ElapsedSeconds());
   return Status::OK();
 }
@@ -322,7 +391,8 @@ Status CmdJoin(const Flags& flags, std::FILE* out) {
   if (flags.positional.size() != 3) {
     return Status::InvalidArgument(
         "usage: join <p.db> <q.db> <epsilon> [--metric=l2] [--buffer=N] "
-        "[--max-results=N] [--self]");
+        "[--max-results=N] [--self] [--deadline-ms=N] "
+        "[--max-node-accesses=N] [--io-retries=N]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -337,12 +407,14 @@ Status CmdJoin(const Flags& flags, std::FILE* out) {
     KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &options.max_results));
   }
   options.self_join = flags.named.count("self") > 0;
+  KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &options.control));
   CpqStats stats;
   Timer timer;
   KCPQ_ASSIGN_OR_RETURN(
       const std::vector<PairResult> pairs,
       DistanceRangeJoin(*p.tree, *q.tree, epsilon, options, &stats));
   PrintPairs(out, pairs);
+  PrintQuality(out, stats.quality);
   PrintQueryStats(out, stats, timer.ElapsedSeconds());
   return Status::OK();
 }
@@ -449,16 +521,20 @@ Status CmdPlan(const Flags& flags, std::FILE* out) {
 Status CmdSemi(const Flags& flags, std::FILE* out) {
   if (flags.positional.size() != 2) {
     return Status::InvalidArgument(
-        "usage: semi <p.db> <q.db> [--buffer=N] — nearest Q point for every "
-        "P point");
+        "usage: semi <p.db> <q.db> [--buffer=N] [--deadline-ms=N] "
+        "[--max-node-accesses=N] [--io-retries=N] — nearest Q point for "
+        "every P point");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  QueryControl control;
+  KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &control));
   CpqStats stats;
   Timer timer;
   KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
-                        SemiClosestPairs(*p.tree, *q.tree, &stats));
+                        SemiClosestPairs(*p.tree, *q.tree, &stats, control));
   PrintPairs(out, pairs);
+  PrintQuality(out, stats.quality);
   PrintQueryStats(out, stats, timer.ElapsedSeconds());
   return Status::OK();
 }
@@ -522,9 +598,13 @@ void PrintUsage(std::FILE* out) {
       "  kcpq kcp <p.db> <q.db> <K> [--algorithm=naive|exh|sim|std|heap]\n"
       "       [--metric=l1|l2|linf] [--buffer=N] [--fix-at-leaves] [--self]\n"
       "       [--kernel=nested|sweep] [--threads=N] [--repeat=N]\n"
+      "       [--deadline-ms=N] [--max-node-accesses=N] [--io-retries=N]\n"
+      "       [--fail-fast]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
-      "       [--max-results=N] [--self]\n"
-      "  kcpq semi <p.db> <q.db> [--buffer=N]\n"
+      "       [--max-results=N] [--self] [--deadline-ms=N]\n"
+      "       [--max-node-accesses=N] [--io-retries=N]\n"
+      "  kcpq semi <p.db> <q.db> [--buffer=N] [--deadline-ms=N]\n"
+      "       [--max-node-accesses=N] [--io-retries=N]\n"
       "  kcpq plan <p.db> <q.db> <K> [--buffer=N]\n"
       "  kcpq multiway <db1> <db2> [<db3> ...] <K> [--edges=0-1,1-2]\n"
       "  kcpq knn <db> <x> <y> <k>\n"
