@@ -80,10 +80,11 @@ void BufferManager::CountMiss() {
   ++Tls().misses;
 }
 
-Status BufferManager::Read(PageId id, Page* out) {
+Status BufferManager::Read(PageId id, Page* out, QueryContext* ctx) {
+  if (ctx != nullptr) ctx->OnPageRead(instance_id_, id, storage_->page_size());
   if (capacity_ == 0) {
     CountMiss();
-    return storage_->ReadPage(id, out);
+    return storage_->ReadPage(id, out, ctx);
   }
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -98,7 +99,7 @@ Status BufferManager::Read(PageId id, Page* out) {
   // page trigger exactly one storage read per residency.
   CountMiss();
   Page page;
-  KCPQ_RETURN_IF_ERROR(storage_->ReadPage(id, &page));
+  KCPQ_RETURN_IF_ERROR(storage_->ReadPage(id, &page, ctx));
   KCPQ_RETURN_IF_ERROR(EvictIfFull(shard));
   shard.policy->OnInsert(id);
   *out = page;

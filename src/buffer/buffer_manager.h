@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "buffer/replacement_policy.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "storage/storage_manager.h"
 
@@ -88,7 +89,13 @@ class BufferManager {
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Reads page `id` into `*out`, from cache if resident.
-  Status Read(PageId id, Page* out);
+  ///
+  /// When `ctx` is given, the page is charged to the query's
+  /// ResourceAccountant — once per distinct page, on hits and misses alike,
+  /// so a query's accounted footprint is the set of pages it touched,
+  /// independent of thread count and buffer state — and forwarded to the
+  /// storage stack on a miss (deadline-aware retries).
+  Status Read(PageId id, Page* out, QueryContext* ctx = nullptr);
 
   /// Writes `page` to `id` (cached, write-back). Pass-through writes
   /// directly when capacity is 0.

@@ -175,7 +175,23 @@ struct QueryQuality {
   double guaranteed_lower_bound = std::numeric_limits<double>::infinity();
   bool is_exact = true;
 
+  /// Per-rank refinement of the scalar bound (CPQ engines only; empty
+  /// elsewhere). rank_lower_bounds[i] certifies that the (i+1)-th smallest
+  /// pair *missing* from the partial result has distance >= that value —
+  /// derived from the frontier's (MINMINDIST, max pair capacity) profile,
+  /// so on overlapping workspaces where guaranteed_lower_bound sticks at 0
+  /// the higher ranks stay informative (docs/robustness.md has the proof).
+  /// Invariants: ascending; rank_lower_bounds[0] == guaranteed_lower_bound.
+  std::vector<double> rank_lower_bounds;
+
   bool is_partial() const { return stop_cause != StopCause::kNone; }
+
+  /// Bound for rank `i` (0-based): the per-rank value when present, the
+  /// scalar bound otherwise (always sound, possibly looser).
+  double RankBound(size_t i) const {
+    return i < rank_lower_bounds.size() ? rank_lower_bounds[i]
+                                        : guaranteed_lower_bound;
+  }
 };
 
 }  // namespace kcpq

@@ -36,6 +36,12 @@ enum class StatusCode {
   kCorruption,
   kFailedPrecondition,
   kResourceExhausted,
+  /// A query's deadline has passed (or provably cannot be met, e.g. the
+  /// remaining time cannot cover a retry backoff). Unlike budget trips,
+  /// which the engines absorb into partial results, this code crosses
+  /// layer boundaries: the storage stack raises it and the engines
+  /// convert it back into a StopCause::kDeadline partial result.
+  kDeadlineExceeded,
   kUnimplemented,
   kInternal,
 };
@@ -83,6 +89,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

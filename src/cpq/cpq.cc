@@ -60,12 +60,12 @@ namespace {
 // *every* leaf point to everything beneath the subtree, so the traversal
 // stops when the key exceeds the worst unresolved best. Amortizes one Q
 // descent over up to M points (vs. one descent per point).
-// `control` is polled per popped Q node; on a stop the leaf's half-built
+// `ctx` is polled per popped Q node; on a stop the leaf's half-built
 // best lists are discarded (per-point NN answers are only emitted whole)
 // and `*stop` tells the caller to end the scan.
 Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
-                           const QueryControl& control, CpqStats* stats,
-                           std::vector<PairResult>* out,
+                           QueryContext* ctx, bool accounting,
+                           CpqStats* stats, std::vector<PairResult>* out,
                            uint64_t* node_accesses, StopCause* stop) {
   struct QueueItem {
     double key;
@@ -86,13 +86,18 @@ Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
     queue.pop();
     const double worst = *std::max_element(best.begin(), best.end());
     if (item.key > worst) break;  // no leaf point can improve
-    if (!control.IsUnlimited()) {
-      *stop = control.Check(*node_accesses,
-                            out->size() * sizeof(PairResult));
+    if (accounting) {
+      *stop = ctx->Check(*node_accesses, out->size() * sizeof(PairResult));
       if (*stop != StopCause::kNone) return Status::OK();
     }
     Node node;
-    KCPQ_RETURN_IF_ERROR(tree_q.ReadNode(item.page, &node));
+    const Status read_status =
+        tree_q.ReadNode(item.page, &node, accounting ? ctx : nullptr);
+    if (read_status.code() == StatusCode::kDeadlineExceeded) {
+      *stop = StopCause::kDeadline;
+      return Status::OK();
+    }
+    KCPQ_RETURN_IF_ERROR(read_status);
     ++stats->node_pairs_processed;
     ++*node_accesses;
     if (node.IsLeaf()) {
@@ -132,7 +137,8 @@ Status GroupNearestForLeaf(const RStarTree& tree_q, const Node& leaf,
 Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
                                                  const RStarTree& tree_q,
                                                  CpqStats* stats,
-                                                 const QueryControl& control) {
+                                                 const QueryControl& control,
+                                                 QueryContext* context) {
   CpqStats local;
   CpqStats* s = stats != nullptr ? stats : &local;
   *s = CpqStats{};
@@ -143,17 +149,30 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
   out.reserve(tree_p.size());
 
+  // An external context supersedes `control` (same rule as CpqOptions).
+  QueryContext local_ctx(control);
+  QueryContext* ctx = context != nullptr ? context : &local_ctx;
+  const bool accounting =
+      context != nullptr || !ctx->control().IsUnlimited();
+
   uint64_t node_accesses = 0;
   // Pre-trip check: a pre-cancelled or pre-expired query touches no pages.
-  StopCause stop = control.Check(0, 0);
+  StopCause stop = accounting ? ctx->Check(0, 0) : StopCause::kNone;
   Status inner = Status::OK();
   if (stop == StopCause::kNone) {
-    KCPQ_RETURN_IF_ERROR(tree_p.ScanLeaves([&](const Node& leaf) {
-      ++node_accesses;  // the P leaf itself
-      inner = GroupNearestForLeaf(tree_q, leaf, control, s, &out,
-                                  &node_accesses, &stop);
-      return inner.ok() && stop == StopCause::kNone;
-    }));
+    Status scan = tree_p.ScanLeaves(
+        [&](const Node& leaf) {
+          ++node_accesses;  // the P leaf itself
+          inner = GroupNearestForLeaf(tree_q, leaf, ctx, accounting, s, &out,
+                                      &node_accesses, &stop);
+          return inner.ok() && stop == StopCause::kNone;
+        },
+        accounting ? ctx : nullptr);
+    if (scan.code() == StatusCode::kDeadlineExceeded) {
+      stop = StopCause::kDeadline;
+      scan = Status::OK();
+    }
+    KCPQ_RETURN_IF_ERROR(scan);
     KCPQ_RETURN_IF_ERROR(inner);
   }
 

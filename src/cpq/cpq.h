@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/query_control.h"
 #include "common/status.h"
 #include "geometry/minkowski.h"
@@ -135,6 +136,15 @@ struct CpqOptions {
   /// *partial* result and describes it in CpqStats::quality; it never
   /// converts expiry into an error.
   QueryControl control;
+
+  /// Optional externally-owned QueryContext. When set it supersedes
+  /// `control` (its own control is used) and the engine charges all buffer
+  /// pages it touches to the context's ResourceAccountant, making
+  /// `max_candidate_bytes` govern the query's *unified* footprint (engine
+  /// candidate state + distinct buffer pages). When null the engine runs a
+  /// private context built from `control`. Must outlive the call; a
+  /// context serves exactly one query at a time.
+  QueryContext* context = nullptr;
 };
 
 /// One reported closest pair.
@@ -195,7 +205,8 @@ Result<std::vector<PairResult>> SelfKClosestPairs(const RStarTree& tree,
 /// unvisited points).
 Result<std::vector<PairResult>> SemiClosestPairs(
     const RStarTree& tree_p, const RStarTree& tree_q,
-    CpqStats* stats = nullptr, const QueryControl& control = {});
+    CpqStats* stats = nullptr, const QueryControl& control = {},
+    QueryContext* context = nullptr);
 
 }  // namespace kcpq
 

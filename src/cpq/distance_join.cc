@@ -17,11 +17,14 @@ class JoinWalker {
  public:
   JoinWalker(const RStarTree& tree_p, const RStarTree& tree_q,
              double epsilon_pow, const DistanceJoinOptions& options,
-             CpqStats* stats, std::vector<PairResult>* out)
+             QueryContext* ctx, bool accounting, CpqStats* stats,
+             std::vector<PairResult>* out)
       : tree_p_(tree_p),
         tree_q_(tree_q),
         epsilon_pow_(epsilon_pow),
         options_(options),
+        ctx_(ctx),
+        accounting_(accounting),
         stats_(stats),
         out_(out) {}
 
@@ -33,9 +36,18 @@ class JoinWalker {
       return Status::OK();
     }
 
+    QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
     Node node_p, node_q;
-    KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(page_p, &node_p));
-    KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(page_q, &node_q));
+    Status read_status = tree_p_.ReadNode(page_p, &node_p, read_ctx);
+    if (read_status.ok()) {
+      read_status = tree_q_.ReadNode(page_q, &node_q, read_ctx);
+    }
+    if (read_status.code() == StatusCode::kDeadlineExceeded) {
+      stop_ = StopCause::kDeadline;
+      FoldFrontier(minmin_pow);
+      return Status::OK();
+    }
+    KCPQ_RETURN_IF_ERROR(read_status);
     ++stats_->node_pairs_processed;
     node_accesses_ += 2;
 
@@ -86,9 +98,8 @@ class JoinWalker {
  private:
   bool ShouldStop() {
     if (stop_ != StopCause::kNone) return true;
-    if (options_.control.IsUnlimited()) return false;
-    stop_ = options_.control.Check(node_accesses_,
-                                   out_->size() * sizeof(PairResult));
+    if (!accounting_) return false;
+    stop_ = ctx_->Check(node_accesses_, out_->size() * sizeof(PairResult));
     return stop_ != StopCause::kNone;
   }
 
@@ -154,6 +165,8 @@ class JoinWalker {
   const RStarTree& tree_q_;
   const double epsilon_pow_;
   const DistanceJoinOptions& options_;
+  QueryContext* ctx_;
+  bool accounting_;
   CpqStats* stats_;
   std::vector<PairResult>* out_;
   cpq_internal::SweepScratch<Entry> sweep_scratch_;
@@ -185,9 +198,16 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
   std::vector<PairResult> out;
   if (tree_p.size() == 0 || tree_q.size() == 0) return out;
 
+  // An external context supersedes `control` (same rule as CpqOptions).
+  QueryContext local_ctx(options.control);
+  QueryContext* ctx = options.context != nullptr ? options.context
+                                                 : &local_ctx;
+  const bool accounting =
+      options.context != nullptr || !ctx->control().IsUnlimited();
+
   // Pre-trip check: a pre-cancelled or pre-expired join touches no pages.
   // Nothing was examined, so certify nothing: bound 0, not exact.
-  const StopCause pre = options.control.Check(0, 0);
+  const StopCause pre = accounting ? ctx->Check(0, 0) : StopCause::kNone;
   if (pre != StopCause::kNone) {
     s->quality.stop_cause = pre;
     s->quality.guaranteed_lower_bound = 0.0;
@@ -198,25 +218,38 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
   const BufferStats before_p = tree_p.buffer()->ThreadStats();
   const BufferStats before_q = tree_q.buffer()->ThreadStats();
   const double epsilon_pow = DistanceToPow(epsilon, options.metric);
-  JoinWalker walker(tree_p, tree_q, epsilon_pow, options, s, &out);
+  JoinWalker walker(tree_p, tree_q, epsilon_pow, options, ctx, accounting, s,
+                    &out);
+  QueryContext* read_ctx = accounting ? ctx : nullptr;
   Rect mbr_p, mbr_q;
-  KCPQ_RETURN_IF_ERROR(tree_p.RootMbr(&mbr_p));
-  KCPQ_RETURN_IF_ERROR(tree_q.RootMbr(&mbr_q));
-  KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page(),
-                                   MinMinDistPow(mbr_p, mbr_q,
-                                                 options.metric)));
+  Status root_status = tree_p.RootMbr(&mbr_p, read_ctx);
+  if (root_status.ok()) root_status = tree_q.RootMbr(&mbr_q, read_ctx);
+  StopCause stop;
+  double frontier_pow;
+  if (root_status.code() == StatusCode::kDeadlineExceeded) {
+    // Storage abandoned a retry before anything was examined: partial
+    // with a vacuous certificate, same as a pre-expired deadline.
+    stop = StopCause::kDeadline;
+    frontier_pow = 0.0;
+  } else {
+    KCPQ_RETURN_IF_ERROR(root_status);
+    KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page(),
+                                     MinMinDistPow(mbr_p, mbr_q,
+                                                   options.metric)));
+    stop = walker.stop_cause();
+    frontier_pow = walker.frontier_min_pow();
+  }
   s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
   s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
   s->node_accesses = walker.node_accesses();
-  s->quality.stop_cause = walker.stop_cause();
+  s->quality.stop_cause = stop;
   s->quality.pairs_found = out.size();
-  if (walker.stop_cause() != StopCause::kNone) {
-    const double frontier = walker.frontier_min_pow();
+  if (stop != StopCause::kNone) {
     s->quality.guaranteed_lower_bound =
-        PowToDistance(frontier, options.metric);
+        PowToDistance(frontier_pow, options.metric);
     // The stop is harmless when nothing qualifying was left unexpanded:
     // an empty frontier, or one entirely beyond ε.
-    s->quality.is_exact = frontier > epsilon_pow;
+    s->quality.is_exact = frontier_pow > epsilon_pow;
   }
   SortResults(&out);
   return out;

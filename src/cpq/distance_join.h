@@ -32,6 +32,10 @@ struct DistanceJoinOptions {
   /// (so is_exact holds when the frontier lies beyond ε). The memory
   /// budget meters the materialized result vector.
   QueryControl control;
+
+  /// Optional externally-owned QueryContext; supersedes `control` and adds
+  /// buffer-page accounting (see CpqOptions::context).
+  QueryContext* context = nullptr;
 };
 
 /// All pairs within `epsilon` (a true distance, not power-space), in

@@ -18,12 +18,26 @@ uint64_t MinPointsAtLevel(int level, uint64_t min_entries) {
   return n;
 }
 
+// M^(level+1): maximum points in a subtree rooted at `level` (saturating:
+// the product overflows quickly and only upper-bounds a capacity).
+uint64_t MaxPointsAtLevel(int level, uint64_t max_entries) {
+  uint64_t n = 1;
+  for (int i = 0; i <= level; ++i) n = SaturatingMul(n, max_entries);
+  return n;
+}
+
 }  // namespace
 
 uint64_t MinPointsOfNode(const Node& node, uint64_t min_entries) {
   if (node.IsLeaf()) return node.entries.size();
   // Each child is a non-root subtree at node.level - 1.
   return node.entries.size() * MinPointsAtLevel(node.level - 1, min_entries);
+}
+
+uint64_t MaxPointsOfNode(const Node& node, uint64_t max_entries) {
+  if (node.IsLeaf()) return node.entries.size();
+  return SaturatingMul(node.entries.size(),
+                       MaxPointsAtLevel(node.level - 1, max_entries));
 }
 
 DescendChoice ChooseDescend(int level_p, int level_q,
@@ -49,7 +63,12 @@ CpqEngine::CpqEngine(const RStarTree& tree_p, const RStarTree& tree_q,
       options_(options),
       stats_(stats != nullptr ? stats : &local_stats_),
       results_(options.k, options.metric),
-      bound_(std::numeric_limits<double>::infinity()) {}
+      bound_(std::numeric_limits<double>::infinity()),
+      local_context_(options.control),
+      context_(options.context != nullptr ? options.context : &local_context_),
+      accounting_(options.context != nullptr ||
+                  !options.control.IsUnlimited()),
+      certificate_(options.k) {}
 
 Status CpqEngine::Run(std::vector<PairResult>* out) {
   *stats_ = CpqStats{};
@@ -60,27 +79,39 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   const BufferStats before_q = tree_q_.buffer()->ThreadStats();
 
   // Pre-trip check (a pre-cancelled or pre-expired query must not touch
-  // the trees at all). Nothing was examined, so certify nothing: bound 0.
+  // the trees at all). Nothing was examined, so certify nothing: bound 0
+  // at every rank.
   if (ShouldStop(0)) {
-    frontier_min_pow_ = 0.0;
+    FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
   } else {
+    QueryContext* read_ctx = accounting_ ? context_ : nullptr;
     Rect mbr_p, mbr_q;
-    KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
-    KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
-    tie_context_.root_area_p = mbr_p.Area();
-    tie_context_.root_area_q = mbr_q.Area();
-    tie_context_.metric = options_.metric;
-
-    NodeRef root_p{tree_p_.root_page(), tree_p_.height() - 1, mbr_p, 1};
-    NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1};
-
-    Status status;
-    if (options_.algorithm == CpqAlgorithm::kHeap) {
-      status = RunHeap(root_p, root_q);
+    Status root_status = tree_p_.RootMbr(&mbr_p, read_ctx);
+    if (root_status.ok()) root_status = tree_q_.RootMbr(&mbr_q, read_ctx);
+    if (root_status.code() == StatusCode::kDeadlineExceeded) {
+      // Storage abandoned a retry before anything was examined: partial
+      // with a vacuous certificate, same as a pre-expired deadline.
+      stop_ = StopCause::kDeadline;
+      FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
     } else {
-      status = ProcessPairRecursive(root_p, root_q);
+      KCPQ_RETURN_IF_ERROR(root_status);
+      tie_context_.root_area_p = mbr_p.Area();
+      tie_context_.root_area_q = mbr_q.Area();
+      tie_context_.metric = options_.metric;
+
+      NodeRef root_p{tree_p_.root_page(), tree_p_.height() - 1, mbr_p, 1,
+                     tree_p_.size()};
+      NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1,
+                     tree_q_.size()};
+
+      Status status;
+      if (options_.algorithm == CpqAlgorithm::kHeap) {
+        status = RunHeap(root_p, root_q);
+      } else {
+        status = ProcessPairRecursive(root_p, root_q);
+      }
+      KCPQ_RETURN_IF_ERROR(status);
     }
-    KCPQ_RETURN_IF_ERROR(status);
   }
 
   stats_->disk_accesses_p =
@@ -103,6 +134,15 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
     stats_->quality.is_exact =
         frontier_min_pow_ == std::numeric_limits<double>::infinity() ||
         (results_.full() && results_.Bound() <= frontier_min_pow_);
+    // Per-rank refinement: bound r certifies that at most r missing
+    // true-answer pairs can be closer than it (capacity-weighted frontier
+    // profile; proof in docs/robustness.md).
+    const std::vector<double> pow_bounds = certificate_.RankBoundsPow();
+    stats_->quality.rank_lower_bounds.reserve(pow_bounds.size());
+    for (const double b : pow_bounds) {
+      stats_->quality.rank_lower_bounds.push_back(
+          PowToDistance(b, options_.metric));
+    }
   }
 
   *out = std::move(results_).Extract();
@@ -111,16 +151,18 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
 
 bool CpqEngine::ShouldStop(uint64_t extra_bytes) {
   if (stop_ != StopCause::kNone) return true;
-  if (options_.control.IsUnlimited()) return false;
-  stop_ = options_.control.Check(node_accesses_,
-                                 candidate_bytes_ + extra_bytes);
+  if (!accounting_) return false;
+  // The context checks the *unified* footprint: the engine bytes recorded
+  // here plus every distinct buffer page the query has read.
+  stop_ = context_->Check(node_accesses_, candidate_bytes_ + extra_bytes);
   return stop_ != StopCause::kNone;
 }
 
 Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
                            Node* node_q) {
-  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(ref_p->page, node_p));
-  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(ref_q->page, node_q));
+  QueryContext* read_ctx = accounting_ ? context_ : nullptr;
+  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(ref_p->page, node_p, read_ctx));
+  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(ref_q->page, node_q, read_ctx));
   ++stats_->node_pairs_processed;
   node_accesses_ += 2;
   // Refresh the refs with exact facts from the pages (roots start with
@@ -131,6 +173,8 @@ Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
   ref_q->mbr = node_q->ComputeMbr();
   ref_p->min_points = MinPointsOfNode(*node_p, tree_p_.min_entries());
   ref_q->min_points = MinPointsOfNode(*node_q, tree_q_.min_entries());
+  ref_p->max_points = MaxPointsOfNode(*node_p, tree_p_.max_entries());
+  ref_q->max_points = MaxPointsOfNode(*node_q, tree_q_.max_entries());
   return Status::OK();
 }
 
@@ -205,15 +249,21 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
       MinPointsAtLevel(node_p.level - 1, tree_p_.min_entries());
   const uint64_t child_min_q =
       MinPointsAtLevel(node_q.level - 1, tree_q_.min_entries());
+  const uint64_t child_max_p =
+      MaxPointsAtLevel(node_p.level - 1, tree_p_.max_entries());
+  const uint64_t child_max_q =
+      MaxPointsAtLevel(node_q.level - 1, tree_q_.max_entries());
 
   auto make_ref_p = [&](size_t i) {
     return expand_p ? NodeRef{node_p.entries[i].id, node_p.level - 1,
-                              node_p.entries[i].rect, child_min_p}
+                              node_p.entries[i].rect, child_min_p,
+                              child_max_p}
                     : ref_p;
   };
   auto make_ref_q = [&](size_t j) {
     return expand_q ? NodeRef{node_q.entries[j].id, node_q.level - 1,
-                              node_q.entries[j].rect, child_min_q}
+                              node_q.entries[j].rect, child_min_q,
+                              child_max_q}
                     : ref_q;
   };
 
@@ -241,6 +291,7 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
       cand.q = cq;
       cand.minmin = MinMinDistPow(cp.mbr, cq.mbr, options_.metric);
       cand.min_pairs = cp.min_points * cq.min_points;
+      cand.max_pairs = SaturatingMul(cp.max_points, cq.max_points);
       if (score_ties) {
         ComputeTieScores(cp.mbr, cq.mbr, options_.tie_chain, tie_context_,
                          cand.tie);
@@ -290,14 +341,24 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
   // Stop check at node-pair granularity, *before* the reads: a stopped
   // query folds this unexpanded pair into the frontier bound instead.
   if (ShouldStop(0)) {
-    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric));
+    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
+                 SaturatingMul(ref_p.max_points, ref_q.max_points));
     return Status::OK();
   }
 
   NodeRef p = ref_p;
   NodeRef q = ref_q;
   Node node_p, node_q;
-  KCPQ_RETURN_IF_ERROR(ReadPair(&p, &q, &node_p, &node_q));
+  const Status read_status = ReadPair(&p, &q, &node_p, &node_q);
+  if (read_status.code() == StatusCode::kDeadlineExceeded) {
+    // The storage stack abandoned a retry the deadline could not cover.
+    // The pair stays unexpanded: latch the deadline stop and fold it.
+    stop_ = StopCause::kDeadline;
+    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
+                 SaturatingMul(ref_p.max_points, ref_q.max_points));
+    return Status::OK();
+  }
+  KCPQ_RETURN_IF_ERROR(read_status);
 
   const DescendChoice choice =
       ChooseDescend(node_p.level, node_q.level, options_.height_strategy);
@@ -326,7 +387,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     // Once stopped (possibly by a deeper recursion), drain: the remaining
     // un-pruned candidates become frontier, not work.
     if (stop_ != StopCause::kNone) {
-      FoldFrontier(cand.minmin);
+      FoldFrontier(cand.minmin, cand.max_pairs);
       continue;
     }
     const Status s = ProcessPairRecursive(cand.p, cand.q);
@@ -354,7 +415,23 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
   first.p = root_p;
   first.q = root_q;
   first.minmin = MinMinDistPow(root_p.mbr, root_q.mbr, options_.metric);
+  first.max_pairs = SaturatingMul(root_p.max_points, root_q.max_points);
   heap.push(first);
+
+  // On a stop, the popped pair plus everything still queued is the
+  // frontier; fold it all so the per-rank certificate sees the full
+  // capacity profile (the scalar bound needs only the popped key — the
+  // heap pops in ascending MINMINDIST — but rank bounds improve with
+  // every entry).
+  const auto drain_into_certificate = [&](const Candidate& popped,
+                                          auto* heap_ptr) {
+    FoldFrontier(popped.minmin, popped.max_pairs);
+    while (!heap_ptr->empty()) {
+      const Candidate& c = heap_ptr->top();
+      FoldFrontier(c.minmin, c.max_pairs);
+      heap_ptr->pop();
+    }
+  };
 
   std::vector<Candidate> candidates;
   while (!heap.empty()) {
@@ -363,17 +440,21 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
     const Candidate top = heap.top();
     heap.pop();
     if (top.minmin > bound_) break;  // nothing better can remain (CP5)
-    // The heap pops in ascending MINMINDIST, so on a stop the popped key
-    // alone is the frontier minimum — everything still queued is farther.
     if (ShouldStop(heap.size() * sizeof(Candidate))) {
-      FoldFrontier(top.minmin);
+      drain_into_certificate(top, &heap);
       break;
     }
 
     NodeRef p = top.p;
     NodeRef q = top.q;
     Node node_p, node_q;
-    KCPQ_RETURN_IF_ERROR(ReadPair(&p, &q, &node_p, &node_q));
+    const Status read_status = ReadPair(&p, &q, &node_p, &node_q);
+    if (read_status.code() == StatusCode::kDeadlineExceeded) {
+      stop_ = StopCause::kDeadline;
+      drain_into_certificate(top, &heap);
+      break;
+    }
+    KCPQ_RETURN_IF_ERROR(read_status);
 
     const DescendChoice choice =
         ChooseDescend(node_p.level, node_q.level, options_.height_strategy);

@@ -25,6 +25,11 @@ struct NodeRef {
   /// Lower bound on the number of points in the subtree (minimum-fill
   /// argument m^(level+1); exact-count-based for nodes already read).
   uint64_t min_points = 1;
+  /// Upper bound on the points beneath (max-fill argument M^(level+1);
+  /// exact-count-based for nodes already read). Feeds the per-rank anytime
+  /// certificate: a frontier pair can hide at most
+  /// max_points_p * max_points_q undiscovered point pairs.
+  uint64_t max_points = 1;
 };
 
 /// A candidate pair of subtrees with its precomputed ordering keys.
@@ -34,6 +39,7 @@ struct Candidate {
   double minmin = 0.0;  // squared MINMINDIST of the two MBRs
   double tie[kMaxTieChain] = {0, 0, 0, 0, 0};
   uint64_t min_pairs = 1;  // lower bound on point pairs beneath
+  uint64_t max_pairs = 1;  // upper bound on point pairs beneath
 };
 
 /// Strict weak order: ascending MINMINDIST, then the tie chain, then page
@@ -87,15 +93,17 @@ class CpqEngine {
   /// (MINMAXDIST for K = 1; MAXMAXDIST count accumulation for K > 1).
   void TightenBoundFromCandidates(const std::vector<Candidate>& candidates);
 
-  /// Polls QueryControl (at node-pair granularity). Once a stop cause is
-  /// latched it stays latched — the traversal switches from expanding the
-  /// frontier to draining it into `frontier_min_pow_`.
+  /// Polls the QueryContext (at node-pair granularity). Once a stop cause
+  /// is latched it stays latched — the traversal switches from expanding
+  /// the frontier to draining it into the certificate.
   bool ShouldStop(uint64_t extra_bytes);
 
-  /// Records an unexpanded node pair's MINMINDIST: the minimum over all of
-  /// them is the certificate that no undiscovered pair can be closer.
-  void FoldFrontier(double minmin_pow) {
+  /// Records an unexpanded node pair: its MINMINDIST (the minimum over all
+  /// of them certifies that no undiscovered pair can be closer) and its
+  /// pair capacity, which refines the certificate per rank.
+  void FoldFrontier(double minmin_pow, uint64_t max_pairs) {
     frontier_min_pow_ = std::min(frontier_min_pow_, minmin_pow);
+    certificate_.Add(minmin_pow, std::max<uint64_t>(max_pairs, 1));
   }
 
   /// True for algorithms that prune with MINMINDIST (all but kNaive).
@@ -128,6 +136,14 @@ class CpqEngine {
   SweepScratch<Entry> sweep_scratch_;
 
   // --- lifecycle control state ---
+  /// The query's context: `options.context` when the caller provided one,
+  /// otherwise `local_context_` built from `options.control`. All stop
+  /// polls and resource charges go through it.
+  QueryContext local_context_;
+  QueryContext* context_;
+  /// False only for uncontrolled queries with no external context — the
+  /// zero-overhead fast path (no polls, no page charging).
+  bool accounting_;
   /// Logical node reads so far (2 per ReadPair); the budgeted quantity.
   uint64_t node_accesses_ = 0;
   /// Live candidate-state bytes (recursion frames' candidate vectors; the
@@ -138,10 +154,15 @@ class CpqEngine {
   /// Min MINMINDIST (power space) over node pairs left unexpanded by a
   /// stop; +infinity when the search space was exhausted.
   double frontier_min_pow_ = std::numeric_limits<double>::infinity();
+  /// Per-rank refinement of the frontier bound (see FrontierCertificate).
+  FrontierCertificate certificate_;
 };
 
 /// Lower bound on points under a node that has been read.
 uint64_t MinPointsOfNode(const Node& node, uint64_t min_entries);
+
+/// Upper bound on points under a node that has been read (saturating).
+uint64_t MaxPointsOfNode(const Node& node, uint64_t max_entries);
 
 }  // namespace cpq_internal
 }  // namespace kcpq

@@ -82,28 +82,52 @@ class MultiwayEngine {
  public:
   MultiwayEngine(const std::vector<const RStarTree*>& trees,
                  const std::vector<MultiwayEdge>& graph,
-                 const MultiwayOptions& options, CpqStats* stats)
+                 const MultiwayOptions& options, QueryContext* ctx,
+                 bool accounting, CpqStats* stats)
       : trees_(trees),
         graph_(graph),
         options_(options),
+        ctx_(ctx),
+        accounting_(accounting),
         stats_(stats),
         results_(options.k) {}
 
   Status Run(std::vector<TupleResult>* out) {
     const size_t m = trees_.size();
+    // Live heap bytes: each queued tuple owns an m-slot vector.
+    const uint64_t tuple_bytes = sizeof(SearchTuple) + m * sizeof(SlotRef);
     std::priority_queue<SearchTuple, std::vector<SearchTuple>,
                         std::greater<SearchTuple>>
         heap;
-    SearchTuple root;
-    root.slots.resize(m);
-    for (size_t i = 0; i < m; ++i) {
-      Rect mbr;
-      KCPQ_RETURN_IF_ERROR(trees_[i]->RootMbr(&mbr));
-      root.slots[i] =
-          SlotRef{trees_[i]->root_page(), trees_[i]->height() - 1, mbr};
+
+    // Pre-trip check *before* the root reads: a pre-cancelled or
+    // pre-expired query must not touch any tree. Nothing was examined,
+    // so certify nothing: bound 0.
+    if (ShouldStop(0)) {
+      stop_bound_ = 0.0;
+    } else {
+      QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
+      SearchTuple root;
+      root.slots.resize(m);
+      Status root_status;
+      for (size_t i = 0; i < m && root_status.ok(); ++i) {
+        Rect mbr;
+        root_status = trees_[i]->RootMbr(&mbr, read_ctx);
+        if (!root_status.ok()) break;
+        root.slots[i] =
+            SlotRef{trees_[i]->root_page(), trees_[i]->height() - 1, mbr};
+      }
+      if (root_status.code() == StatusCode::kDeadlineExceeded) {
+        // Storage abandoned a retry before anything was examined: partial
+        // with a vacuous certificate, same as a pre-expired deadline.
+        stop_ = StopCause::kDeadline;
+        stop_bound_ = 0.0;
+      } else {
+        KCPQ_RETURN_IF_ERROR(root_status);
+        root.bound = BoundOf(root.slots);
+        heap.push(std::move(root));
+      }
     }
-    root.bound = BoundOf(root.slots);
-    heap.push(std::move(root));
 
     uint64_t next_seq = 1;
     while (!heap.empty()) {
@@ -112,6 +136,13 @@ class MultiwayEngine {
       const SearchTuple tuple = heap.top();
       heap.pop();
       if (tuple.bound > results_.Bound()) break;
+      // The heap pops in ascending bound order, so on a stop the popped
+      // bound alone certifies every unreported tuple — the multiway
+      // analogue of the two-tree engines' frontier minimum.
+      if (ShouldStop(heap.size() * tuple_bytes)) {
+        stop_bound_ = tuple.bound;
+        break;
+      }
 
       // Pick the slot to expand: deepest node, ties by larger area.
       int expand = -1;
@@ -125,13 +156,26 @@ class MultiwayEngine {
         }
       }
       if (expand < 0) {
-        KCPQ_RETURN_IF_ERROR(EnumerateLeafTuple(tuple));
+        const Status s = EnumerateLeafTuple(tuple);
+        if (s.code() == StatusCode::kDeadlineExceeded) {
+          stop_ = StopCause::kDeadline;
+          stop_bound_ = tuple.bound;
+          break;
+        }
+        KCPQ_RETURN_IF_ERROR(s);
         continue;
       }
       Node node;
-      KCPQ_RETURN_IF_ERROR(
-          trees_[expand]->ReadNode(tuple.slots[expand].page, &node));
+      const Status read_status = trees_[expand]->ReadNode(
+          tuple.slots[expand].page, &node, accounting_ ? ctx_ : nullptr);
+      if (read_status.code() == StatusCode::kDeadlineExceeded) {
+        stop_ = StopCause::kDeadline;
+        stop_bound_ = tuple.bound;
+        break;
+      }
+      KCPQ_RETURN_IF_ERROR(read_status);
       ++stats_->node_pairs_processed;
+      ++node_accesses_;
       for (const Entry& entry : node.entries) {
         SearchTuple child = tuple;
         child.slots[expand] =
@@ -153,10 +197,29 @@ class MultiwayEngine {
       }
     }
     *out = std::move(results_).Extract();
+
+    stats_->node_accesses = node_accesses_;
+    stats_->quality.stop_cause = stop_;
+    stats_->quality.pairs_found = out->size();
+    if (stop_ != StopCause::kNone) {
+      stats_->quality.guaranteed_lower_bound = stop_bound_;
+      // The stop is harmless when the result set is full and the frontier
+      // bound already meets the K-th best aggregate.
+      stats_->quality.is_exact =
+          out->size() == options_.k &&
+          !out->empty() && stop_bound_ >= out->back().aggregate_distance;
+    }
     return Status::OK();
   }
 
  private:
+  bool ShouldStop(uint64_t heap_bytes) {
+    if (stop_ != StopCause::kNone) return true;
+    if (!accounting_) return false;
+    stop_ = ctx_->Check(node_accesses_, heap_bytes);
+    return stop_ != StopCause::kNone;
+  }
+
   double BoundOf(const std::vector<SlotRef>& slots) const {
     double bound = 0.0;
     for (const MultiwayEdge& e : graph_) {
@@ -171,8 +234,9 @@ class MultiwayEngine {
     const size_t m = tuple.slots.size();
     nodes_.resize(m);
     for (size_t i = 0; i < m; ++i) {
-      KCPQ_RETURN_IF_ERROR(
-          trees_[i]->ReadNode(tuple.slots[i].page, &nodes_[i]));
+      KCPQ_RETURN_IF_ERROR(trees_[i]->ReadNode(tuple.slots[i].page, &nodes_[i],
+                                               accounting_ ? ctx_ : nullptr));
+      ++node_accesses_;
     }
     ++stats_->node_pairs_processed;
     chosen_points_.assign(m, Point{});
@@ -222,11 +286,18 @@ class MultiwayEngine {
   const std::vector<const RStarTree*>& trees_;
   const std::vector<MultiwayEdge>& graph_;
   const MultiwayOptions& options_;
+  QueryContext* ctx_;
+  bool accounting_;
   CpqStats* stats_;
   TupleHeap results_;
   std::vector<Node> nodes_;
   std::vector<Point> chosen_points_;
   std::vector<uint64_t> chosen_ids_;
+  uint64_t node_accesses_ = 0;
+  StopCause stop_ = StopCause::kNone;
+  /// Aggregate-distance lower bound on every unreported tuple at stop
+  /// time (true distance; the popped heap key).
+  double stop_bound_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace
@@ -259,7 +330,13 @@ Result<std::vector<TupleResult>> MultiwayKClosestTuples(
     if (tree->size() == 0) return out;
     before.push_back(tree->buffer()->ThreadStats());
   }
-  MultiwayEngine engine(trees, graph, options, s);
+  // An external context supersedes `control` (same rule as CpqOptions).
+  QueryContext local_ctx(options.control);
+  QueryContext* ctx = options.context != nullptr ? options.context
+                                                 : &local_ctx;
+  const bool accounting =
+      options.context != nullptr || !ctx->control().IsUnlimited();
+  MultiwayEngine engine(trees, graph, options, ctx, accounting, s);
   KCPQ_RETURN_IF_ERROR(engine.Run(&out));
   for (size_t i = 0; i < trees.size(); ++i) {
     s->disk_accesses_p +=

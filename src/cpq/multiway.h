@@ -39,8 +39,22 @@ struct MultiwayOptions {
   size_t k = 1;
   Metric metric = Metric::kL2;
   /// Safety valve on the tuple heap (the search space is exponential in m
-  /// for adversarial inputs). 0 = unlimited.
+  /// for adversarial inputs). 0 = unlimited. Unlike the lifecycle limits
+  /// below this is an *error* valve: tripping it returns
+  /// ResourceExhausted, not a partial result (an unbounded heap is a
+  /// malformed query, not a slow one).
   uint64_t max_heap_items = 0;
+
+  /// Lifecycle limits (see CpqOptions::control). The best-first traversal
+  /// pops tuples in ascending bound order, so on a stop the last popped
+  /// bound certifies every unreported tuple's aggregate distance — the
+  /// natural anytime certificate the two-tree engines get from their
+  /// frontier minimum.
+  QueryControl control;
+
+  /// Optional externally-owned QueryContext; supersedes `control` and adds
+  /// buffer-page accounting (see CpqOptions::context).
+  QueryContext* context = nullptr;
 };
 
 /// One result tuple: points[i]/ids[i] come from trees[i].

@@ -1,0 +1,108 @@
+#include "exec/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpq/cost_model.h"
+#include "exec/batch.h"
+
+namespace kcpq {
+
+const char* AdmissionModeName(AdmissionMode mode) {
+  switch (mode) {
+    case AdmissionMode::kOff:
+      return "off";
+    case AdmissionMode::kAdvisory:
+      return "advisory";
+    case AdmissionMode::kEnforce:
+      return "enforce";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         uint64_t n_p, uint64_t n_q,
+                                         uint64_t fanout, uint64_t page_size)
+    : options_(options),
+      n_p_(n_p),
+      n_q_(n_q),
+      fanout_(fanout),
+      page_size_(page_size) {}
+
+uint64_t AdmissionController::EstimateQueryBytes(
+    const BatchQuery& query) const {
+  CostModelInput input;
+  input.n_p = n_p_;
+  // A self-join reads one tree against itself; the semi-join sweeps every
+  // P-leaf, which the pairwise model approximates well enough for load
+  // shedding (it is an upper-ish bound on locality-friendly workloads).
+  input.n_q = query.kind == BatchQueryKind::kSelfClosestPairs ? n_p_ : n_q_;
+  input.overlap = options_.overlap;
+  input.k = std::max<uint64_t>(1, query.options.k);
+  input.fanout = fanout_;
+  input.fill = options_.fill;
+  Result<CostModelEstimate> estimate = EstimateCpqCost(input);
+  if (!estimate.ok()) return page_size_;  // degenerate input: one page
+  const double accesses = std::max(1.0, estimate.value().disk_accesses);
+  const double bytes = accesses * static_cast<double>(page_size_);
+  if (bytes >= static_cast<double>(UINT64_MAX)) return UINT64_MAX;
+  return static_cast<uint64_t>(bytes);
+}
+
+AdmissionDecision AdmissionController::Admit(const BatchQuery& query) {
+  AdmissionDecision decision;
+  decision.estimated_bytes = EstimateQueryBytes(query);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string reason;
+  if (options_.max_concurrent > 0 && in_flight_ >= options_.max_concurrent) {
+    reason = "admission: " + std::to_string(in_flight_) +
+             " queries in flight >= max_concurrent = " +
+             std::to_string(options_.max_concurrent);
+  } else if (options_.memory_pool_bytes > 0 &&
+             reserved_bytes_ + decision.estimated_bytes >
+                 options_.memory_pool_bytes) {
+    reason = "admission: estimated " +
+             std::to_string(decision.estimated_bytes) + " B + reserved " +
+             std::to_string(reserved_bytes_) + " B exceeds pool of " +
+             std::to_string(options_.memory_pool_bytes) + " B";
+  }
+  if (!reason.empty()) {
+    ++would_reject_;
+    if (options_.mode == AdmissionMode::kEnforce) {
+      ++rejected_;
+      decision.admitted = false;
+      decision.reason = std::move(reason);
+      return decision;
+    }
+    decision.reason = std::move(reason);  // advisory: noted, still admitted
+  }
+  ++admitted_;
+  ++in_flight_;
+  reserved_bytes_ += decision.estimated_bytes;
+  return decision;
+}
+
+void AdmissionController::Release(const AdmissionDecision& decision) {
+  if (!decision.admitted) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_bytes_ -= std::min(reserved_bytes_, decision.estimated_bytes);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+uint64_t AdmissionController::would_reject() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return would_reject_;
+}
+
+}  // namespace kcpq

@@ -1,0 +1,121 @@
+// Cost-model admission control for batch query execution.
+//
+// Before a query runs, its disk-access cost is estimated with the
+// analytical model of cpq/cost_model.h and converted to a memory
+// footprint (accesses × page size — the pages the query is expected to
+// pull through the buffer on its own behalf). The controller compares
+// that estimate against a configurable memory pool and concurrency cap
+// and decides whether the query may run *before it touches a single
+// page*: a rejected query performs zero storage I/O.
+//
+// Modes:
+//   kOff       no controller is constructed; every query runs.
+//   kAdvisory  estimates and reservations are tracked and the
+//              would-reject counter advances, but every query runs —
+//              the mode for sizing a pool against a live workload.
+//   kEnforce   over-budget queries are shed with ResourceExhausted and
+//              recorded as QueryOutcome::kRejected.
+//
+// The pool is reserved at admission and released when the query
+// finishes, so the enforced invariant is: sum of estimates of in-flight
+// queries <= memory_pool_bytes. The estimate is deliberately the
+// model's, not the eventual truth — admission is a planning decision
+// (the paper's "query optimization" use of the model); the per-query
+// ResourceAccountant (common/query_context.h) meters the truth while
+// the query runs.
+
+#ifndef KCPQ_EXEC_ADMISSION_H_
+#define KCPQ_EXEC_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace kcpq {
+
+struct BatchQuery;
+
+enum class AdmissionMode { kOff, kAdvisory, kEnforce };
+
+const char* AdmissionModeName(AdmissionMode mode);
+
+struct AdmissionOptions {
+  AdmissionMode mode = AdmissionMode::kOff;
+
+  /// Memory pool shared by all in-flight queries; the sum of admitted
+  /// estimates never exceeds it (kEnforce). 0 = unlimited.
+  uint64_t memory_pool_bytes = 0;
+
+  /// Hard cap on concurrently admitted queries. 0 = unlimited.
+  uint64_t max_concurrent = 0;
+
+  /// Workspace overlap fraction fed to the cost model (see
+  /// CostModelInput::overlap).
+  double overlap = 1.0;
+
+  /// Average node fill factor fed to the cost model.
+  double fill = 0.70;
+};
+
+/// The verdict for one query. Pass it back to Release() when an admitted
+/// query finishes so its reservation returns to the pool.
+struct AdmissionDecision {
+  bool admitted = true;
+  /// The cost-model footprint the decision was based on (reserved from
+  /// the pool while the query runs).
+  uint64_t estimated_bytes = 0;
+  /// Human-readable grounds when rejected (or would-rejected).
+  std::string reason;
+};
+
+/// Thread-safe; one instance guards one batch. `n_p` / `n_q` / `fanout` /
+/// `page_size` describe the indexed inputs (the trees are shared by every
+/// query of a batch, so these are controller-wide constants).
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionOptions& options, uint64_t n_p,
+                      uint64_t n_q, uint64_t fanout, uint64_t page_size);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Estimates the query's footprint and decides. In kEnforce mode a
+  /// rejection leaves the pool untouched; an admission reserves the
+  /// estimate until Release().
+  AdmissionDecision Admit(const BatchQuery& query);
+
+  /// Returns an admitted decision's reservation to the pool. A rejected
+  /// decision is a no-op.
+  void Release(const AdmissionDecision& decision);
+
+  /// Cost-model footprint of one query in bytes (estimated disk accesses
+  /// × page size). Falls back to one page when the model rejects its
+  /// input (degenerate trees) — a query always costs at least one read.
+  uint64_t EstimateQueryBytes(const BatchQuery& query) const;
+
+  uint64_t admitted() const;
+  uint64_t rejected() const;
+  /// Queries an enforcing controller would have shed (advances in both
+  /// modes; in kEnforce it equals rejected()).
+  uint64_t would_reject() const;
+
+ private:
+  const AdmissionOptions options_;
+  const uint64_t n_p_;
+  const uint64_t n_q_;
+  const uint64_t fanout_;
+  const uint64_t page_size_;
+
+  mutable std::mutex mu_;
+  uint64_t reserved_bytes_ = 0;
+  uint64_t in_flight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t would_reject_ = 0;
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_EXEC_ADMISSION_H_

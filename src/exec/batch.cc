@@ -1,5 +1,6 @@
 #include "exec/batch.h"
 
+#include <memory>
 #include <utility>
 
 #include "exec/thread_pool.h"
@@ -16,6 +17,8 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
       return "cancelled";
     case QueryOutcome::kFailed:
       return "failed";
+    case QueryOutcome::kRejected:
+      return "rejected";
   }
   return "?";
 }
@@ -43,22 +46,30 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
   const QueryControl merged =
       QueryControl::Merged(query.options.control, batch_control);
 
+  // One context per query, owned here for the query's lifetime: its
+  // ResourceAccountant unifies the engine's candidate/heap bytes with the
+  // buffer pages read on this query's behalf.
+  QueryContext ctx(merged);
+
   Result<std::vector<PairResult>> r = [&] {
     switch (query.kind) {
       case BatchQueryKind::kClosestPairs:
       case BatchQueryKind::kSelfClosestPairs: {
         CpqOptions options = query.options;
         options.control = merged;
+        options.context = &ctx;
         return query.kind == BatchQueryKind::kClosestPairs
                    ? KClosestPairs(tree_p, tree_q, options, &result->stats)
                    : SelfKClosestPairs(tree_p, options, &result->stats);
       }
       case BatchQueryKind::kSemiClosestPairs:
-        return SemiClosestPairs(tree_p, tree_q, &result->stats, merged);
+        return SemiClosestPairs(tree_p, tree_q, &result->stats, merged,
+                                &ctx);
     }
     return Result<std::vector<PairResult>>(
         Status::InvalidArgument("unknown batch query kind"));
   }();
+  result->peak_memory_bytes = ctx.accountant().peak_total_bytes();
   if (r.ok()) {
     result->pairs = std::move(r).value();
     result->status = Status::OK();
@@ -76,12 +87,32 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
     BatchStats* stats) {
   std::vector<BatchQueryResult> results(queries.size());
 
+  // One controller per batch: the trees (hence the cost-model constants)
+  // are shared by every query.
+  std::unique_ptr<AdmissionController> admission;
+  if (options.admission.mode != AdmissionMode::kOff) {
+    admission = std::make_unique<AdmissionController>(
+        options.admission, tree_p.size(), tree_q.size(), tree_p.max_entries(),
+        tree_p.buffer()->storage()->page_size());
+  }
+
   // One source per batch; every query polls its token. Fail-fast trips it
   // from whichever worker fails first.
   CancellationSource batch_source;
   const CancellationToken batch_token = batch_source.token();
   const auto run_one = [&](size_t i) {
+    if (admission != nullptr) {
+      results[i].admission = admission->Admit(queries[i]);
+      if (!results[i].admission.admitted) {
+        // Shed before any I/O: no RunOne, no page read, no node access.
+        results[i].status =
+            Status::ResourceExhausted(results[i].admission.reason);
+        results[i].outcome = QueryOutcome::kRejected;
+        return;
+      }
+    }
     RunOne(tree_p, tree_q, queries[i], options, batch_token, &results[i]);
+    if (admission != nullptr) admission->Release(results[i].admission);
     if (options.cancel_batch_on_first_failure && !results[i].status.ok()) {
       batch_source.Cancel();
     }
@@ -116,6 +147,9 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
         case QueryOutcome::kFailed:
           ++stats->failed;
           break;
+        case QueryOutcome::kRejected:
+          ++stats->rejected;
+          break;
       }
       if (!r.status.ok()) continue;
       stats->node_pairs_processed += r.stats.node_pairs_processed;
@@ -123,6 +157,9 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
           r.stats.point_distance_computations;
       stats->leaf_pairs_skipped += r.stats.leaf_pairs_skipped;
       stats->disk_accesses += r.stats.disk_accesses();
+    }
+    if (admission != nullptr) {
+      stats->admission_would_reject = admission->would_reject();
     }
   }
   return results;

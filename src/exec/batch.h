@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cpq/cpq.h"
+#include "exec/admission.h"
 #include "rtree/rtree.h"
 
 namespace kcpq {
@@ -52,6 +53,9 @@ enum class QueryOutcome {
   kCancelled,
   /// An error Status (I/O and the like); no pairs.
   kFailed,
+  /// Shed by the admission controller before performing any I/O; status
+  /// is ResourceExhausted, no pairs, zero node/storage accesses.
+  kRejected,
 };
 
 const char* QueryOutcomeName(QueryOutcome outcome);
@@ -62,6 +66,11 @@ struct BatchQueryResult {
   std::vector<PairResult> pairs;
   CpqStats stats;
   QueryOutcome outcome = QueryOutcome::kOk;
+  /// The admission verdict (default-admitted when admission is off).
+  AdmissionDecision admission;
+  /// Peak bytes the query's ResourceAccountant metered: engine state plus
+  /// distinct buffer pages read on the query's behalf.
+  uint64_t peak_memory_bytes = 0;
 };
 
 struct BatchOptions {
@@ -78,16 +87,26 @@ struct BatchOptions {
   /// cancels every sibling still running; their outcomes come back
   /// kCancelled. Off by default: one bad query does not spoil a batch.
   bool cancel_batch_on_first_failure = false;
+
+  /// Cost-model admission control (see exec/admission.h). kOff runs every
+  /// query; kEnforce sheds over-budget queries with ResourceExhausted
+  /// *before* they touch storage. A rejection never trips fail-fast.
+  AdmissionOptions admission;
 };
 
 /// Whole-batch aggregates (sums over the per-query stats).
 struct BatchStats {
   uint64_t queries = 0;
-  /// Outcome counts; ok + partial + cancelled + failed == queries.
+  /// Outcome counts; ok + partial + cancelled + failed + rejected ==
+  /// queries.
   uint64_t ok = 0;
   uint64_t partial = 0;
   uint64_t cancelled = 0;
   uint64_t failed = 0;
+  uint64_t rejected = 0;
+  /// Queries the admission controller flagged as over-budget; advances in
+  /// advisory mode too (where they still run).
+  uint64_t admission_would_reject = 0;
   uint64_t node_pairs_processed = 0;
   uint64_t point_distance_computations = 0;
   uint64_t leaf_pairs_skipped = 0;

@@ -29,6 +29,10 @@ class JoinImpl {
       : tree_p_(tree_p),
         tree_q_(tree_q),
         options_(options),
+        local_ctx_(options.control),
+        ctx_(options.context != nullptr ? options.context : &local_ctx_),
+        accounting_(options.context != nullptr ||
+                    !options.control.IsUnlimited()),
         queue_(options.queue_distance_threshold, options.queue_page_size,
                options.tie_policy == HsTiePolicy::kDepthFirst),
         k_bound_(options.k_bound,
@@ -75,9 +79,18 @@ class JoinImpl {
                        const ItemSide& other, bool node_first);
   Status ExpandBoth(const ItemSide& a, const ItemSide& b);
 
+  /// Latches `cause` and fills the quality certificate: `key_squared` is
+  /// the popped (or about-to-pop) queue key bounding everything unemitted.
+  void LatchStop(StopCause cause, double key_squared);
+
   const RStarTree& tree_p_;
   const RStarTree& tree_q_;
   HsOptions options_;
+  /// Context-wins (see CpqOptions::context): an external context supersedes
+  /// options_.control; local_ctx_ adapts plain-control queries.
+  QueryContext local_ctx_;
+  QueryContext* ctx_;
+  bool accounting_;
   HybridQueue queue_;
   KBound k_bound_;
   cpq_internal::SweepScratch<Entry> sweep_scratch_;
@@ -128,14 +141,45 @@ void JoinImpl::PushItem(QueueItem item) {
   stats_.max_queue_size = std::max(stats_.max_queue_size, queue_.size());
 }
 
+void JoinImpl::LatchStop(StopCause cause, double key_squared) {
+  stop_ = cause;
+  stats_.quality.stop_cause = cause;
+  stats_.quality.pairs_found = results_emitted_;
+  stats_.quality.guaranteed_lower_bound = std::sqrt(key_squared);
+  stats_.quality.is_exact = false;
+  stats_.disk_accesses_p =
+      tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
+  stats_.disk_accesses_q =
+      tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
+  stats_.queue_spill_reads = queue_.spill_reads();
+  stats_.queue_spill_writes = queue_.spill_writes();
+}
+
 Status JoinImpl::Start() {
   started_ = true;
   before_p_ = tree_p_.buffer()->ThreadStats();
   before_q_ = tree_q_.buffer()->ThreadStats();
   if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
+  // Pre-trip: a pre-expired or pre-cancelled join reads no pages. Nothing
+  // was examined, so nothing is certified (bound 0).
+  if (accounting_) {
+    const StopCause pre = ctx_->Check(0, 0);
+    if (pre != StopCause::kNone) {
+      LatchStop(pre, 0.0);
+      return Status::OK();
+    }
+  }
+  QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
   Rect mbr_p, mbr_q;
-  KCPQ_RETURN_IF_ERROR(tree_p_.RootMbr(&mbr_p));
-  KCPQ_RETURN_IF_ERROR(tree_q_.RootMbr(&mbr_q));
+  Status read_status = tree_p_.RootMbr(&mbr_p, read_ctx);
+  if (read_status.ok()) read_status = tree_q_.RootMbr(&mbr_q, read_ctx);
+  if (read_status.code() == StatusCode::kDeadlineExceeded) {
+    // Storage abandoned a retry: the deadline is unmeetable. Same
+    // certificate as the pre-trip — no pair was emitted yet.
+    LatchStop(StopCause::kDeadline, 0.0);
+    return Status::OK();
+  }
+  KCPQ_RETURN_IF_ERROR(read_status);
   QueueItem item;
   item.a = ItemSide{true, mbr_p, tree_p_.root_page(), tree_p_.height() - 1};
   item.b = ItemSide{true, mbr_q, tree_q_.root_page(), tree_q_.height() - 1};
@@ -149,7 +193,8 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
                                const ItemSide& node_side,
                                const ItemSide& other, bool node_first) {
   Node node;
-  KCPQ_RETURN_IF_ERROR(tree.ReadNode(node_side.id, &node));
+  KCPQ_RETURN_IF_ERROR(
+      tree.ReadNode(node_side.id, &node, accounting_ ? ctx_ : nullptr));
   ++stats_.node_accesses;
   for (const Entry& entry : node.entries) {
     const ItemSide child = node.IsLeaf() ? ObjectSide(entry)
@@ -165,9 +210,10 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
 }
 
 Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
+  QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
   Node node_a, node_b;
-  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a));
-  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b));
+  KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a, read_ctx));
+  KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b, read_ctx));
   stats_.node_accesses += 2;
   const auto push_pair = [&](const Entry& ea, const Entry& eb) {
     const ItemSide ca = node_a.IsLeaf() ? ObjectSide(ea)
@@ -231,55 +277,55 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       stats_.queue_spill_writes = queue_.spill_writes();
       return std::optional<PairResult>(out);
     }
-    // About to spend I/O expanding a node pair: poll the control. On a
+    // About to spend I/O expanding a node pair: poll the context. On a
     // stop the popped key certifies everything not yet emitted — the
     // queue pops in ascending key order, so nothing remaining (or beneath
-    // it) can be closer than this item.
-    if (!options_.control.IsUnlimited()) {
-      stop_ = options_.control.Check(
+    // it) can be closer than this item. The memory check covers the queue
+    // plus any buffer pages this query was charged for.
+    if (accounting_) {
+      const StopCause cause = ctx_->Check(
           stats_.node_accesses, queue_.size() * sizeof(QueueItem));
-      if (stop_ != StopCause::kNone) {
-        stats_.quality.stop_cause = stop_;
-        stats_.quality.pairs_found = results_emitted_;
-        stats_.quality.guaranteed_lower_bound = std::sqrt(item.key);
-        stats_.quality.is_exact = false;
-        stats_.disk_accesses_p =
-            tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
-        stats_.disk_accesses_q =
-            tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
-        stats_.queue_spill_reads = queue_.spill_reads();
-        stats_.queue_spill_writes = queue_.spill_writes();
+      if (cause != StopCause::kNone) {
+        LatchStop(cause, item.key);
         return std::optional<PairResult>();
       }
     }
+    Status expand_status;
     if (item.a.is_node && item.b.is_node) {
       switch (options_.traversal) {
         case HsTraversal::kBasic:
           // Priority is given to one of the trees, arbitrarily: the first.
-          KCPQ_RETURN_IF_ERROR(
-              ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+          expand_status =
+              ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true);
           break;
         case HsTraversal::kEven:
           // Expand the node at the shallower depth (higher level).
           if (item.a.level >= item.b.level) {
-            KCPQ_RETURN_IF_ERROR(
-                ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+            expand_status =
+                ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true);
           } else {
-            KCPQ_RETURN_IF_ERROR(ExpandOneSide(tree_q_, item.b, item.a,
-                                               /*node_first=*/false));
+            expand_status = ExpandOneSide(tree_q_, item.b, item.a,
+                                          /*node_first=*/false);
           }
           break;
         case HsTraversal::kSimultaneous:
-          KCPQ_RETURN_IF_ERROR(ExpandBoth(item.a, item.b));
+          expand_status = ExpandBoth(item.a, item.b);
           break;
       }
     } else if (item.a.is_node) {
-      KCPQ_RETURN_IF_ERROR(
-          ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true));
+      expand_status =
+          ExpandOneSide(tree_p_, item.a, item.b, /*node_first=*/true);
     } else {
-      KCPQ_RETURN_IF_ERROR(
-          ExpandOneSide(tree_q_, item.b, item.a, /*node_first=*/false));
+      expand_status =
+          ExpandOneSide(tree_q_, item.b, item.a, /*node_first=*/false);
     }
+    if (expand_status.code() == StatusCode::kDeadlineExceeded) {
+      // Storage abandoned a retry mid-expansion: same certificate as a
+      // deadline poll — this item's key bounds everything unemitted.
+      LatchStop(StopCause::kDeadline, item.key);
+      return std::optional<PairResult>();
+    }
+    KCPQ_RETURN_IF_ERROR(expand_status);
   }
   stats_.disk_accesses_p = tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
   stats_.disk_accesses_q = tree_q_.buffer()->ThreadStats().misses - before_q_.misses;

@@ -66,6 +66,11 @@ struct HsOptions {
   /// popped key at the stop is the certified lower bound on everything it
   /// did not emit. The memory budget meters the priority queue.
   QueryControl control;
+
+  /// Optional externally-owned QueryContext; supersedes `control` and adds
+  /// buffer-page accounting (see CpqOptions::context). Must outlive the
+  /// join object.
+  QueryContext* context = nullptr;
 };
 
 struct HsStats {

@@ -108,13 +108,14 @@ Status RStarTree::CollectLevelGeometry(
 }
 
 Status RStarTree::ScanLeaves(
-    const std::function<bool(const Node& leaf)>& visit) const {
+    const std::function<bool(const Node& leaf)>& visit,
+    QueryContext* ctx) const {
   std::vector<PageId> stack = {root_page_};
   while (!stack.empty()) {
     const PageId page = stack.back();
     stack.pop_back();
     Node node;
-    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node));
+    KCPQ_RETURN_IF_ERROR(ReadNode(page, &node, ctx));
     if (node.IsLeaf()) {
       if (!visit(node)) return Status::OK();
       continue;

@@ -95,9 +95,9 @@ Status RStarTree::ReadMeta() {
   return Status::OK();
 }
 
-Status RStarTree::ReadNode(PageId page, Node* node) const {
+Status RStarTree::ReadNode(PageId page, Node* node, QueryContext* ctx) const {
   Page raw;
-  KCPQ_RETURN_IF_ERROR(buffer_->Read(page, &raw));
+  KCPQ_RETURN_IF_ERROR(buffer_->Read(page, &raw, ctx));
   return DeserializeNode(raw, node);
 }
 
@@ -107,9 +107,9 @@ Status RStarTree::WriteNode(PageId page, const Node& node) {
   return buffer_->Write(page, raw);
 }
 
-Status RStarTree::RootMbr(Rect* mbr) const {
+Status RStarTree::RootMbr(Rect* mbr, QueryContext* ctx) const {
   Node root;
-  KCPQ_RETURN_IF_ERROR(ReadNode(root_page_, &root));
+  KCPQ_RETURN_IF_ERROR(ReadNode(root_page_, &root, ctx));
   *mbr = root.ComputeMbr();
   return Status::OK();
 }

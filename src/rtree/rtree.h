@@ -112,16 +112,21 @@ class RStarTree {
 
   /// Depth-first scan over all leaf nodes: calls `visit(node)` once per
   /// leaf. Node accesses go through the buffer like any query. The
-  /// callback returns false to stop the scan early.
-  Status ScanLeaves(
-      const std::function<bool(const Node& leaf)>& visit) const;
+  /// callback returns false to stop the scan early. `ctx` attributes the
+  /// page reads to a query (see ReadNode).
+  Status ScanLeaves(const std::function<bool(const Node& leaf)>& visit,
+                    QueryContext* ctx = nullptr) const;
 
   /// Reads the node stored at `page` through the buffer (one counted access
-  /// on a miss). The traversal entry point for the CPQ/HS algorithms.
-  Status ReadNode(PageId page, Node* node) const;
+  /// on a miss). The traversal entry point for the CPQ/HS algorithms. When
+  /// `ctx` is given the page is charged to that query's ResourceAccountant
+  /// and the storage stack may abandon deadline-doomed retries (surfaced as
+  /// kDeadlineExceeded — callers treat it as a deadline stop, not an
+  /// error).
+  Status ReadNode(PageId page, Node* node, QueryContext* ctx = nullptr) const;
 
   /// Tight MBR of the whole tree (reads the root). Empty rect if empty.
-  Status RootMbr(Rect* mbr) const;
+  Status RootMbr(Rect* mbr, QueryContext* ctx = nullptr) const;
 
   /// Writes metadata and flushes the buffer to storage.
   Status Flush();

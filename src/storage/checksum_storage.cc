@@ -53,9 +53,10 @@ Result<PageId> ChecksummedStorageManager::Allocate() {
   return base_->Allocate();
 }
 
-Status ChecksummedStorageManager::ReadPage(PageId id, Page* page) {
+Status ChecksummedStorageManager::DoReadPage(PageId id, Page* page,
+                                             const QueryContext* ctx) {
   Page raw;
-  KCPQ_RETURN_IF_ERROR(base_->ReadPage(id, &raw));
+  KCPQ_RETURN_IF_ERROR(base_->ReadPage(id, &raw, ctx));
   CountRead();
   const size_t payload = page_size();
   uint32_t stored;

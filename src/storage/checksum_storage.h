@@ -27,7 +27,6 @@ class ChecksummedStorageManager final : public StorageManager {
   uint64_t PageCount() const override { return base_->PageCount(); }
   Result<PageId> Allocate() override;
   Status Free(PageId id) override { return base_->Free(id); }
-  Status ReadPage(PageId id, Page* page) override;
   Status WritePage(PageId id, const Page& page) override;
   Status Sync() override { return base_->Sync(); }
 
@@ -35,6 +34,9 @@ class ChecksummedStorageManager final : public StorageManager {
   uint64_t corruption_detections() const {
     return corruption_detections_.load(std::memory_order_relaxed);
   }
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override;
 
  private:
   StorageManager* base_;

@@ -83,11 +83,6 @@ class FaultInjectionStorageManager final : public StorageManager {
     KCPQ_RETURN_IF_ERROR(MaybeFail("Free"));
     return base_->Free(id);
   }
-  Status ReadPage(PageId id, Page* page) override {
-    KCPQ_RETURN_IF_ERROR(MaybeFail("ReadPage"));
-    CountRead();
-    return base_->ReadPage(id, page);
-  }
   Status WritePage(PageId id, const Page& page) override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("WritePage"));
     CountWrite();
@@ -96,6 +91,13 @@ class FaultInjectionStorageManager final : public StorageManager {
   Status Sync() override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("Sync"));
     return base_->Sync();
+  }
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override {
+    KCPQ_RETURN_IF_ERROR(MaybeFail("ReadPage"));
+    CountRead();
+    return base_->ReadPage(id, page, ctx);
   }
 
  private:

@@ -124,7 +124,8 @@ Status FileStorageManager::Free(PageId id) {
   return WriteSuperblock();
 }
 
-Status FileStorageManager::ReadPage(PageId id, Page* page) {
+Status FileStorageManager::DoReadPage(PageId id, Page* page,
+                                      const QueryContext* /*ctx*/) {
   if (id >= page_count_) return Status::OutOfRange("read of unknown page");
   CountRead();
   page->Resize(page_size());

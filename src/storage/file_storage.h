@@ -30,9 +30,11 @@ class FileStorageManager final : public StorageManager {
   uint64_t PageCount() const override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
-  Status ReadPage(PageId id, Page* page) override;
   Status WritePage(PageId id, const Page& page) override;
   Status Sync() override;
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override;
 
  private:
   FileStorageManager(int fd, std::string path, size_t page_size);

@@ -40,12 +40,6 @@ class LatencyStorageManager final : public StorageManager {
   Result<PageId> Allocate() override { return base_->Allocate(); }
   Status Free(PageId id) override { return base_->Free(id); }
 
-  Status ReadPage(PageId id, Page* page) override {
-    if (read_latency_.count() > 0) std::this_thread::sleep_for(read_latency_);
-    CountRead();
-    return base_->ReadPage(id, page);
-  }
-
   Status WritePage(PageId id, const Page& page) override {
     if (write_latency_.count() > 0) {
       std::this_thread::sleep_for(write_latency_);
@@ -55,6 +49,13 @@ class LatencyStorageManager final : public StorageManager {
   }
 
   Status Sync() override { return base_->Sync(); }
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override {
+    if (read_latency_.count() > 0) std::this_thread::sleep_for(read_latency_);
+    CountRead();
+    return base_->ReadPage(id, page, ctx);
+  }
 
  private:
   StorageManager* base_;

@@ -30,7 +30,8 @@ Status MemoryStorageManager::Free(PageId id) {
   return Status::OK();
 }
 
-Status MemoryStorageManager::ReadPage(PageId id, Page* page) {
+Status MemoryStorageManager::DoReadPage(PageId id, Page* page,
+                                        const QueryContext* /*ctx*/) {
   KCPQ_RETURN_IF_ERROR(CheckId(id));
   CountRead();
   *page = pages_[id];

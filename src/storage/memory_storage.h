@@ -18,9 +18,11 @@ class MemoryStorageManager final : public StorageManager {
   uint64_t PageCount() const override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
-  Status ReadPage(PageId id, Page* page) override;
   Status WritePage(PageId id, const Page& page) override;
   Status Sync() override;
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override;
 
  private:
   Status CheckId(PageId id) const;

@@ -12,6 +12,15 @@
 // buffer manager makes query results bit-identical to a fault-free run
 // whenever the fault burst is shorter than the retry budget.
 //
+// Deadline awareness: when a page read carries a QueryContext with a
+// deadline, the retry loop checks before every attempt whether the
+// remaining time can cover the planned backoff sleep. If not, it stops
+// immediately with kDeadlineExceeded instead of burning the query's last
+// milliseconds asleep — the engines convert that status into an ordinary
+// StopCause::kDeadline partial result, so a fault burst near the deadline
+// degrades the answer's completeness, never its classification (the query
+// is "partial with certificate", not "failed").
+//
 // The decorator is stateless per operation (retry bookkeeping lives on the
 // stack; counters are atomics), so it inherits the thread-safety contract
 // of its base verbatim.
@@ -23,6 +32,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/query_context.h"
 #include "common/random.h"
 #include "storage/storage_manager.h"
 
@@ -60,6 +70,11 @@ class RetryingStorageManager final : public StorageManager {
   uint64_t exhausted() const {
     return exhausted_.load(std::memory_order_relaxed);
   }
+  /// Retry loops abandoned because the query's deadline could not cover
+  /// another attempt (each returned kDeadlineExceeded to the caller).
+  uint64_t deadline_abandoned() const {
+    return deadline_abandoned_.load(std::memory_order_relaxed);
+  }
 
   uint64_t PageCount() const override { return base_->PageCount(); }
 
@@ -67,7 +82,8 @@ class RetryingStorageManager final : public StorageManager {
     Result<PageId> r = base_->Allocate();
     if (r.ok() || !r.status().IsTransient()) return r;
     for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
-      MaybeSleep(0x616c6c6f63ULL, attempt);  // "alloc"
+      const auto sleep = SleepDuration(0x616c6c6f63ULL, attempt);  // "alloc"
+      if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
       retries_.fetch_add(1, std::memory_order_relaxed);
       r = base_->Allocate();
       if (r.ok()) {
@@ -80,24 +96,26 @@ class RetryingStorageManager final : public StorageManager {
     return r;
   }
   Status Free(PageId id) override {
-    return WithRetries(Salt(0x66726565ULL, id),  // "free"
+    return WithRetries(Salt(0x66726565ULL, id), nullptr,  // "free"
                        [&] { return base_->Free(id); });
   }
-  Status ReadPage(PageId id, Page* page) override {
-    Status s = WithRetries(Salt(0x72656164ULL, id),  // "read"
-                           [&] { return base_->ReadPage(id, page); });
-    if (s.ok()) CountRead();
-    return s;
-  }
   Status WritePage(PageId id, const Page& page) override {
-    Status s = WithRetries(Salt(0x77726974ULL, id),  // "writ"
+    Status s = WithRetries(Salt(0x77726974ULL, id), nullptr,  // "writ"
                            [&] { return base_->WritePage(id, page); });
     if (s.ok()) CountWrite();
     return s;
   }
   Status Sync() override {
-    return WithRetries(0x73796e63ULL,  // "sync"
+    return WithRetries(0x73796e63ULL, nullptr,  // "sync"
                        [&] { return base_->Sync(); });
+  }
+
+ protected:
+  Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override {
+    Status s = WithRetries(Salt(0x72656164ULL, id), ctx,  // "read"
+                           [&] { return base_->ReadPage(id, page, ctx); });
+    if (s.ok()) CountRead();
+    return s;
   }
 
  private:
@@ -106,11 +124,25 @@ class RetryingStorageManager final : public StorageManager {
   }
 
   template <typename Op>
-  Status WithRetries(uint64_t salt, Op&& op) {
+  Status WithRetries(uint64_t salt, const QueryContext* ctx, Op&& op) {
     Status s = op();
     if (s.ok() || !s.IsTransient()) return s;
+    const bool deadline_bound = ctx != nullptr && ctx->has_deadline();
     for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
-      MaybeSleep(salt, attempt);
+      const auto sleep = SleepDuration(salt, attempt);
+      if (deadline_bound) {
+        // Give up when the remaining time cannot even cover the backoff:
+        // sleeping through the deadline would waste the query's tail on an
+        // attempt whose result can no longer be used.
+        const auto now = QueryControl::Clock::now();
+        if (now >= ctx->deadline() || now + sleep >= ctx->deadline()) {
+          deadline_abandoned_.fetch_add(1, std::memory_order_relaxed);
+          return Status::DeadlineExceeded(
+              "transient-fault retry abandoned: deadline cannot cover the "
+              "backoff");
+        }
+      }
+      if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
       retries_.fetch_add(1, std::memory_order_relaxed);
       s = op();
       if (!s.IsTransient()) {
@@ -122,8 +154,13 @@ class RetryingStorageManager final : public StorageManager {
     return s;
   }
 
-  void MaybeSleep(uint64_t salt, int attempt) const {
-    if (policy_.initial_backoff.count() <= 0) return;
+  /// The exact (jittered, capped) sleep before retry `attempt`.
+  /// Deterministic in (seed, op salt, attempt), so both the sleeping and
+  /// the deadline-abandon decision reproduce across runs.
+  std::chrono::microseconds SleepDuration(uint64_t salt, int attempt) const {
+    if (policy_.initial_backoff.count() <= 0) {
+      return std::chrono::microseconds(0);
+    }
     double backoff = static_cast<double>(policy_.initial_backoff.count());
     for (int i = 0; i < attempt; ++i) backoff *= policy_.multiplier;
     const double cap = static_cast<double>(policy_.max_backoff.count());
@@ -134,10 +171,7 @@ class RetryingStorageManager final : public StorageManager {
     const double u =
         static_cast<double>(h.Next() >> 11) * 0x1.0p-53;  // [0, 1)
     const double factor = 1.0 - policy_.jitter_fraction * u;
-    const auto sleep_us = static_cast<int64_t>(backoff * factor);
-    if (sleep_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
-    }
+    return std::chrono::microseconds(static_cast<int64_t>(backoff * factor));
   }
 
   StorageManager* base_;
@@ -145,6 +179,7 @@ class RetryingStorageManager final : public StorageManager {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> recovered_{0};
   std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> deadline_abandoned_{0};
 };
 
 }  // namespace kcpq

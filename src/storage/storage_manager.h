@@ -18,6 +18,8 @@
 
 namespace kcpq {
 
+class QueryContext;
+
 /// Physical I/O counters (a snapshot; see StorageManager::stats). Reset
 /// between experiment phases to isolate the cost of one query from
 /// tree-construction cost.
@@ -57,7 +59,16 @@ class StorageManager {
   virtual Status Free(PageId id) = 0;
 
   /// Reads page `id` into `*page` (resized to page_size). Counts one read.
-  virtual Status ReadPage(PageId id, Page* page) = 0;
+  ///
+  /// `ctx` optionally identifies the query the read serves (non-virtual
+  /// interface so existing two-argument call sites keep compiling across
+  /// every implementation). Decorators forward it down the stack; the
+  /// RetryingStorageManager consults its deadline to abandon retries that
+  /// cannot finish in time (returning kDeadlineExceeded). Plain stores
+  /// ignore it.
+  Status ReadPage(PageId id, Page* page, const QueryContext* ctx = nullptr) {
+    return DoReadPage(id, page, ctx);
+  }
 
   /// Writes `page` (must be exactly page_size bytes) to `id`. Counts one
   /// write.
@@ -80,6 +91,10 @@ class StorageManager {
 
  protected:
   explicit StorageManager(size_t page_size) : page_size_(page_size) {}
+
+  /// ReadPage implementation hook. `ctx` may be null.
+  virtual Status DoReadPage(PageId id, Page* page,
+                            const QueryContext* ctx) = 0;
 
   /// Implementations call these from ReadPage / WritePage.
   void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }

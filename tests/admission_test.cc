@@ -1,0 +1,287 @@
+// Admission control tests (see src/exec/admission.h).
+//
+// The acceptance contract: with --admission=enforce and an undersized
+// pool, queries are shed with ResourceExhausted *before any node read* —
+// the storage read counters prove zero I/O — and the queries that are
+// admitted return bit-identical results to an admission-off run.
+
+#include <string>
+#include <vector>
+
+#include "cpq/cpq.h"
+#include "exec/admission.h"
+#include "exec/batch.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace kcpq {
+namespace {
+
+using testing::MakeClusteredItems;
+using testing::MakeUniformItems;
+using testing::TreeFixture;
+
+std::vector<BatchQuery> MakeBatch(size_t n, size_t k) {
+  std::vector<BatchQuery> batch;
+  constexpr CpqAlgorithm kAlgorithms[] = {
+      CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+      CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap};
+  for (size_t i = 0; i < n; ++i) {
+    BatchQuery query;
+    query.options.algorithm = kAlgorithms[i % 4];
+    query.options.k = k;
+    batch.push_back(query);
+  }
+  return batch;
+}
+
+TEST(AdmissionTest, ModeNamesAreStable) {
+  EXPECT_STREQ(AdmissionModeName(AdmissionMode::kOff), "off");
+  EXPECT_STREQ(AdmissionModeName(AdmissionMode::kAdvisory), "advisory");
+  EXPECT_STREQ(AdmissionModeName(AdmissionMode::kEnforce), "enforce");
+}
+
+TEST(AdmissionTest, EstimateIsAtLeastOnePageAndGrowsWithK) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kEnforce;
+  AdmissionController controller(options, /*n_p=*/100000, /*n_q=*/100000,
+                                 /*fanout=*/50, /*page_size=*/4096);
+  BatchQuery small;
+  small.options.k = 1;
+  BatchQuery large;
+  large.options.k = 100000;
+  const uint64_t est_small = controller.EstimateQueryBytes(small);
+  const uint64_t est_large = controller.EstimateQueryBytes(large);
+  EXPECT_GE(est_small, 4096u);
+  EXPECT_GE(est_large, est_small);
+
+  // Degenerate trees fall back to the one-page floor instead of erroring.
+  AdmissionController empty(options, 0, 0, 50, 4096);
+  EXPECT_EQ(empty.EstimateQueryBytes(small), 4096u);
+}
+
+// Pool accounting at the controller level: reservations accumulate while
+// queries are in flight and return to the pool on Release, and the
+// concurrency cap rejects independently of the pool.
+TEST(AdmissionTest, PoolReservationAndConcurrencyCap) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kEnforce;
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+  const uint64_t est = controller.EstimateQueryBytes(query);
+
+  // Pool fits exactly two in-flight estimates: the third is shed, and
+  // releasing one readmits.
+  options.memory_pool_bytes = est * 2;
+  AdmissionController pool(options, 50000, 50000, 50, 4096);
+  AdmissionDecision d1 = pool.Admit(query);
+  AdmissionDecision d2 = pool.Admit(query);
+  AdmissionDecision d3 = pool.Admit(query);
+  EXPECT_TRUE(d1.admitted);
+  EXPECT_TRUE(d2.admitted);
+  EXPECT_FALSE(d3.admitted);
+  EXPECT_FALSE(d3.reason.empty());
+  pool.Release(d1);
+  AdmissionDecision d4 = pool.Admit(query);
+  EXPECT_TRUE(d4.admitted);
+  EXPECT_EQ(pool.admitted(), 3u);
+  EXPECT_EQ(pool.rejected(), 1u);
+  EXPECT_EQ(pool.would_reject(), 1u);
+  // Releasing a rejected decision must not free anything it never held.
+  pool.Release(d3);
+  EXPECT_FALSE(pool.Admit(query).admitted);
+
+  options.memory_pool_bytes = 0;
+  options.max_concurrent = 1;
+  AdmissionController capped(options, 50000, 50000, 50, 4096);
+  AdmissionDecision c1 = capped.Admit(query);
+  EXPECT_TRUE(c1.admitted);
+  EXPECT_FALSE(capped.Admit(query).admitted);
+  capped.Release(c1);
+  EXPECT_TRUE(capped.Admit(query).admitted);
+}
+
+// The acceptance check: an enforcing controller with a pool smaller than
+// any single estimate sheds every query as ResourceExhausted / kRejected
+// before a single page is read from storage.
+TEST(AdmissionTest, EnforceUndersizedPoolRejectsWithZeroIo) {
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(400, 9301)));
+  KCPQ_ASSERT_OK(fq.Build(MakeClusteredItems(400, 9302)));
+
+  const std::vector<BatchQuery> batch = MakeBatch(8, 16);
+  BatchOptions options;
+  options.admission.mode = AdmissionMode::kEnforce;
+  options.admission.memory_pool_bytes = 1;  // smaller than any estimate
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    options.threads = threads;
+    fp.storage().ResetStats();
+    fq.storage().ResetStats();
+    BatchStats stats;
+    const std::vector<BatchQueryResult> results =
+        BatchKClosestPairs(fp.tree(), fq.tree(), batch, options, &stats);
+
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const std::string label = "query " + std::to_string(i) + " threads " +
+                                std::to_string(threads);
+      EXPECT_EQ(results[i].outcome, QueryOutcome::kRejected) << label;
+      EXPECT_EQ(results[i].status.code(), StatusCode::kResourceExhausted)
+          << label;
+      EXPECT_FALSE(results[i].admission.admitted) << label;
+      EXPECT_GT(results[i].admission.estimated_bytes,
+                options.admission.memory_pool_bytes)
+          << label;
+      EXPECT_TRUE(results[i].pairs.empty()) << label;
+      EXPECT_EQ(results[i].stats.node_accesses, 0u) << label;
+      EXPECT_EQ(results[i].peak_memory_bytes, 0u) << label;
+    }
+    EXPECT_EQ(stats.rejected, batch.size());
+    EXPECT_EQ(stats.ok, 0u);
+    EXPECT_EQ(stats.admission_would_reject, batch.size());
+    // The proof the shed happened before any work: not one page was read
+    // from either tree's backing storage for the whole batch.
+    EXPECT_EQ(fp.storage().stats().reads, 0u);
+    EXPECT_EQ(fq.storage().stats().reads, 0u);
+  }
+}
+
+// Admitted queries must be byte-for-byte what an admission-off run
+// produces: the controller only decides *whether* a query runs, never
+// *how*.
+TEST(AdmissionTest, AdmittedResultsBitIdenticalToAdmissionOff) {
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(350, 9311)));
+  KCPQ_ASSERT_OK(fq.Build(MakeUniformItems(350, 9312)));
+
+  const std::vector<BatchQuery> batch = MakeBatch(6, 12);
+  BatchOptions off;
+  off.threads = 2;
+  const std::vector<BatchQueryResult> baseline =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, off);
+
+  BatchOptions enforce = off;
+  enforce.admission.mode = AdmissionMode::kEnforce;
+  enforce.admission.memory_pool_bytes = 1ull << 40;  // roomy: admit all
+  BatchStats stats;
+  const std::vector<BatchQueryResult> governed =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, enforce, &stats);
+
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admission_would_reject, 0u);
+  ASSERT_EQ(governed.size(), baseline.size());
+  for (size_t i = 0; i < governed.size(); ++i) {
+    const std::string label = "query " + std::to_string(i);
+    EXPECT_TRUE(governed[i].admission.admitted) << label;
+    EXPECT_EQ(governed[i].outcome, baseline[i].outcome) << label;
+    ASSERT_EQ(governed[i].pairs.size(), baseline[i].pairs.size()) << label;
+    for (size_t r = 0; r < governed[i].pairs.size(); ++r) {
+      EXPECT_EQ(governed[i].pairs[r].p_id, baseline[i].pairs[r].p_id)
+          << label;
+      EXPECT_EQ(governed[i].pairs[r].q_id, baseline[i].pairs[r].q_id)
+          << label;
+      EXPECT_EQ(governed[i].pairs[r].distance, baseline[i].pairs[r].distance)
+          << label;
+    }
+    EXPECT_EQ(governed[i].stats.node_accesses, baseline[i].stats.node_accesses)
+        << label;
+  }
+}
+
+// Advisory mode: the same undersized pool flags every query but admits
+// them all — the sizing mode for tuning a pool against a live workload.
+TEST(AdmissionTest, AdvisoryModeAdmitsButCounts) {
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(300, 9321)));
+  KCPQ_ASSERT_OK(fq.Build(MakeUniformItems(300, 9322)));
+
+  const std::vector<BatchQuery> batch = MakeBatch(5, 8);
+  BatchOptions options;
+  options.threads = 1;
+  options.admission.mode = AdmissionMode::kAdvisory;
+  options.admission.memory_pool_bytes = 1;
+  BatchStats stats;
+  const std::vector<BatchQueryResult> results =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, options, &stats);
+
+  ASSERT_EQ(results.size(), batch.size());
+  for (const BatchQueryResult& r : results) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kOk);
+    KCPQ_EXPECT_OK(r.status);
+    EXPECT_TRUE(r.admission.admitted);
+    EXPECT_FALSE(r.admission.reason.empty());
+    EXPECT_FALSE(r.pairs.empty());
+  }
+  EXPECT_EQ(stats.ok, batch.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admission_would_reject, batch.size());
+}
+
+// A pool sized between the estimates of a cheap and an expensive query
+// sheds exactly the expensive ones and leaves the cheap ones bit-exact.
+TEST(AdmissionTest, MixedBatchShedsOnlyOverBudgetQueries) {
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  const auto p_items = MakeUniformItems(400, 9331);
+  const auto q_items = MakeUniformItems(400, 9332);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  BatchQuery cheap;
+  cheap.options.k = 2;
+  BatchQuery expensive;
+  expensive.options.k = 4000;
+  AdmissionOptions probe;
+  probe.mode = AdmissionMode::kEnforce;
+  AdmissionController estimator(
+      probe, fp.tree().size(), fq.tree().size(), fp.tree().max_entries(),
+      fp.tree().buffer()->storage()->page_size());
+  const uint64_t est_cheap = estimator.EstimateQueryBytes(cheap);
+  const uint64_t est_expensive = estimator.EstimateQueryBytes(expensive);
+  ASSERT_LT(est_cheap, est_expensive)
+      << "cost model no longer separates these workloads; pick new ks";
+
+  const std::vector<BatchQuery> batch = {cheap, expensive, cheap, expensive};
+  BatchOptions options;
+  options.threads = 1;  // sequential: reservations never overlap
+  options.admission.mode = AdmissionMode::kEnforce;
+  options.admission.memory_pool_bytes = (est_cheap + est_expensive) / 2;
+  BatchStats stats;
+  const std::vector<BatchQueryResult> results =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, options, &stats);
+
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  for (const size_t i : {size_t{0}, size_t{2}}) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kOk) << i;
+    EXPECT_FALSE(results[i].pairs.empty()) << i;
+  }
+  for (const size_t i : {size_t{1}, size_t{3}}) {
+    EXPECT_EQ(results[i].outcome, QueryOutcome::kRejected) << i;
+    EXPECT_EQ(results[i].status.code(), StatusCode::kResourceExhausted) << i;
+    EXPECT_TRUE(results[i].pairs.empty()) << i;
+  }
+
+  // The surviving queries match an ungoverned run of the same batch.
+  const std::vector<BatchQueryResult> baseline =
+      BatchKClosestPairs(fp.tree(), fq.tree(), batch, BatchOptions{});
+  for (const size_t i : {size_t{0}, size_t{2}}) {
+    ASSERT_EQ(results[i].pairs.size(), baseline[i].pairs.size()) << i;
+    for (size_t r = 0; r < results[i].pairs.size(); ++r) {
+      EXPECT_EQ(results[i].pairs[r].p_id, baseline[i].pairs[r].p_id) << i;
+      EXPECT_EQ(results[i].pairs[r].q_id, baseline[i].pairs[r].q_id) << i;
+      EXPECT_EQ(results[i].pairs[r].distance,
+                baseline[i].pairs[r].distance)
+          << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcpq

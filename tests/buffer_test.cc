@@ -177,5 +177,67 @@ TEST(BufferManagerTest, HitMissAccountingConsistent) {
   EXPECT_EQ(buffer.stats().misses, storage.stats().reads);
 }
 
+// Per-query page accounting: a QueryContext passed to Read is charged
+// page_size exactly once per distinct page — hits and misses alike, so the
+// charge is independent of buffer capacity and residency.
+TEST(BufferManagerTest, QueryContextChargesDistinctPagesOnce) {
+  MemoryStorageManager storage(64);
+  const auto ids = Populate(&storage, 4);
+  BufferManager buffer(&storage, 2);
+  Page out;
+
+  QueryContext ctx;
+  KCPQ_ASSERT_OK(buffer.Read(ids[0], &out, &ctx));
+  EXPECT_EQ(ctx.accountant().distinct_pages(), 1u);
+  EXPECT_EQ(ctx.accountant().buffer_bytes(), storage.page_size());
+
+  // Re-reads of the same page are free (resident or not).
+  KCPQ_ASSERT_OK(buffer.Read(ids[0], &out, &ctx));
+  KCPQ_ASSERT_OK(buffer.Read(ids[0], &out, &ctx));
+  EXPECT_EQ(ctx.accountant().distinct_pages(), 1u);
+
+  KCPQ_ASSERT_OK(buffer.Read(ids[1], &out, &ctx));
+  KCPQ_ASSERT_OK(buffer.Read(ids[2], &out, &ctx));
+  EXPECT_EQ(ctx.accountant().distinct_pages(), 3u);
+  EXPECT_EQ(ctx.accountant().buffer_bytes(), 3 * storage.page_size());
+  EXPECT_EQ(ctx.accountant().total_bytes(),
+            ctx.accountant().buffer_bytes());  // no engine bytes recorded
+
+  // A cache *hit* still charges a fresh query: the footprint is the
+  // query's, not the buffer's.
+  QueryContext ctx2;
+  KCPQ_ASSERT_OK(buffer.Read(ids[0], &out, &ctx2));
+  EXPECT_EQ(ctx2.accountant().distinct_pages(), 1u);
+
+  // The same page through a different buffer instance is a different
+  // footprint entry (distinct pinnable copy).
+  BufferManager buffer2(&storage, 0);
+  KCPQ_ASSERT_OK(buffer2.Read(ids[0], &out, &ctx2));
+  EXPECT_EQ(ctx2.accountant().distinct_pages(), 2u);
+
+  // A null context costs nothing and reads identically.
+  KCPQ_ASSERT_OK(buffer.Read(ids[3], &out));
+  EXPECT_EQ(ctx.accountant().distinct_pages(), 3u);
+}
+
+// The unified footprint trips the memory budget through QueryContext::Check
+// even when the engine-side estimate stays at zero.
+TEST(BufferManagerTest, PageChargesCountAgainstMemoryBudget) {
+  MemoryStorageManager storage(64);
+  const auto ids = Populate(&storage, 4);
+  BufferManager buffer(&storage, 0);
+  Page out;
+
+  QueryControl control;
+  control.max_candidate_bytes = 3 * storage.page_size();
+  QueryContext ctx(control);
+  KCPQ_ASSERT_OK(buffer.Read(ids[0], &out, &ctx));
+  EXPECT_EQ(ctx.Check(0, 0), StopCause::kNone);
+  KCPQ_ASSERT_OK(buffer.Read(ids[1], &out, &ctx));
+  EXPECT_EQ(ctx.Check(0, 0), StopCause::kNone);  // below the limit
+  KCPQ_ASSERT_OK(buffer.Read(ids[2], &out, &ctx));
+  EXPECT_EQ(ctx.Check(0, 0), StopCause::kMemoryBudget);  // 3 pages >= limit
+}
+
 }  // namespace
 }  // namespace kcpq

@@ -4,11 +4,14 @@
 // size, pruning toggle — run the K-CPQ, and check it against brute force.
 // This is the catch-all net for interactions the targeted suites miss.
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "buffer/replacement_policy.h"
 #include "cpq/brute.h"
 #include "cpq/cpq.h"
+#include "cpq/multiway.h"
 #include "exec/batch.h"
 #include "gtest/gtest.h"
 #include "hs/hs.h"
@@ -336,6 +339,122 @@ TEST_P(BatchFaultChaosTest, FailFastCancelsSiblings) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, BatchFaultChaosTest,
                          ::testing::Values(size_t{1}, size_t{4}, size_t{8}));
+
+
+// Multiway queries in the same net: random tree counts, graphs, and data
+// served through the flaky retrying stack, with random lifecycle limits.
+// Exact runs must match the brute cross-product oracle; budget-stopped
+// runs must return an exact ascending prefix whose popped-bound
+// certificate holds against the oracle.
+class MultiwayChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiwayChaosTest, RandomConfigurationMatchesBruteForce) {
+  Xoshiro256pp rng(GetParam() ^ 0x00aabbcc);
+  for (int round = 0; round < 2; ++round) {
+    const size_t m = 2 + rng.NextBounded(2);  // 2 or 3 trees
+    std::vector<std::vector<std::pair<Point, uint64_t>>> sets;
+    std::vector<std::unique_ptr<TreeFixture>> fixtures;
+    std::vector<std::unique_ptr<FaultInjectionStorageManager>> faulty;
+    std::vector<std::unique_ptr<RetryingStorageManager>> retrying;
+    std::vector<std::unique_ptr<BufferManager>> buffers;
+    std::vector<std::unique_ptr<RStarTree>> flaky_trees;
+    std::vector<const RStarTree*> trees;
+    RetryPolicy policy;
+    policy.max_retries = 16;
+    policy.initial_backoff = std::chrono::microseconds(0);
+    for (size_t i = 0; i < m; ++i) {
+      const size_t n = 20 + rng.NextBounded(40);
+      sets.push_back(rng.NextBounded(2) == 0
+                         ? MakeUniformItems(n, rng.Next())
+                         : MakeClusteredItems(n, rng.Next()));
+      fixtures.push_back(std::make_unique<TreeFixture>(
+          /*buffer_pages=*/0, /*page_size=*/512));
+      KCPQ_ASSERT_OK(fixtures.back()->Build(sets.back()));
+      // Reopen each tree through a flaky transient stack: multiway must
+      // absorb the same faults the two-tree engines do.
+      faulty.push_back(std::make_unique<FaultInjectionStorageManager>(
+          &fixtures.back()->storage()));
+      retrying.push_back(
+          std::make_unique<RetryingStorageManager>(faulty.back().get(),
+                                                   policy));
+      buffers.push_back(
+          std::make_unique<BufferManager>(retrying.back().get(), 0));
+      auto opened = RStarTree::Open(buffers.back().get(),
+                                    fixtures.back()->tree().meta_page());
+      KCPQ_ASSERT_OK(opened.status());
+      flaky_trees.push_back(std::move(opened).value());
+      trees.push_back(flaky_trees.back().get());
+      faulty.back()->FailWithProbability(0.15, /*seed=*/rng.Next(),
+                                         /*transient=*/true);
+    }
+
+    std::vector<MultiwayEdge> graph;
+    for (int i = 0; i + 1 < static_cast<int>(m); ++i) {
+      graph.push_back(MultiwayEdge{i, i + 1});
+    }
+    if (m == 3 && rng.NextBounded(2) == 0) {
+      graph.push_back(MultiwayEdge{0, 2});  // close the cycle
+    }
+
+    MultiwayOptions options;
+    options.k = 1 + rng.NextBounded(12);
+    SCOPED_TRACE("m=" + std::to_string(m) + " k=" +
+                 std::to_string(options.k) + " edges=" +
+                 std::to_string(graph.size()));
+    const std::vector<TupleResult> want =
+        BruteForceMultiwayKClosestTuples(sets, graph, options.k);
+
+    // Unlimited run: exact, through the faults.
+    auto exact = MultiwayKClosestTuples(trees, graph, options);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_EQ(exact.value().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(exact.value()[i].aggregate_distance,
+                  want[i].aggregate_distance, 1e-9)
+          << "rank " << i;
+    }
+
+    // Budget-stopped run: OK, and the popped-bound certificate holds —
+    // every true tuple with aggregate below the bound is reported, in
+    // exact rank order; reported tuples beyond the bound are provisional
+    // but still genuine (never better than the oracle's rank).
+    options.control.max_node_accesses = 1 + rng.NextBounded(30);
+    CpqStats stats;
+    auto partial = MultiwayKClosestTuples(trees, graph, options, &stats);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ASSERT_LE(partial.value().size(), want.size());
+    if (stats.quality.is_partial()) {
+      EXPECT_EQ(stats.quality.stop_cause, StopCause::kNodeBudget);
+      const double glb = stats.quality.guaranteed_lower_bound;
+      size_t guaranteed = 0;
+      while (guaranteed < want.size() &&
+             want[guaranteed].aggregate_distance < glb - 1e-9) {
+        ++guaranteed;
+      }
+      ASSERT_GE(partial.value().size(), guaranteed);
+      for (size_t i = 0; i < guaranteed; ++i) {
+        ASSERT_NEAR(partial.value()[i].aggregate_distance,
+                    want[i].aggregate_distance, 1e-9)
+            << "rank " << i;
+      }
+      for (size_t i = 0; i < partial.value().size(); ++i) {
+        ASSERT_GE(partial.value()[i].aggregate_distance,
+                  want[i].aggregate_distance - 1e-9)
+            << "rank " << i;
+      }
+    } else {
+      ASSERT_EQ(partial.value().size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_NEAR(partial.value()[i].aggregate_distance,
+                    want[i].aggregate_distance, 1e-9)
+            << "rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiwayChaosTest,
+                         ::testing::Range<uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace kcpq

@@ -12,12 +12,15 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cpq/brute.h"
 #include "cpq/cpq.h"
 #include "cpq/distance_join.h"
+#include "cpq/multiway.h"
 #include "exec/batch.h"
 #include "gtest/gtest.h"
 #include "hs/hs.h"
@@ -448,6 +451,265 @@ TEST(DeadlineTest, BruteForceHonorsControl) {
       LeafKernel::kNestedLoop, budget_only, &q2);
   EXPECT_FALSE(q2.is_partial());
   EXPECT_EQ(full.size(), 10u);
+}
+
+// The unified ResourceAccountant meters strictly more than the old
+// engine-only accounting: its total is engine bytes plus the distinct
+// buffer pages read for the query, so the peak unified footprint dominates
+// the peak engine footprint whenever any page was read.
+TEST(QueryContextTest, AccountantTotalsCoverEngineOnlyAccounting) {
+  const auto p_items = MakeUniformItems(400, 7801);
+  const auto q_items = MakeUniformItems(400, 7802);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    QueryContext ctx;
+    CpqOptions options;
+    options.algorithm = algorithm;
+    options.k = 10;
+    options.context = &ctx;
+    CpqStats stats;
+    Result<std::vector<PairResult>> r =
+        KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+    KCPQ_ASSERT_OK(r.status());
+    const std::string label = CpqAlgorithmName(algorithm);
+
+    const ResourceAccountant& acct = ctx.accountant();
+    EXPECT_GT(acct.distinct_pages(), 0u) << label;
+    EXPECT_EQ(acct.buffer_bytes(), acct.distinct_pages() * 512) << label;
+    EXPECT_EQ(acct.total_bytes(), acct.engine_bytes() + acct.buffer_bytes())
+        << label;
+    // The unified peak dominates both engine-only accounting and the full
+    // page footprint (buffer charges never shrink, so the final footprint
+    // was live at the last charge).  The two maxima can occur at different
+    // moments, so their sum is not a valid lower bound.
+    EXPECT_GE(acct.peak_total_bytes(), acct.peak_engine_bytes()) << label;
+    EXPECT_GE(acct.peak_total_bytes(), acct.buffer_bytes()) << label;
+    EXPECT_GT(acct.peak_total_bytes(), acct.peak_engine_bytes()) << label;
+    // Every node access went through the buffer on this query's context,
+    // so the distinct-page count can't exceed the access count (re-reads
+    // are free) and must cover the root pages.
+    EXPECT_LE(acct.distinct_pages(), stats.node_accesses + 2) << label;
+  }
+}
+
+// A query whose *pinned-page footprint alone* exceeds max_candidate_bytes
+// is throttled by the unified accountant — and identically so at 1, 4, and
+// 8 batch threads, because pages are charged once per distinct page, hit
+// or miss alike, independent of buffer state or scheduling.
+TEST(QueryContextTest, BufferFootprintThrottlesDeterministically) {
+  const auto p_items = MakeUniformItems(500, 7901);
+  const auto q_items = MakeClusteredItems(450, 7902);
+  TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const size_t k = 12;
+  const std::vector<PairResult> brute =
+      BruteForceKClosestPairs(p_items, q_items, k);
+
+  std::vector<BatchQuery> batch;
+  for (const CpqAlgorithm algorithm :
+       {CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+    BatchQuery query;
+    query.options.algorithm = algorithm;
+    query.options.k = k;
+    // 8 pages of 512 B: trees this size touch far more, so the page
+    // charges alone trip the budget long before engine state matters.
+    query.options.control.max_candidate_bytes = 8 * 512;
+    batch.push_back(query);
+  }
+
+  std::vector<std::vector<BatchQueryResult>> runs;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    BatchOptions options;
+    options.threads = threads;
+    runs.push_back(BatchKClosestPairs(fp.tree(), fq.tree(), batch, options));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchQueryResult& base = runs.front()[i];
+    KCPQ_ASSERT_OK(base.status);
+    ASSERT_TRUE(base.stats.quality.is_partial()) << i;
+    EXPECT_EQ(base.stats.quality.stop_cause, StopCause::kMemoryBudget) << i;
+    // The footprint that tripped it is dominated by pages, not engine
+    // state: the budget is smaller than the page charges alone.
+    EXPECT_GE(base.peak_memory_bytes, uint64_t{8} * 512) << i;
+    ExpectBoundHolds(base.pairs, brute,
+                     base.stats.quality.guaranteed_lower_bound,
+                     "footprint throttle query " + std::to_string(i));
+    for (size_t run = 1; run < runs.size(); ++run) {
+      const BatchQueryResult& other = runs[run][i];
+      const std::string label =
+          "query " + std::to_string(i) + " run " + std::to_string(run);
+      EXPECT_EQ(other.stats.quality.stop_cause,
+                base.stats.quality.stop_cause)
+          << label;
+      EXPECT_EQ(other.stats.quality.guaranteed_lower_bound,
+                base.stats.quality.guaranteed_lower_bound)
+          << label;
+      EXPECT_EQ(other.stats.node_accesses, base.stats.node_accesses)
+          << label;
+      EXPECT_EQ(other.peak_memory_bytes, base.peak_memory_bytes) << label;
+      ASSERT_EQ(other.pairs.size(), base.pairs.size()) << label;
+      for (size_t r = 0; r < base.pairs.size(); ++r) {
+        EXPECT_EQ(other.pairs[r].p_id, base.pairs[r].p_id) << label;
+        EXPECT_EQ(other.pairs[r].q_id, base.pairs[r].q_id) << label;
+        EXPECT_EQ(other.pairs[r].distance, base.pairs[r].distance) << label;
+      }
+    }
+  }
+}
+
+// Satellite: the per-rank anytime certificate. rank_lower_bounds[r] is
+// sound iff at most r true top-K pairs with distance below it are missing
+// from the partial result; bounds are ascending and bound[0] is the
+// scalar glb.
+TEST(RankBoundTest, PerRankBoundsHoldVsBruteOracle) {
+  bool saw_refinement = false;
+  for (const int seed : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+    // Seeds 8-9 use a separated "ramp": two 1-d lattices whose vertical
+    // gap grows with x, so every aligned leaf pair carries a *distinct*
+    // positive MINMINDIST — the workload where per-rank refinement is
+    // actually visible (overlapping uniform data folds mostly-zero
+    // frontiers, which any profile collapses to the scalar bound).
+    std::vector<std::pair<Point, uint64_t>> p_items, q_items;
+    if (seed >= 8) {
+      const double slope = seed == 8 ? 0.008 : 0.016;
+      for (uint64_t i = 0; i < 300; ++i) {
+        const double x = static_cast<double>(i) * 8.0;
+        p_items.emplace_back(Point{x, 0.0}, i);
+        q_items.emplace_back(Point{x + 1.0, 0.5 + slope * x}, i);
+      }
+    } else {
+      p_items = MakeUniformItems(300 + seed * 40, 8100 + seed * 2);
+      q_items = (seed % 2 == 0) ? MakeUniformItems(300, 8101 + seed * 2)
+                                : MakeClusteredItems(300, 8101 + seed * 2);
+    }
+    TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+    TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+    KCPQ_ASSERT_OK(fp.Build(p_items));
+    KCPQ_ASSERT_OK(fq.Build(q_items));
+    // k must exceed a leaf-pair's capacity (~max_entries^2) or the closest
+    // frontier entry covers every rank and the profile degenerates to k
+    // copies of the scalar bound.
+    const size_t k = 192;
+    const std::vector<PairResult> brute =
+        BruteForceKClosestPairs(p_items, q_items, k);
+
+    for (const CpqAlgorithm algorithm :
+         {CpqAlgorithm::kExhaustive, CpqAlgorithm::kSimple,
+          CpqAlgorithm::kSortedDistances, CpqAlgorithm::kHeap}) {
+      for (const uint64_t budget : {6u, 20u, 60u, 120u}) {
+        CpqOptions options;
+        options.algorithm = algorithm;
+        options.k = k;
+        options.control.max_node_accesses = budget;
+        CpqStats stats;
+        Result<std::vector<PairResult>> r =
+            KClosestPairs(fp.tree(), fq.tree(), options, &stats);
+        KCPQ_ASSERT_OK(r.status());
+        if (!stats.quality.is_partial()) continue;
+        const std::string label = std::string(CpqAlgorithmName(algorithm)) +
+                                  " budget " + std::to_string(budget) +
+                                  " seed " + std::to_string(seed);
+        const std::vector<double>& bounds = stats.quality.rank_lower_bounds;
+        ASSERT_EQ(bounds.size(), k) << label;
+        EXPECT_NEAR(bounds[0], stats.quality.guaranteed_lower_bound, kTol)
+            << label;
+        for (size_t i = 1; i < bounds.size(); ++i) {
+          EXPECT_GE(bounds[i], bounds[i - 1] - kTol) << label;
+          if (bounds[i] > bounds[0] + kTol) saw_refinement = true;
+        }
+        // Soundness, rank by rank: of the true top-K pairs closer than
+        // bound[r], at most r may be absent from the partial result.
+        std::set<std::pair<uint64_t, uint64_t>> present;
+        for (const PairResult& got : r.value()) {
+          present.emplace(got.p_id, got.q_id);
+        }
+        for (size_t rank = 0; rank < bounds.size(); ++rank) {
+          size_t missing = 0;
+          for (const PairResult& b : brute) {
+            if (b.distance >= bounds[rank] - kTol) break;
+            if (present.count({b.p_id, b.q_id}) == 0) ++missing;
+          }
+          EXPECT_LE(missing, rank)
+              << label << " rank " << rank << " bound " << bounds[rank];
+        }
+      }
+    }
+  }
+  // The capacity-weighted profile must actually refine somewhere —
+  // otherwise this test only ever checks k copies of the scalar bound.
+  EXPECT_TRUE(saw_refinement);
+}
+
+// Multiway under lifecycle limits: a budget or deadline stop returns OK
+// with the popped-bound certificate — the reported tuples are an exact
+// ascending prefix and nothing unreported can beat the bound.
+TEST(DeadlineTest, MultiwayBudgetStopCertifiesPrefix) {
+  std::vector<std::vector<std::pair<Point, uint64_t>>> sets;
+  std::vector<std::unique_ptr<TreeFixture>> fixtures;
+  std::vector<const RStarTree*> trees;
+  for (int i = 0; i < 3; ++i) {
+    sets.push_back(MakeUniformItems(120, 8201 + i));
+    fixtures.push_back(
+        std::make_unique<TreeFixture>(/*buffer_pages=*/0, /*page_size=*/512));
+    KCPQ_ASSERT_OK(fixtures.back()->Build(sets.back()));
+    trees.push_back(&fixtures.back()->tree());
+  }
+  const std::vector<MultiwayEdge> graph = {{0, 1}, {1, 2}};
+  const size_t k = 8;
+  const std::vector<TupleResult> brute =
+      BruteForceMultiwayKClosestTuples(sets, graph, k);
+
+  bool saw_partial = false;
+  for (const uint64_t budget : {4u, 20u, 100u, 1u << 20}) {
+    MultiwayOptions options;
+    options.k = k;
+    options.control.max_node_accesses = budget;
+    CpqStats stats;
+    Result<std::vector<TupleResult>> r =
+        MultiwayKClosestTuples(trees, graph, options, &stats);
+    KCPQ_ASSERT_OK(r.status());
+    const std::string label = "multiway budget " + std::to_string(budget);
+    ASSERT_LE(r.value().size(), brute.size()) << label;
+    // Best-first pops ascending: reported tuples are an exact prefix.
+    for (size_t i = 0; i < r.value().size(); ++i) {
+      EXPECT_NEAR(r.value()[i].aggregate_distance,
+                  brute[i].aggregate_distance, kTol)
+          << label;
+    }
+    if (stats.quality.is_partial()) {
+      saw_partial = true;
+      EXPECT_EQ(stats.quality.stop_cause, StopCause::kNodeBudget) << label;
+      EXPECT_LE(stats.node_accesses, budget + 3) << label;
+      const double glb = stats.quality.guaranteed_lower_bound;
+      if (r.value().size() < brute.size()) {
+        EXPECT_GE(brute[r.value().size()].aggregate_distance, glb - kTol)
+            << label;
+      }
+    } else {
+      ASSERT_EQ(r.value().size(), brute.size()) << label;
+    }
+  }
+  EXPECT_TRUE(saw_partial) << "budgets too generous to exercise the stop";
+
+  // An already-expired deadline stops before the root is read.
+  MultiwayOptions options;
+  options.k = k;
+  options.control.deadline =
+      QueryControl::Clock::now() - std::chrono::milliseconds(1);
+  CpqStats stats;
+  Result<std::vector<TupleResult>> r =
+      MultiwayKClosestTuples(trees, graph, options, &stats);
+  KCPQ_ASSERT_OK(r.status());
+  EXPECT_EQ(stats.quality.stop_cause, StopCause::kDeadline);
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_EQ(stats.node_accesses, 0u);
 }
 
 // QueryControl::Merged picks the stricter of each limit.

@@ -293,6 +293,54 @@ TEST(RetryingStorageTest, QueryOverFlakyDiskIsBitIdenticalToFaultFreeRun) {
   }
 }
 
+TEST(RetryingStorageTest, NearDeadlineAbandonsRetryPromptly) {
+  // Transient-fault burst hitting a query whose deadline cannot cover the
+  // retry backoff: the retry loop gives up immediately instead of
+  // sleeping past the deadline, the engine converts the resulting
+  // kDeadlineExceeded into a partial result with a certificate — OK
+  // status, not a failed query.
+  const auto p_items = MakeUniformItems(800, 1201);
+  const auto q_items = MakeUniformItems(800, 1202);
+  kcpq::testing::TreeFixture fp(/*buffer_pages=*/0, /*page_size=*/512);
+  kcpq::testing::TreeFixture fq(/*buffer_pages=*/0, /*page_size=*/512);
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+
+  FaultInjectionStorageManager faulty_p(&fp.storage());
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  // A backoff far beyond the deadline: any retry that is *not* abandoned
+  // stalls this test for seconds, so the wall-clock assertion below
+  // proves promptness.
+  policy.initial_backoff = std::chrono::seconds(5);
+  policy.max_backoff = std::chrono::seconds(5);
+  RetryingStorageManager retry_p(&faulty_p, policy);
+  BufferManager buffer_p(&retry_p, 0);
+  auto tree_p = RStarTree::Open(&buffer_p, fp.tree().meta_page());
+  ASSERT_TRUE(tree_p.ok());
+
+  faulty_p.FailNextN(1000);  // a burst no retry budget can outlast
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 10;
+  options.control =
+      QueryControl::WithDeadlineAfter(std::chrono::milliseconds(500));
+  CpqStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = KClosestPairs(*tree_p.value(), fq.tree(), options, &stats);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Not an error: a partial result with the deadline stop cause.
+  KCPQ_ASSERT_OK(result.status());
+  EXPECT_EQ(stats.quality.stop_cause, StopCause::kDeadline);
+  EXPECT_FALSE(stats.quality.is_exact);
+  EXPECT_GE(stats.quality.guaranteed_lower_bound, 0.0);
+  // The retry loop consulted the context's deadline and gave up rather
+  // than sleeping 5 s per attempt.
+  EXPECT_GT(retry_p.deadline_abandoned(), 0u);
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+}
+
 TEST(FaultInjectionTest, IntermittentFaultsNeverCrashQueries) {
   // Flaky-disk chaos run: 20% of operations fail at random; queries must
   // always return either OK or a clean IoError.

@@ -91,6 +91,28 @@ Result<LeafKernel> ParseKernel(const std::string& name) {
                                  "' (nested|sweep)");
 }
 
+Result<AdmissionMode> ParseAdmissionMode(const std::string& name) {
+  if (name == "off") return AdmissionMode::kOff;
+  if (name == "advisory") return AdmissionMode::kAdvisory;
+  if (name == "enforce") return AdmissionMode::kEnforce;
+  return Status::InvalidArgument("unknown admission mode '" + name +
+                                 "' (off|advisory|enforce)");
+}
+
+// Parses the admission-control flags for the batch path.
+Status ParseAdmissionFlags(const Flags& flags, AdmissionOptions* admission) {
+  if (const auto it = flags.named.find("admission");
+      it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(admission->mode, ParseAdmissionMode(it->second));
+  }
+  if (const auto it = flags.named.find("memory-pool-bytes");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(
+        ParseCount(it->second, &admission->memory_pool_bytes));
+  }
+  return Status::OK();
+}
+
 // An opened database: storage (+ optional retry decorator) + buffer +
 // tree, kept alive together.
 struct Database {
@@ -311,7 +333,8 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "usage: kcp <p.db> <q.db> <K> [--algorithm=heap] [--metric=l2] "
         "[--buffer=N] [--fix-at-leaves] [--self] [--kernel=nested|sweep] "
         "[--threads=N] [--repeat=N] [--deadline-ms=N] "
-        "[--max-node-accesses=N] [--io-retries=N] [--fail-fast]");
+        "[--max-node-accesses=N] [--io-retries=N] [--fail-fast] "
+        "[--admission=off|advisory|enforce] [--memory-pool-bytes=N]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -342,7 +365,13 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     if (repeat == 0) repeat = 1;
   }
 
-  if (threads > 1 || repeat > 1) {
+  // Parsed up front so a bad value fails even in single-query mode; a
+  // non-off mode routes a single query through the batch path (a batch
+  // of one), which is where the controller lives.
+  AdmissionOptions admission;
+  KCPQ_RETURN_IF_ERROR(ParseAdmissionFlags(flags, &admission));
+
+  if (threads > 1 || repeat > 1 || admission.mode != AdmissionMode::kOff) {
     // Batch mode: the same query `repeat` times across `threads` workers —
     // the multi-client throughput scenario (src/exec/batch.h). The
     // deadline / budget flags apply batch-wide here.
@@ -353,26 +382,46 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &batch_options.control));
     batch_options.cancel_batch_on_first_failure =
         flags.named.count("fail-fast") > 0;
+    batch_options.admission = admission;
     BatchStats batch_stats;
     Timer timer;
     const std::vector<BatchQueryResult> results = BatchKClosestPairs(
         *p.tree, *q.tree, batch, batch_options, &batch_stats);
     const double seconds = timer.ElapsedSeconds();
-    for (const BatchQueryResult& r : results) KCPQ_RETURN_IF_ERROR(r.status);
-    PrintPairs(out, results.front().pairs);
-    PrintQuality(out, results.front().stats.quality);
-    PrintQueryStats(out, results.front().stats, seconds);
+    // A shed query is an expected outcome under --admission=enforce, not a
+    // command failure; any other error Status still fails the command.
+    const BatchQueryResult* first_run = nullptr;
+    for (const BatchQueryResult& r : results) {
+      if (r.outcome == QueryOutcome::kRejected) continue;
+      KCPQ_RETURN_IF_ERROR(r.status);
+      if (first_run == nullptr) first_run = &r;
+    }
+    if (first_run != nullptr) {
+      PrintPairs(out, first_run->pairs);
+      PrintQuality(out, first_run->stats.quality);
+      PrintQueryStats(out, first_run->stats, seconds);
+    }
     std::fprintf(out,
                  "batch: %llu queries on %llu threads in %.3f s "
                  "(%.1f queries/s); outcomes: ok=%llu partial=%llu "
-                 "cancelled=%llu failed=%llu\n",
+                 "cancelled=%llu failed=%llu rejected=%llu\n",
                  static_cast<unsigned long long>(repeat),
                  static_cast<unsigned long long>(threads), seconds,
                  static_cast<double>(repeat) / seconds,
                  static_cast<unsigned long long>(batch_stats.ok),
                  static_cast<unsigned long long>(batch_stats.partial),
                  static_cast<unsigned long long>(batch_stats.cancelled),
-                 static_cast<unsigned long long>(batch_stats.failed));
+                 static_cast<unsigned long long>(batch_stats.failed),
+                 static_cast<unsigned long long>(batch_stats.rejected));
+    if (batch_options.admission.mode != AdmissionMode::kOff) {
+      std::fprintf(out,
+                   "admission (%s): pool=%llu B, would-reject=%llu\n",
+                   AdmissionModeName(batch_options.admission.mode),
+                   static_cast<unsigned long long>(
+                       batch_options.admission.memory_pool_bytes),
+                   static_cast<unsigned long long>(
+                       batch_stats.admission_would_reject));
+    }
     return Status::OK();
   }
 
@@ -599,7 +648,8 @@ void PrintUsage(std::FILE* out) {
       "       [--metric=l1|l2|linf] [--buffer=N] [--fix-at-leaves] [--self]\n"
       "       [--kernel=nested|sweep] [--threads=N] [--repeat=N]\n"
       "       [--deadline-ms=N] [--max-node-accesses=N] [--io-retries=N]\n"
-      "       [--fail-fast]\n"
+      "       [--fail-fast] [--admission=off|advisory|enforce]\n"
+      "       [--memory-pool-bytes=N]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
       "       [--max-node-accesses=N] [--io-retries=N]\n"
