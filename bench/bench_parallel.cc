@@ -57,16 +57,24 @@ void PartAKernelAblation(BenchJson* json) {
       options.algorithm = algorithm;
       options.k = 100;
       options.leaf_kernel = kernel;
+      // Counters come from the unified metrics registry (delta across the
+      // run) rather than hand-copied CpqStats fields.
+      const obs::MetricsSnapshot before = CaptureMetrics();
       const QueryOutcome outcome = RunCpq(*store_p, *store_q, options, 512);
-      table.AddRow({CpqAlgorithmName(algorithm), LeafKernelName(kernel),
-                    Table::Count(outcome.stats.point_distance_computations),
-                    Table::Count(outcome.stats.leaf_pairs_skipped),
-                    Table::Count(outcome.stats.node_pairs_processed),
-                    Table::Num(outcome.seconds, 3)});
+      const obs::MetricsSnapshot delta =
+          obs::MetricsSnapshot::Delta(before, CaptureMetrics());
+      const uint64_t pdc =
+          delta.CounterValue("kcpq_cpq_distance_computations_total");
+      table.AddRow(
+          {CpqAlgorithmName(algorithm), LeafKernelName(kernel),
+           Table::Count(pdc),
+           Table::Count(delta.CounterValue("kcpq_cpq_leaf_pairs_skipped_total")),
+           Table::Count(delta.CounterValue("kcpq_cpq_node_pairs_total")),
+           Table::Num(outcome.seconds, 3)});
       if (kernel == LeafKernel::kNestedLoop) {
-        pdc_nested += outcome.stats.point_distance_computations;
+        pdc_nested += pdc;
       } else {
-        pdc_sweep += outcome.stats.point_distance_computations;
+        pdc_sweep += pdc;
       }
     }
   }

@@ -1,0 +1,100 @@
+// Observability overhead guard.
+//
+// Not a figure of the paper — this harness proves the metrics layer
+// (src/obs/) is cheap enough to leave on. One binary, two modes: the same
+// uniform 100K x 100K HEAP K = 10 query is timed with the runtime metrics
+// switch off (obs::SetEnabled(false): every KCPQ_METRIC_* macro reduces
+// to one predicted branch) and on (counters actually increment). The
+// relative overhead
+//
+//   t_on / t_off - 1
+//
+// must stay under KCPQ_TRACE_MAX_OVERHEAD (default 5%) or the bench exits
+// non-zero — CI runs it as a smoke job. Reps are interleaved and each
+// mode keeps its minimum, so machine noise inflates both sides equally.
+//
+// Results land in BENCH_trace.json for machine consumption.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+
+namespace kcpq {
+namespace bench {
+namespace {
+
+constexpr int kReps = 5;
+
+double MaxOverhead() {
+  if (const char* env = std::getenv("KCPQ_TRACE_MAX_OVERHEAD");
+      env != nullptr && *env) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.05;
+}
+
+int Main() {
+  PrintFigureHeader("Observability overhead",
+                    "metrics-on vs metrics-off query latency");
+  std::printf("metrics compiled in: %s\n",
+              obs::MetricsCompiledIn() ? "yes" : "no (KCPQ_METRICS=0)");
+
+  auto store_p = MakeStore(DataKind::kUniform, Scaled(100000), 1.0, 42);
+  auto store_q = MakeStore(DataKind::kUniform, Scaled(100000), 1.0, 43);
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 10;
+
+  // Warm up once per mode (first touch pays allocator + registry setup).
+  obs::SetEnabled(false);
+  RunCpq(*store_p, *store_q, options, 512);
+  obs::SetEnabled(true);
+  RunCpq(*store_p, *store_q, options, 512);
+
+  double t_off = 0.0;
+  double t_on = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::SetEnabled(false);
+    const double off = RunCpq(*store_p, *store_q, options, 512).seconds;
+    obs::SetEnabled(true);
+    const double on = RunCpq(*store_p, *store_q, options, 512).seconds;
+    t_off = rep == 0 ? off : std::min(t_off, off);
+    t_on = rep == 0 ? on : std::min(t_on, on);
+    std::printf("rep %d: off %.3f ms, on %.3f ms\n", rep + 1, off * 1e3,
+                on * 1e3);
+  }
+  obs::SetEnabled(true);
+
+  const double overhead = t_off > 0.0 ? t_on / t_off - 1.0 : 0.0;
+  const double max_overhead = MaxOverhead();
+  std::printf("best-of-%d: off %.3f ms, on %.3f ms, overhead %.2f%% "
+              "(limit %.0f%%)\n",
+              kReps, t_off * 1e3, t_on * 1e3, overhead * 100,
+              max_overhead * 100);
+
+  BenchJson json("trace");
+  json.AddScalar("seconds_metrics_off", t_off);
+  json.AddScalar("seconds_metrics_on", t_on);
+  json.AddScalar("overhead", overhead);
+  json.AddScalar("max_overhead", max_overhead);
+  json.AddScalar("metrics_compiled_in", obs::MetricsCompiledIn() ? 1.0 : 0.0);
+  json.Write();
+
+  if (overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: metrics overhead %.2f%% exceeds limit %.0f%%\n",
+                 overhead * 100, max_overhead * 100);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kcpq
+
+int main() { return kcpq::bench::Main(); }

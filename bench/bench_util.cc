@@ -168,6 +168,10 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+obs::MetricsSnapshot CaptureMetrics() {
+  return obs::MetricsRegistry::Global().Snapshot();
+}
+
 void BenchJson::AddScalar(const std::string& key, double value) {
   scalars_.emplace_back(key, value);
 }
@@ -205,7 +209,10 @@ void BenchJson::Write() const {
     }
     out << (table.rows().empty() ? "" : "\n      ") << "]\n    }";
   }
-  out << (tables_.empty() ? "" : "\n  ") << "}\n}\n";
+  out << (tables_.empty() ? "" : "\n  ") << "},\n  \"metrics\": "
+      << obs::MetricsSnapshot::Delta(metrics_baseline_, CaptureMetrics())
+             .ToJson()
+      << "\n}\n";
 
   std::string dir;
   if (const char* env = std::getenv("BENCH_DIR"); env != nullptr && *env) {

@@ -26,6 +26,7 @@
 #include "cpq/cpq.h"
 #include "datagen/datagen.h"
 #include "hs/hs.h"
+#include "obs/metrics_registry.h"
 #include "rtree/rtree.h"
 #include "storage/memory_storage.h"
 
@@ -107,14 +108,26 @@ HsOutcome RunHs(TreeStore& p, TreeStore& q, size_t k, const HsOptions& options,
 void PrintFigureHeader(const std::string& figure,
                        const std::string& description);
 
+/// Current metrics-registry snapshot (obs/metrics_registry.h). Capture
+/// one before and one after a measured region and subtract with
+/// obs::MetricsSnapshot::Delta to attribute process-global counters to
+/// that region.
+obs::MetricsSnapshot CaptureMetrics();
+
 /// Machine-readable record of a bench run, so successive changes can track
 /// the performance trajectory. Collects named scalars and tables and
 /// writes them as `BENCH_<name>.json` (current directory, or $BENCH_DIR
 /// when set). Table cells that parse as numbers are emitted as JSON
 /// numbers; everything else stays a string.
+///
+/// Construction snapshots the metrics registry; Write() embeds the
+/// registry delta over the bench's lifetime as a `"metrics"` section, so
+/// every BENCH_*.json carries the unified counters (buffer hit/miss,
+/// candidate pruning, retries, ...) without hand-copied struct fields.
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), metrics_baseline_(CaptureMetrics()) {}
 
   void AddScalar(const std::string& key, double value);
   void AddTable(const std::string& key, const Table& table);
@@ -125,6 +138,7 @@ class BenchJson {
 
  private:
   std::string name_;
+  obs::MetricsSnapshot metrics_baseline_;
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, Table>> tables_;
 };

@@ -1,27 +1,110 @@
 #include "buffer/buffer_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "obs/kcpq_metrics.h"
+#include "obs/trace.h"
 
 namespace kcpq {
 
+namespace internal {
+
+/// One thread's counters for one buffer instance. Atomics because an
+/// aggregating thread (AggregateStats) reads them while the owner thread
+/// increments; all accesses are relaxed — per-counter exactness is all
+/// the consumers need, not cross-counter snapshots.
+struct BufferTlsCounters {
+  explicit BufferTlsCounters(uint64_t id) : instance_id(id) {}
+  const uint64_t instance_id;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> writebacks{0};
+
+  BufferStats Load() const {
+    BufferStats s;
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.writebacks = writebacks.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace internal
+
 namespace {
+
+using internal::BufferTlsCounters;
 
 /// Monotone instance-id source: ids are never reused, so a thread-local
 /// table keyed by id can never confuse a dead buffer with a new one that
 /// happens to land at the same address.
 std::atomic<uint64_t> next_instance_id{1};
 
-/// One thread's per-buffer stats. A flat vector with linear search beats a
-/// hash map here: a thread touches a handful of buffers, and the common
-/// case (repeat access to the same buffer) hits slot 0 of an MRU-ordered
-/// scan. Entries are tiny and never removed; a process would have to churn
-/// through millions of BufferManager instances on one thread for the table
-/// to matter.
-struct TlsEntry {
-  uint64_t instance_id = 0;
-  BufferStats stats;
+struct ThreadTable;
+
+/// Global view of every thread's per-buffer tables, so AggregateStats can
+/// sum contributions across threads — including threads that already
+/// exited, whose counts fold into `retired` from the ThreadTable dtor.
+/// Lock order: registry mu before any table mu.
+struct ThreadStatsRegistry {
+  std::mutex mu;
+  std::set<ThreadTable*> live;
+  std::unordered_map<uint64_t, BufferStats> retired;  // by instance id
+
+  static ThreadStatsRegistry& Get() {
+    // Leaked: thread_local destructors may run after static destructors.
+    static ThreadStatsRegistry* instance = new ThreadStatsRegistry();
+    return *instance;
+  }
 };
-thread_local std::vector<TlsEntry> tls_table;
+
+/// One thread's table of per-buffer counters. The entries vector is
+/// append-only and guarded by `mu` so an aggregator can walk it; the
+/// owner thread scans without the lock (only the owner mutates the
+/// vector, and it appends under the lock). Counter slots are heap
+/// allocations so their addresses survive vector growth. Entries are tiny
+/// and never removed; a process would have to churn through millions of
+/// BufferManager instances on one thread for the table to matter.
+struct ThreadTable {
+  std::mutex mu;
+  std::vector<std::unique_ptr<BufferTlsCounters>> entries;
+
+  ThreadTable() {
+    ThreadStatsRegistry& reg = ThreadStatsRegistry::Get();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live.insert(this);
+  }
+
+  ~ThreadTable() {
+    // Retire this thread's counts so aggregate views keep seeing them.
+    ThreadStatsRegistry& reg = ThreadStatsRegistry::Get();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live.erase(this);
+    for (const auto& e : entries) {
+      BufferStats& into = reg.retired[e->instance_id];
+      BufferStats s = e->Load();
+      into.hits += s.hits;
+      into.misses += s.misses;
+      into.evictions += s.evictions;
+      into.writebacks += s.writebacks;
+    }
+  }
+
+  BufferTlsCounters& For(uint64_t instance_id) {
+    for (const auto& e : entries) {
+      if (e->instance_id == instance_id) return *e;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    entries.push_back(std::make_unique<BufferTlsCounters>(instance_id));
+    return *entries.back();
+  }
+};
+
+thread_local ThreadTable tls_table;
 
 }  // namespace
 
@@ -58,33 +141,52 @@ BufferManager::~BufferManager() {
   Flush();
 }
 
-BufferStats& BufferManager::Tls() const {
-  for (size_t i = 0; i < tls_table.size(); ++i) {
-    if (tls_table[i].instance_id == instance_id_) {
-      // Move-to-front so a thread's current buffer is found in one probe.
-      if (i != 0) std::swap(tls_table[i], tls_table[0]);
-      return tls_table[0].stats;
-    }
-  }
-  tls_table.insert(tls_table.begin(), TlsEntry{instance_id_, BufferStats{}});
-  return tls_table[0].stats;
+internal::BufferTlsCounters& BufferManager::Tls() const {
+  return tls_table.For(instance_id_);
 }
 
 void BufferManager::CountHit() {
   hits_.fetch_add(1, std::memory_order_relaxed);
-  ++Tls().hits;
+  Tls().hits.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_hits_total);
 }
 
 void BufferManager::CountMiss() {
   misses_.fetch_add(1, std::memory_order_relaxed);
-  ++Tls().misses;
+  Tls().misses.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_misses_total);
 }
+
+namespace {
+
+/// Wraps a physical read in an io_wait trace span when the query asked
+/// for tracing; otherwise forwards with zero added work.
+Status TracedStorageRead(StorageManager* storage, PageId id, Page* out,
+                         QueryContext* ctx) {
+  obs::TraceBuffer* trace = ctx != nullptr ? ctx->trace() : nullptr;
+  if (trace == nullptr) return storage->ReadPage(id, out, ctx);
+  obs::TraceEvent e;
+  e.kind = obs::TraceEventKind::kIoWait;
+  e.a = id;
+  e.ts_ns = trace->NowNs();
+  Status s = storage->ReadPage(id, out, ctx);
+  uint64_t end = trace->NowNs();
+  e.dur_ns = end > e.ts_ns ? end - e.ts_ns : 1;
+  trace->Record(e);
+  // Only traced queries pay for read timing, so the histogram samples
+  // traced traffic; untraced hot paths never touch the clock.
+  KCPQ_METRIC_OBSERVE(obs::KcpqMetrics::Get().io_read_wait_seconds,
+                      static_cast<double>(e.dur_ns) * 1e-9);
+  return s;
+}
+
+}  // namespace
 
 Status BufferManager::Read(PageId id, Page* out, QueryContext* ctx) {
   if (ctx != nullptr) ctx->OnPageRead(instance_id_, id, storage_->page_size());
   if (capacity_ == 0) {
     CountMiss();
-    return storage_->ReadPage(id, out, ctx);
+    return TracedStorageRead(storage_, id, out, ctx);
   }
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -99,7 +201,7 @@ Status BufferManager::Read(PageId id, Page* out, QueryContext* ctx) {
   // page trigger exactly one storage read per residency.
   CountMiss();
   Page page;
-  KCPQ_RETURN_IF_ERROR(storage_->ReadPage(id, &page, ctx));
+  KCPQ_RETURN_IF_ERROR(TracedStorageRead(storage_, id, &page, ctx));
   KCPQ_RETURN_IF_ERROR(EvictIfFull(shard));
   shard.policy->OnInsert(id);
   *out = page;
@@ -146,10 +248,12 @@ Status BufferManager::EvictIfFull(Shard& shard) {
   const PageId victim = shard.policy->ChooseVictim();
   auto it = shard.frames.find(victim);
   evictions_.fetch_add(1, std::memory_order_relaxed);
-  ++Tls().evictions;
+  Tls().evictions.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_evictions_total);
   if (it->second.dirty) {
     writebacks_.fetch_add(1, std::memory_order_relaxed);
-    ++Tls().writebacks;
+    Tls().writebacks.fetch_add(1, std::memory_order_relaxed);
+    KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_writebacks_total);
     KCPQ_RETURN_IF_ERROR(storage_->WritePage(victim, it->second.page));
   }
   shard.frames.erase(it);
@@ -162,7 +266,8 @@ Status BufferManager::Flush() {
     for (auto& [id, frame] : shard->frames) {
       if (!frame.dirty) continue;
       writebacks_.fetch_add(1, std::memory_order_relaxed);
-      ++Tls().writebacks;
+      Tls().writebacks.fetch_add(1, std::memory_order_relaxed);
+      KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_writebacks_total);
       KCPQ_RETURN_IF_ERROR(storage_->WritePage(id, frame.page));
       frame.dirty = false;
     }
@@ -198,7 +303,28 @@ BufferStats BufferManager::stats() const {
   return s;
 }
 
-BufferStats BufferManager::ThreadStats() const { return Tls(); }
+BufferStats BufferManager::ThreadStats() const { return Tls().Load(); }
+
+BufferStats BufferManager::AggregateStats() const {
+  ThreadStatsRegistry& reg = ThreadStatsRegistry::Get();
+  std::lock_guard<std::mutex> reg_lock(reg.mu);
+  BufferStats total;
+  if (auto it = reg.retired.find(instance_id_); it != reg.retired.end()) {
+    total = it->second;
+  }
+  for (ThreadTable* table : reg.live) {
+    std::lock_guard<std::mutex> table_lock(table->mu);
+    for (const auto& e : table->entries) {
+      if (e->instance_id != instance_id_) continue;
+      BufferStats s = e->Load();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.writebacks += s.writebacks;
+    }
+  }
+  return total;
+}
 
 void BufferManager::ResetStats() {
   // Resets the global counters only. Thread-local views are monotone and

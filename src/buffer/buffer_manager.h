@@ -34,7 +34,12 @@
 // before/after delta — so every hit/miss is also recorded in a
 // thread-local table keyed by buffer instance; ThreadStats() returns the
 // calling thread's view, and the query engines compute their disk-access
-// deltas from it.
+// deltas from it. The per-thread tables register themselves in a global
+// registry and fold their counts into a retired pool when their thread
+// exits, so AggregateStats() — the sum over all threads, living and dead —
+// never undercounts a batch whose workers finished before collection.
+// Every hit/miss/eviction also feeds the process-wide metrics registry
+// (obs/kcpq_metrics.h: kcpq_buffer_*_total).
 
 #ifndef KCPQ_BUFFER_BUFFER_MANAGER_H_
 #define KCPQ_BUFFER_BUFFER_MANAGER_H_
@@ -53,6 +58,10 @@
 #include "storage/storage_manager.h"
 
 namespace kcpq {
+
+namespace internal {
+struct BufferTlsCounters;  // buffer_manager.cc
+}  // namespace internal
 
 /// Hit/miss accounting snapshot. `misses` equals the physical reads this
 /// buffer caused; `logical_reads = hits + misses`.
@@ -124,6 +133,13 @@ class BufferManager {
   /// per-query disk-access deltas when queries run concurrently. Threads
   /// that never touched this buffer see all-zero stats.
   BufferStats ThreadStats() const;
+  /// Sum of every thread's contribution to this buffer, including threads
+  /// that have already exited (their counts are retired into a global
+  /// pool on thread exit). Unlike stats(), this is unaffected by
+  /// ResetStats(), so batch-level hit ratios computed from before/after
+  /// AggregateStats() deltas are exact even when worker threads are gone
+  /// by collection time.
+  BufferStats AggregateStats() const;
   void ResetStats();
 
   StorageManager* storage() const { return storage_; }
@@ -148,7 +164,7 @@ class BufferManager {
   Status EvictIfFull(Shard& shard);
 
   /// This thread's stats slot for this buffer instance.
-  BufferStats& Tls() const;
+  internal::BufferTlsCounters& Tls() const;
 
   void CountHit();
   void CountMiss();

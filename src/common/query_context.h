@@ -41,6 +41,11 @@
 
 namespace kcpq {
 
+namespace obs {
+class TraceBuffer;     // obs/trace.h
+class PruningProfile;  // obs/explain.h
+}  // namespace obs
+
 /// Unified per-query memory meter. Two components:
 ///
 ///  * engine bytes — live candidate state (pair heaps, candidate lists,
@@ -135,9 +140,21 @@ class QueryContext {
     accountant_.ChargeBufferPage(buffer_instance, page_id, page_size);
   }
 
+  /// Optional observability sinks (obs/trace.h, obs/explain.h). Both are
+  /// borrowed, not owned: the caller that wants traces or an EXPLAIN
+  /// profile attaches them before running the query and reads them after.
+  /// Null (the default) means "don't record" — the engines check for null
+  /// before doing any per-event work, so detached queries pay nothing.
+  obs::TraceBuffer* trace() const { return trace_; }
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+  obs::PruningProfile* profile() const { return profile_; }
+  void set_profile(obs::PruningProfile* profile) { profile_ = profile; }
+
  private:
   QueryControl control_;
   ResourceAccountant accountant_;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::PruningProfile* profile_ = nullptr;
 };
 
 /// Accumulates the frontier of a stopped branch-and-bound search into the

@@ -1,13 +1,58 @@
 #include "cpq/cpq.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <queue>
 
 #include "cpq/engine.h"
+#include "obs/kcpq_metrics.h"
 
 namespace kcpq {
+
+namespace {
+
+/// Folds a finished query's stats into the process-wide metrics registry.
+/// `seconds < 0` means the caller skipped timing (metrics disabled).
+void FoldCpqMetrics(const CpqStats& s, double seconds) {
+#if KCPQ_METRICS
+  if (!obs::Enabled()) return;
+  const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
+  m.cpq_queries_total->Increment();
+  m.cpq_node_pairs_total->Add(s.node_pairs_processed);
+  m.cpq_candidates_generated_total->Add(s.candidate_pairs_generated);
+  m.cpq_candidates_pruned_total->Add(s.candidate_pairs_pruned);
+  m.cpq_distance_computations_total->Add(s.point_distance_computations);
+  m.cpq_leaf_pairs_skipped_total->Add(s.leaf_pairs_skipped);
+  m.cpq_query_node_accesses->Observe(static_cast<double>(s.node_accesses));
+  if (seconds >= 0.0) m.cpq_query_seconds->Observe(seconds);
+#else
+  (void)s;
+  (void)seconds;
+#endif
+}
+
+/// Steady-clock seconds since `start`, or -1 when timing was skipped.
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start, bool timed) {
+  if (!timed) return -1.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Metrics-enabled queries pay one clock read at entry and exit; disabled
+/// ones skip the clock entirely (bench_trace measures exactly this path).
+bool MetricsTimingOn() {
+#if KCPQ_METRICS
+  return obs::Enabled();
+#else
+  return false;
+#endif
+}
+
+}  // namespace
 
 const char* CpqAlgorithmName(CpqAlgorithm a) {
   switch (a) {
@@ -39,9 +84,15 @@ Result<std::vector<PairResult>> KClosestPairs(const RStarTree& tree_p,
                                               const RStarTree& tree_q,
                                               const CpqOptions& options,
                                               CpqStats* stats) {
-  cpq_internal::CpqEngine engine(tree_p, tree_q, options, stats);
+  const bool timed = MetricsTimingOn();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  CpqStats local;
+  CpqStats* s = stats != nullptr ? stats : &local;
+  cpq_internal::CpqEngine engine(tree_p, tree_q, options, s);
   std::vector<PairResult> out;
   KCPQ_RETURN_IF_ERROR(engine.Run(&out));
+  FoldCpqMetrics(*s, SecondsSince(start, timed));
   return out;
 }
 
@@ -193,6 +244,7 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
     s->quality.guaranteed_lower_bound = 0.0;
     s->quality.is_exact = false;
   }
+  FoldCpqMetrics(*s, -1.0);
   return out;
 }
 

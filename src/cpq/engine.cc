@@ -5,11 +5,18 @@
 #include <queue>
 
 #include "geometry/metrics.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 
 namespace kcpq {
 namespace cpq_internal {
 
 namespace {
+
+/// EXPLAIN level of a node pair: the deeper side (leaves are level 0).
+int PairLevel(int level_p, int level_q) {
+  return level_p > level_q ? level_p : level_q;
+}
 
 // m^(level+1): minimum points in a non-root subtree rooted at `level`.
 uint64_t MinPointsAtLevel(int level, uint64_t min_entries) {
@@ -66,6 +73,8 @@ CpqEngine::CpqEngine(const RStarTree& tree_p, const RStarTree& tree_q,
       bound_(std::numeric_limits<double>::infinity()),
       local_context_(options.control),
       context_(options.context != nullptr ? options.context : &local_context_),
+      profile_(context_->profile()),
+      trace_(context_->trace()),
       accounting_(options.context != nullptr ||
                   !options.control.IsUnlimited()),
       certificate_(options.k) {}
@@ -78,11 +87,17 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   const BufferStats before_p = tree_p_.buffer()->ThreadStats();
   const BufferStats before_q = tree_q_.buffer()->ThreadStats();
 
+  const int root_level = PairLevel(tree_p_.height() - 1, tree_q_.height() - 1);
+  // The root pair enters the search unconditionally: it is the one pair
+  // "considered" that no GenerateCandidates call accounts for.
+  if (profile_ != nullptr) profile_->Considered(root_level, 1);
+
   // Pre-trip check (a pre-cancelled or pre-expired query must not touch
   // the trees at all). Nothing was examined, so certify nothing: bound 0
   // at every rank.
   if (ShouldStop(0)) {
     FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+    if (profile_ != nullptr) profile_->Deferred(root_level, 1);
   } else {
     QueryContext* read_ctx = accounting_ ? context_ : nullptr;
     Rect mbr_p, mbr_q;
@@ -93,6 +108,7 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
       // with a vacuous certificate, same as a pre-expired deadline.
       stop_ = StopCause::kDeadline;
       FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+      if (profile_ != nullptr) profile_->Deferred(root_level, 1);
     } else {
       KCPQ_RETURN_IF_ERROR(root_status);
       tie_context_.root_area_p = mbr_p.Area();
@@ -145,8 +161,34 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
     }
   }
 
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kQuery;
+    e.ts_ns = 0;
+    e.dur_ns = trace_->NowNs();
+    e.value = static_cast<double>(options_.k);
+    e.a = stats_->node_pairs_processed;
+    e.b = node_accesses_;
+    trace_->Record(e);
+  }
+
   *out = std::move(results_).Extract();
   return Status::OK();
+}
+
+void CpqEngine::NoteBoundImprovement() {
+  if (bound_ >= reported_bound_) return;
+  reported_bound_ = bound_;
+  if (profile_ != nullptr) {
+    profile_->BoundUpdate(stats_->node_pairs_processed, bound_);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kBoundUpdate;
+    e.bound = bound_;
+    e.a = stats_->node_pairs_processed;
+    trace_->RecordNow(e);
+  }
 }
 
 bool CpqEngine::ShouldStop(uint64_t extra_bytes) {
@@ -175,6 +217,19 @@ Status CpqEngine::ReadPair(NodeRef* ref_p, NodeRef* ref_q, Node* node_p,
   ref_q->min_points = MinPointsOfNode(*node_q, tree_q_.min_entries());
   ref_p->max_points = MaxPointsOfNode(*node_p, tree_p_.max_entries());
   ref_q->max_points = MaxPointsOfNode(*node_q, tree_q_.max_entries());
+  if (profile_ != nullptr) {
+    profile_->Visited(PairLevel(node_p->level, node_q->level), 1);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kDescend;
+    e.level_p = static_cast<int16_t>(node_p->level);
+    e.level_q = static_cast<int16_t>(node_q->level);
+    e.bound = bound_;
+    e.a = ref_p->page;
+    e.b = ref_q->page;
+    trace_->RecordNow(e);
+  }
   return Status::OK();
 }
 
@@ -211,6 +266,9 @@ void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
     return true;
   };
 
+  const uint64_t kernel_start_ns =
+      trace_ != nullptr ? trace_->NowNs() : 0;
+
   if (options_.leaf_kernel == LeafKernel::kPlaneSweep) {
     // Pairs the sweep skips have sweep-axis separation alone >= the result
     // heap's bound, so their full distance would fail the `d2 >= Bound()`
@@ -232,6 +290,18 @@ void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
     }
   }
   bound_ = std::min(bound_, results_.Bound());
+  NoteBoundImprovement();
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kLeafKernel;
+    e.ts_ns = kernel_start_ns;
+    const uint64_t end = trace_->NowNs();
+    e.dur_ns = end > kernel_start_ns ? end - kernel_start_ns : 1;
+    e.bound = bound_;
+    e.a = node_p.entries.size();
+    e.b = node_q.entries.size();
+    trace_->Record(e);
+  }
 }
 
 void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
@@ -300,6 +370,14 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
     }
   }
   stats_->candidate_pairs_generated += out->size();
+  if (profile_ != nullptr) {
+    // All candidates of one expansion share their level: each expanded
+    // side steps down one level, a fixed side stays.
+    profile_->Considered(
+        PairLevel(expand_p ? node_p.level - 1 : node_p.level,
+                  expand_q ? node_q.level - 1 : node_q.level),
+        out->size());
+  }
 }
 
 void CpqEngine::TightenBoundFromCandidates(
@@ -343,6 +421,9 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
   if (ShouldStop(0)) {
     FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
                  SaturatingMul(ref_p.max_points, ref_q.max_points));
+    if (profile_ != nullptr) {
+      profile_->Deferred(PairLevel(ref_p.level, ref_q.level), 1);
+    }
     return Status::OK();
   }
 
@@ -356,6 +437,10 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     stop_ = StopCause::kDeadline;
     FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
                  SaturatingMul(ref_p.max_points, ref_q.max_points));
+    if (profile_ != nullptr) {
+      // ReadPair failed before recording a visit, so the pair is deferred.
+      profile_->Deferred(PairLevel(ref_p.level, ref_q.level), 1);
+    }
     return Status::OK();
   }
   KCPQ_RETURN_IF_ERROR(read_status);
@@ -369,7 +454,10 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
 
   std::vector<Candidate> candidates;
   GenerateCandidates(p, node_p, q, node_q, choice, &candidates);
-  if (TightensBound()) TightenBoundFromCandidates(candidates);
+  if (TightensBound()) {
+    TightenBoundFromCandidates(candidates);
+    NoteBoundImprovement();
+  }
   const uint64_t frame_bytes = candidates.size() * sizeof(Candidate);
   candidate_bytes_ += frame_bytes;
 
@@ -382,12 +470,27 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     // that makes the ascending-MINMINDIST order pay off).
     if (Prunes() && cand.minmin > bound_) {
       ++stats_->candidate_pairs_pruned;
+      if (profile_ != nullptr) {
+        profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level), 1);
+      }
+      if (trace_ != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kPrune;
+        e.level_p = static_cast<int16_t>(cand.p.level);
+        e.level_q = static_cast<int16_t>(cand.q.level);
+        e.value = cand.minmin;
+        e.bound = bound_;
+        trace_->RecordNow(e);
+      }
       continue;
     }
     // Once stopped (possibly by a deeper recursion), drain: the remaining
     // un-pruned candidates become frontier, not work.
     if (stop_ != StopCause::kNone) {
       FoldFrontier(cand.minmin, cand.max_pairs);
+      if (profile_ != nullptr) {
+        profile_->Deferred(PairLevel(cand.p.level, cand.q.level), 1);
+      }
       continue;
     }
     const Status s = ProcessPairRecursive(cand.p, cand.q);
@@ -426,9 +529,15 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
   const auto drain_into_certificate = [&](const Candidate& popped,
                                           auto* heap_ptr) {
     FoldFrontier(popped.minmin, popped.max_pairs);
+    if (profile_ != nullptr) {
+      profile_->Deferred(PairLevel(popped.p.level, popped.q.level), 1);
+    }
     while (!heap_ptr->empty()) {
       const Candidate& c = heap_ptr->top();
       FoldFrontier(c.minmin, c.max_pairs);
+      if (profile_ != nullptr) {
+        profile_->Deferred(PairLevel(c.p.level, c.q.level), 1);
+      }
       heap_ptr->pop();
     }
   };
@@ -439,7 +548,28 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
                                                heap.size());
     const Candidate top = heap.top();
     heap.pop();
-    if (top.minmin > bound_) break;  // nothing better can remain (CP5)
+    if (trace_ != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kHeapPop;
+      e.level_p = static_cast<int16_t>(top.p.level);
+      e.level_q = static_cast<int16_t>(top.q.level);
+      e.value = top.minmin;
+      e.bound = bound_;
+      trace_->RecordNow(e);
+    }
+    if (top.minmin > bound_) {
+      // Nothing better can remain (CP5): the popped pair and everything
+      // still queued are cut off by the best-first order.
+      if (profile_ != nullptr) {
+        profile_->PrunedOrder(PairLevel(top.p.level, top.q.level), 1);
+        while (!heap.empty()) {
+          const Candidate& c = heap.top();
+          profile_->PrunedOrder(PairLevel(c.p.level, c.q.level), 1);
+          heap.pop();
+        }
+      }
+      break;
+    }
     if (ShouldStop(heap.size() * sizeof(Candidate))) {
       drain_into_certificate(top, &heap);
       break;
@@ -464,10 +594,32 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
     }
     GenerateCandidates(p, node_p, q, node_q, choice, &candidates);
     TightenBoundFromCandidates(candidates);
+    NoteBoundImprovement();
     for (const Candidate& cand : candidates) {
       if (cand.minmin > bound_) {
         ++stats_->candidate_pairs_pruned;
+        if (profile_ != nullptr) {
+          profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level), 1);
+        }
+        if (trace_ != nullptr) {
+          obs::TraceEvent e;
+          e.kind = obs::TraceEventKind::kPrune;
+          e.level_p = static_cast<int16_t>(cand.p.level);
+          e.level_q = static_cast<int16_t>(cand.q.level);
+          e.value = cand.minmin;
+          e.bound = bound_;
+          trace_->RecordNow(e);
+        }
         continue;
+      }
+      if (trace_ != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kHeapPush;
+        e.level_p = static_cast<int16_t>(cand.p.level);
+        e.level_q = static_cast<int16_t>(cand.q.level);
+        e.value = cand.minmin;
+        e.bound = bound_;
+        trace_->RecordNow(e);
       }
       heap.push(cand);
     }

@@ -106,6 +106,10 @@ class CpqEngine {
     certificate_.Add(minmin_pow, std::max<uint64_t>(max_pairs, 1));
   }
 
+  /// Reports a strict improvement of the pruning bound T to the attached
+  /// profile / trace; no-op (one compare) when neither wants it.
+  void NoteBoundImprovement();
+
   /// True for algorithms that prune with MINMINDIST (all but kNaive).
   bool Prunes() const { return options_.algorithm != CpqAlgorithm::kNaive; }
   /// True for algorithms that tighten T beyond found pairs.
@@ -141,6 +145,12 @@ class CpqEngine {
   /// polls and resource charges go through it.
   QueryContext local_context_;
   QueryContext* context_;
+  /// Observability sinks borrowed from the context (null when the caller
+  /// attached none — the common case, which must stay zero-cost). The
+  /// profile feeds the EXPLAIN per-level pruning table; the trace records
+  /// descend/heap/prune/leaf events (obs/explain.h, obs/trace.h).
+  obs::PruningProfile* profile_;
+  obs::TraceBuffer* trace_;
   /// False only for uncontrolled queries with no external context — the
   /// zero-overhead fast path (no polls, no page charging).
   bool accounting_;
@@ -156,6 +166,8 @@ class CpqEngine {
   double frontier_min_pow_ = std::numeric_limits<double>::infinity();
   /// Per-rank refinement of the frontier bound (see FrontierCertificate).
   FrontierCertificate certificate_;
+  /// Last bound_ value reported to the profile/trace (power space).
+  double reported_bound_ = std::numeric_limits<double>::infinity();
 };
 
 /// Lower bound on points under a node that has been read.

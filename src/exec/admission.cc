@@ -5,8 +5,16 @@
 
 #include "cpq/cost_model.h"
 #include "exec/batch.h"
+#include "obs/kcpq_metrics.h"
 
 namespace kcpq {
+
+namespace {
+
+constexpr double kCorrectionFloor = 0.01;
+constexpr double kCorrectionCeil = 100.0;
+
+}  // namespace
 
 const char* AdmissionModeName(AdmissionMode mode) {
   switch (mode) {
@@ -52,8 +60,22 @@ uint64_t AdmissionController::EstimateQueryBytes(
 AdmissionDecision AdmissionController::Admit(const BatchQuery& query) {
   AdmissionDecision decision;
   decision.estimated_bytes = EstimateQueryBytes(query);
+  decision.model_bytes = decision.estimated_bytes;
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (options_.feedback_alpha > 0.0 && feedback_samples_ > 0) {
+    // Buffer-aware base: only the expected *physical* reads occupy new
+    // buffer memory; a warm buffer shrinks the footprint. The correction
+    // factor then absorbs the workload-specific residual bias.
+    const double base = std::max(
+        static_cast<double>(page_size_),
+        static_cast<double>(decision.model_bytes) * (1.0 - hit_ratio_ewma_));
+    decision.model_bytes = static_cast<uint64_t>(base);
+    const double corrected = std::min(
+        base * correction_, static_cast<double>(UINT64_MAX) / 2);
+    decision.estimated_bytes = std::max(
+        page_size_, static_cast<uint64_t>(corrected));
+  }
   std::string reason;
   if (options_.max_concurrent > 0 && in_flight_ >= options_.max_concurrent) {
     reason = "admission: " + std::to_string(in_flight_) +
@@ -73,6 +95,7 @@ AdmissionDecision AdmissionController::Admit(const BatchQuery& query) {
       ++rejected_;
       decision.admitted = false;
       decision.reason = std::move(reason);
+      KCPQ_METRIC_INC(obs::KcpqMetrics::Get().admission_rejected_total);
       return decision;
     }
     decision.reason = std::move(reason);  // advisory: noted, still admitted
@@ -80,6 +103,7 @@ AdmissionDecision AdmissionController::Admit(const BatchQuery& query) {
   ++admitted_;
   ++in_flight_;
   reserved_bytes_ += decision.estimated_bytes;
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().admission_admitted_total);
   return decision;
 }
 
@@ -88,6 +112,49 @@ void AdmissionController::Release(const AdmissionDecision& decision) {
   std::lock_guard<std::mutex> lock(mu_);
   reserved_bytes_ -= std::min(reserved_bytes_, decision.estimated_bytes);
   if (in_flight_ > 0) --in_flight_;
+}
+
+void AdmissionController::RecordOutcome(const AdmissionDecision& decision,
+                                        uint64_t measured_peak_bytes,
+                                        uint64_t logical_reads,
+                                        uint64_t physical_reads) {
+  if (options_.feedback_alpha <= 0.0 || !decision.admitted) return;
+  const double alpha = std::min(options_.feedback_alpha, 1.0);
+
+  double hit_ratio = 0.0;
+  if (logical_reads > 0) {
+    const uint64_t misses = std::min(physical_reads, logical_reads);
+    hit_ratio = 1.0 - static_cast<double>(misses) /
+                          static_cast<double>(logical_reads);
+  }
+  const double base = std::max<double>(1.0,
+                                       static_cast<double>(decision.model_bytes));
+  double ratio = static_cast<double>(measured_peak_bytes) / base;
+  ratio = std::clamp(ratio, kCorrectionFloor, kCorrectionCeil);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (feedback_samples_ == 0) {
+    // First sample seeds the EWMAs so early estimates don't drag a cold
+    // prior through dozens of queries.
+    hit_ratio_ewma_ = hit_ratio;
+    correction_ = ratio;
+  } else {
+    hit_ratio_ewma_ = alpha * hit_ratio + (1.0 - alpha) * hit_ratio_ewma_;
+    correction_ = alpha * ratio + (1.0 - alpha) * correction_;
+    correction_ = std::clamp(correction_, kCorrectionFloor, kCorrectionCeil);
+  }
+  ++feedback_samples_;
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().admission_feedback_updates_total);
+}
+
+double AdmissionController::correction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feedback_samples_ > 0 ? correction_ : 1.0;
+}
+
+double AdmissionController::observed_hit_ratio() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hit_ratio_ewma_;
 }
 
 uint64_t AdmissionController::admitted() const {

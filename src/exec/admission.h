@@ -57,15 +57,34 @@ struct AdmissionOptions {
 
   /// Average node fill factor fed to the cost model.
   double fill = 0.70;
+
+  /// Measured-outcome feedback (closes the ROADMAP "estimate feedback"
+  /// and "buffer-aware cost model" items). 0 (default) disables feedback:
+  /// estimates are the pure static model, byte-for-byte as before. In
+  /// (0, 1], each finished query's measured peak memory and buffer hit
+  /// ratio are folded into EWMAs with this smoothing weight, and later
+  /// estimates become
+  ///
+  ///   model_accesses × (1 − hit_ratio_ewma) × page_size × correction
+  ///
+  /// where `correction` is the EWMA of measured_peak / buffer-aware-base,
+  /// clamped to [0.01, 100]. Warm buffers shrink the physical-read term;
+  /// the correction factor absorbs whatever workload-specific bias
+  /// remains, so repeated queries admit tighter.
+  double feedback_alpha = 0.0;
 };
 
 /// The verdict for one query. Pass it back to Release() when an admitted
 /// query finishes so its reservation returns to the pool.
 struct AdmissionDecision {
   bool admitted = true;
-  /// The cost-model footprint the decision was based on (reserved from
-  /// the pool while the query runs).
+  /// The footprint the decision was based on (reserved from the pool
+  /// while the query runs); includes feedback corrections when enabled.
   uint64_t estimated_bytes = 0;
+  /// The uncorrected buffer-aware base estimate the feedback loop
+  /// compares measured peaks against (== estimated_bytes when feedback
+  /// is off).
+  uint64_t model_bytes = 0;
   /// Human-readable grounds when rejected (or would-rejected).
   std::string reason;
 };
@@ -89,6 +108,19 @@ class AdmissionController {
   /// Returns an admitted decision's reservation to the pool. A rejected
   /// decision is a no-op.
   void Release(const AdmissionDecision& decision);
+
+  /// Feeds one finished query's measured truth back into the estimator
+  /// (no-op unless options.feedback_alpha > 0): `measured_peak_bytes`
+  /// from the query's ResourceAccountant, plus its buffer behaviour
+  /// (`physical_reads / logical_reads` = miss ratio). Thread-safe; call
+  /// after Release, only for queries that actually ran.
+  void RecordOutcome(const AdmissionDecision& decision,
+                     uint64_t measured_peak_bytes, uint64_t logical_reads,
+                     uint64_t physical_reads);
+
+  /// Current feedback state (1.0 / 0.0 until the first RecordOutcome).
+  double correction() const;
+  double observed_hit_ratio() const;
 
   /// Cost-model footprint of one query in bytes (estimated disk accesses
   /// × page size). Falls back to one page when the model rejects its
@@ -114,6 +146,11 @@ class AdmissionController {
   uint64_t admitted_ = 0;
   uint64_t rejected_ = 0;
   uint64_t would_reject_ = 0;
+  /// EWMA of measured_peak / buffer-aware base, clamped to [0.01, 100].
+  double correction_ = 1.0;
+  /// EWMA of observed buffer hit ratios; scales expected physical reads.
+  double hit_ratio_ewma_ = 0.0;
+  uint64_t feedback_samples_ = 0;
 };
 
 }  // namespace kcpq

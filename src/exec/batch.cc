@@ -1,9 +1,11 @@
 #include "exec/batch.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 #include "exec/thread_pool.h"
+#include "obs/kcpq_metrics.h"
 
 namespace kcpq {
 
@@ -79,6 +81,47 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
   result->outcome = OutcomeOf(*result);
 }
 
+/// Per-query batch metrics: outcome counters plus latency / peak-memory
+/// distributions. One call per finished (or shed) query.
+void FoldBatchQueryMetrics(const BatchQueryResult& result, double seconds) {
+#if KCPQ_METRICS
+  if (!obs::Enabled()) return;
+  const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
+  m.batch_queries_total->Increment();
+  switch (result.outcome) {
+    case QueryOutcome::kOk:
+      m.batch_completed_total->Increment();
+      break;
+    case QueryOutcome::kPartial:
+    case QueryOutcome::kCancelled:
+      m.batch_partial_total->Increment();
+      break;
+    case QueryOutcome::kFailed:
+      m.batch_failed_total->Increment();
+      break;
+    case QueryOutcome::kRejected:
+      m.batch_rejected_total->Increment();
+      return;  // shed before running: no latency/memory sample
+  }
+  if (seconds >= 0.0) m.batch_query_seconds->Observe(seconds);
+  m.batch_query_peak_memory_bytes->Observe(
+      static_cast<double>(result.peak_memory_bytes));
+#else
+  (void)result;
+  (void)seconds;
+#endif
+}
+
+/// True when per-query wall-clock timing should run at all; compiled-out
+/// metrics (and the runtime master switch) skip the clock reads entirely.
+bool MetricsTimingOn() {
+#if KCPQ_METRICS
+  return obs::Enabled();
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 std::vector<BatchQueryResult> BatchKClosestPairs(
@@ -108,11 +151,31 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
         results[i].status =
             Status::ResourceExhausted(results[i].admission.reason);
         results[i].outcome = QueryOutcome::kRejected;
+        FoldBatchQueryMetrics(results[i], -1.0);
         return;
       }
     }
+    const bool timed = MetricsTimingOn();
+    const auto start = timed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
     RunOne(tree_p, tree_q, queries[i], options, batch_token, &results[i]);
-    if (admission != nullptr) admission->Release(results[i].admission);
+    double seconds = -1.0;
+    if (timed) {
+      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+    }
+    FoldBatchQueryMetrics(results[i], seconds);
+    if (admission != nullptr) {
+      admission->Release(results[i].admission);
+      // Close the loop: the measured peak and buffer behaviour of every
+      // query that ran refine later estimates (no-op unless
+      // feedback_alpha > 0).
+      admission->RecordOutcome(results[i].admission,
+                               results[i].peak_memory_bytes,
+                               results[i].stats.node_accesses,
+                               results[i].stats.disk_accesses());
+    }
     if (options.cancel_batch_on_first_failure && !results[i].status.ok()) {
       batch_source.Cancel();
     }

@@ -1,10 +1,12 @@
 #include "hs/hs.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "cpq/leaf_kernel.h"
 #include "geometry/metrics.h"
 #include "hs/hybrid_queue.h"
+#include "obs/kcpq_metrics.h"
 
 namespace kcpq {
 
@@ -353,10 +355,39 @@ const HsStats& IncrementalDistanceJoin::stats() const {
   return impl_->stats();
 }
 
+namespace {
+
+/// Folds a finished join's stats into the metrics registry. `seconds < 0`
+/// means timing was skipped (metrics disabled at entry).
+void FoldHsMetrics(const HsStats& s, double seconds) {
+#if KCPQ_METRICS
+  if (!obs::Enabled()) return;
+  const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
+  m.hs_queries_total->Increment();
+  m.hs_items_pushed_total->Add(s.items_pushed);
+  m.hs_items_popped_total->Add(s.items_popped);
+  m.hs_queue_spill_reads_total->Add(s.queue_spill_reads);
+  m.hs_queue_spill_writes_total->Add(s.queue_spill_writes);
+  if (seconds >= 0.0) m.hs_query_seconds->Observe(seconds);
+#else
+  (void)s;
+  (void)seconds;
+#endif
+}
+
+}  // namespace
+
 Result<std::vector<PairResult>> HsKClosestPairs(const RStarTree& tree_p,
                                                 const RStarTree& tree_q,
                                                 size_t k, HsOptions options,
                                                 HsStats* stats) {
+#if KCPQ_METRICS
+  const bool timed = obs::Enabled();
+#else
+  const bool timed = false;
+#endif
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   options.k_bound = k;
   IncrementalDistanceJoin join(tree_p, tree_q, options);
   std::vector<PairResult> out;
@@ -367,6 +398,11 @@ Result<std::vector<PairResult>> HsKClosestPairs(const RStarTree& tree_p,
     out.push_back(*next);
   }
   if (stats != nullptr) *stats = join.stats();
+  FoldHsMetrics(join.stats(),
+                timed ? std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count()
+                      : -1.0);
   return out;
 }
 

@@ -1,0 +1,119 @@
+// EXPLAIN ANALYZE support: per-level pruning bookkeeping collected during
+// a query (PruningProfile, hung off QueryContext next to the trace
+// buffer) and the renderer that turns it plus headline stats into the
+// `--explain` report.
+//
+// Accounting identity, maintained by the engines and checked in tests:
+// for every tree level,
+//
+//   considered == visited + pruned_ineq1 + pruned_order + deferred
+//
+// where `considered` counts node pairs generated as candidates at that
+// level (the root pair counts as considered at the root level),
+// `pruned_ineq1` counts pairs discarded because MINMINDIST > T (the
+// paper's Inequality 1), `pruned_order` counts pairs cut off by the
+// best-first order (heap popped/abandoned after T proved no better pair
+// exists — the paper's CP5 optimization), `visited` counts pairs actually
+// expanded (both pages read), and `deferred` counts pairs left unresolved
+// by an early stop (budget/deadline/cancel).
+
+#ifndef KCPQ_OBS_EXPLAIN_H_
+#define KCPQ_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kcpq {
+namespace obs {
+
+struct LevelPruningCounts {
+  uint64_t considered = 0;
+  uint64_t pruned_ineq1 = 0;
+  uint64_t pruned_order = 0;
+  uint64_t visited = 0;
+  uint64_t deferred = 0;
+};
+
+/// One sample of the anytime bound T tightening over the query's life.
+struct BoundSample {
+  uint64_t node_pairs = 0;  // node pairs expanded when the bound moved
+  double bound = 0.0;       // new (smaller) T
+};
+
+/// Collected by an engine while it runs; level index is the node-pair
+/// level max(level_p, level_q), so leaves are level 0.
+class PruningProfile {
+ public:
+  void Considered(int level, uint64_t n) { At(level).considered += n; }
+  void PrunedIneq1(int level, uint64_t n) { At(level).pruned_ineq1 += n; }
+  void PrunedOrder(int level, uint64_t n) { At(level).pruned_order += n; }
+  void Visited(int level, uint64_t n) { At(level).visited += n; }
+  void Deferred(int level, uint64_t n) { At(level).deferred += n; }
+
+  /// Records a bound improvement; keeps at most kMaxBoundSamples by
+  /// decimating every other sample once full (endpoints survive).
+  void BoundUpdate(uint64_t node_pairs, double bound);
+
+  const std::vector<LevelPruningCounts>& levels() const { return levels_; }
+  const std::vector<BoundSample>& bound_samples() const {
+    return bound_samples_;
+  }
+  LevelPruningCounts Totals() const;
+
+  static constexpr size_t kMaxBoundSamples = 64;
+
+ private:
+  LevelPruningCounts& At(int level);
+
+  std::vector<LevelPruningCounts> levels_;  // index = level, 0 = leaves
+  std::vector<BoundSample> bound_samples_;
+};
+
+/// Everything the report renderer needs, as plain fields so obs does not
+/// depend on the engine/exec headers. Callers (the CLI) flatten their
+/// stats structs into this.
+struct ExplainInputs {
+  std::string algorithm;    // e.g. "heap"
+  std::string leaf_kernel;  // e.g. "plane-sweep"
+  uint64_t k = 0;
+  uint64_t results_returned = 0;
+  double result_max_distance = -1.0;  // kth distance; <0 -> n/a
+
+  // Headline engine totals (CpqStats).
+  uint64_t node_pairs_processed = 0;
+  uint64_t candidate_pairs_generated = 0;
+  uint64_t candidate_pairs_pruned = 0;
+  uint64_t point_distance_computations = 0;
+  uint64_t leaf_pairs_skipped = 0;
+  uint64_t max_heap_size = 0;
+  uint64_t node_accesses = 0;
+  uint64_t disk_accesses = 0;
+
+  // Buffer behaviour during this query.
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+
+  // Memory: admission estimate vs. measured peak.
+  uint64_t admission_estimate_bytes = 0;  // 0 -> not estimated
+  uint64_t measured_peak_bytes = 0;
+  double admission_correction = 0.0;      // 0 -> feedback off
+
+  // Quality (partial results).
+  bool complete = true;
+  std::string stop_cause;     // empty when complete
+  double quality_bound = -1.0;  // scalar anytime bound; <0 -> n/a
+
+  // Wall time; <0 renders "n/a" (golden tests pass -1 for determinism).
+  double seconds = -1.0;
+};
+
+/// The human-readable `--explain` report (fixed-width tables, stable
+/// formatting — golden-file tested).
+std::string RenderExplainReport(const ExplainInputs& inputs,
+                                const PruningProfile& profile);
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_EXPLAIN_H_

@@ -1,0 +1,85 @@
+#include "obs/kcpq_metrics.h"
+
+namespace kcpq {
+namespace obs {
+
+namespace {
+
+KcpqMetrics Register() {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  // Latency buckets: 1µs .. ~8.6s in powers of 4 (12 bounds + inf).
+  const std::vector<double> kLatency = ExponentialBounds(1e-6, 4.0, 12);
+  // Byte buckets: 4KiB .. 4GiB in powers of 4 (10 bounds + inf).
+  const std::vector<double> kBytes = ExponentialBounds(4096.0, 4.0, 10);
+  // Node-access buckets: 1 .. ~262k in powers of 4 (10 bounds + inf).
+  const std::vector<double> kAccesses = ExponentialBounds(1.0, 4.0, 10);
+
+  KcpqMetrics m;
+  m.storage_reads_total = r.GetCounter("kcpq_storage_reads_total");
+  m.storage_writes_total = r.GetCounter("kcpq_storage_writes_total");
+  m.storage_retries_total = r.GetCounter("kcpq_storage_retries_total");
+  m.storage_retries_recovered_total =
+      r.GetCounter("kcpq_storage_retries_recovered_total");
+  m.storage_retries_exhausted_total =
+      r.GetCounter("kcpq_storage_retries_exhausted_total");
+  m.storage_retry_deadline_abandoned_total =
+      r.GetCounter("kcpq_storage_retry_deadline_abandoned_total");
+  m.io_read_wait_seconds =
+      r.GetHistogram("kcpq_io_read_wait_seconds", kLatency);
+
+  m.buffer_hits_total = r.GetCounter("kcpq_buffer_hits_total");
+  m.buffer_misses_total = r.GetCounter("kcpq_buffer_misses_total");
+  m.buffer_evictions_total = r.GetCounter("kcpq_buffer_evictions_total");
+  m.buffer_writebacks_total = r.GetCounter("kcpq_buffer_writebacks_total");
+
+  m.cpq_queries_total = r.GetCounter("kcpq_cpq_queries_total");
+  m.cpq_node_pairs_total = r.GetCounter("kcpq_cpq_node_pairs_total");
+  m.cpq_candidates_generated_total =
+      r.GetCounter("kcpq_cpq_candidates_generated_total");
+  m.cpq_candidates_pruned_total =
+      r.GetCounter("kcpq_cpq_candidates_pruned_total");
+  m.cpq_distance_computations_total =
+      r.GetCounter("kcpq_cpq_distance_computations_total");
+  m.cpq_leaf_pairs_skipped_total =
+      r.GetCounter("kcpq_cpq_leaf_pairs_skipped_total");
+  m.cpq_query_seconds = r.GetHistogram("kcpq_cpq_query_seconds", kLatency);
+  m.cpq_query_node_accesses =
+      r.GetHistogram("kcpq_cpq_query_node_accesses", kAccesses);
+
+  m.hs_queries_total = r.GetCounter("kcpq_hs_queries_total");
+  m.hs_items_pushed_total = r.GetCounter("kcpq_hs_items_pushed_total");
+  m.hs_items_popped_total = r.GetCounter("kcpq_hs_items_popped_total");
+  m.hs_queue_spill_reads_total =
+      r.GetCounter("kcpq_hs_queue_spill_reads_total");
+  m.hs_queue_spill_writes_total =
+      r.GetCounter("kcpq_hs_queue_spill_writes_total");
+  m.hs_query_seconds = r.GetHistogram("kcpq_hs_query_seconds", kLatency);
+
+  m.batch_queries_total = r.GetCounter("kcpq_batch_queries_total");
+  m.batch_completed_total = r.GetCounter("kcpq_batch_completed_total");
+  m.batch_partial_total = r.GetCounter("kcpq_batch_partial_total");
+  m.batch_failed_total = r.GetCounter("kcpq_batch_failed_total");
+  m.batch_rejected_total = r.GetCounter("kcpq_batch_rejected_total");
+  m.batch_query_seconds =
+      r.GetHistogram("kcpq_batch_query_seconds", kLatency);
+  m.batch_query_peak_memory_bytes =
+      r.GetHistogram("kcpq_batch_query_peak_memory_bytes", kBytes);
+
+  m.admission_admitted_total =
+      r.GetCounter("kcpq_admission_admitted_total");
+  m.admission_rejected_total =
+      r.GetCounter("kcpq_admission_rejected_total");
+  m.admission_feedback_updates_total =
+      r.GetCounter("kcpq_admission_feedback_updates_total");
+  return m;
+}
+
+}  // namespace
+
+const KcpqMetrics& KcpqMetrics::Get() {
+  static const KcpqMetrics* instance = new KcpqMetrics(Register());
+  return *instance;
+}
+
+}  // namespace obs
+}  // namespace kcpq

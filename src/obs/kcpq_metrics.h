@@ -1,0 +1,79 @@
+// The catalogue of process-wide kcpq metrics: every instrument the
+// library emits, registered once and exposed as stable handles so hot
+// paths pay only the relaxed-atomic increment (no name lookup, no lock).
+//
+// Naming follows Prometheus conventions: `kcpq_<module>_<what>_total` for
+// counters, `_seconds` / `_bytes` suffixes carrying units on histograms
+// and gauges. docs/observability.md is the human-readable version of this
+// table; keep the two in sync.
+//
+// Modules fold their own stats structs into these counters (e.g. cpq.cc
+// folds a finished query's CpqStats) rather than obs depending on the
+// module headers — the obs library sits below storage/buffer/engines in
+// the dependency graph and must only depend on kcpq_common.
+
+#ifndef KCPQ_OBS_KCPQ_METRICS_H_
+#define KCPQ_OBS_KCPQ_METRICS_H_
+
+#include "obs/metrics.h"
+#include "obs/metrics_registry.h"
+
+namespace kcpq {
+namespace obs {
+
+struct KcpqMetrics {
+  // -- storage ----------------------------------------------------------
+  Counter* storage_reads_total;
+  Counter* storage_writes_total;
+  Counter* storage_retries_total;          // transient-fault retry attempts
+  Counter* storage_retries_recovered_total;
+  Counter* storage_retries_exhausted_total;
+  Counter* storage_retry_deadline_abandoned_total;
+  Histogram* io_read_wait_seconds;         // per-page physical read latency
+
+  // -- buffer -----------------------------------------------------------
+  Counter* buffer_hits_total;
+  Counter* buffer_misses_total;
+  Counter* buffer_evictions_total;
+  Counter* buffer_writebacks_total;
+
+  // -- cpq engines ------------------------------------------------------
+  Counter* cpq_queries_total;
+  Counter* cpq_node_pairs_total;           // node pairs expanded (ReadPair)
+  Counter* cpq_candidates_generated_total;
+  Counter* cpq_candidates_pruned_total;    // Inequality 1 prunes
+  Counter* cpq_distance_computations_total;
+  Counter* cpq_leaf_pairs_skipped_total;   // plane-sweep early exits
+  Histogram* cpq_query_seconds;
+  Histogram* cpq_query_node_accesses;
+
+  // -- hs (incremental distance semi-join / heap engines) ---------------
+  Counter* hs_queries_total;
+  Counter* hs_items_pushed_total;
+  Counter* hs_items_popped_total;
+  Counter* hs_queue_spill_reads_total;
+  Counter* hs_queue_spill_writes_total;
+  Histogram* hs_query_seconds;
+
+  // -- batch executor ---------------------------------------------------
+  Counter* batch_queries_total;
+  Counter* batch_completed_total;
+  Counter* batch_partial_total;
+  Counter* batch_failed_total;
+  Counter* batch_rejected_total;
+  Histogram* batch_query_seconds;
+  Histogram* batch_query_peak_memory_bytes;
+
+  // -- admission --------------------------------------------------------
+  Counter* admission_admitted_total;
+  Counter* admission_rejected_total;
+  Counter* admission_feedback_updates_total;
+
+  /// The singleton handle bundle; instruments are registered on first use.
+  static const KcpqMetrics& Get();
+};
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_KCPQ_METRICS_H_

@@ -1,0 +1,28 @@
+#include "obs/metrics.h"
+
+namespace kcpq {
+namespace obs {
+
+// Defined in exactly one TU so the answer reflects how the library was
+// built, regardless of what a including TU defines KCPQ_METRICS to.
+bool MetricsCompiledIn() {
+#if KCPQ_METRICS
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = start;
+  for (size_t i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace obs
+}  // namespace kcpq

@@ -1,0 +1,261 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace kcpq {
+namespace obs {
+
+namespace {
+
+// Shortest round-trip double formatting; integral values print without a
+// trailing ".0" so counter-like sums stay readable.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = std::strtod(buf, nullptr);
+  if (back == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+uint64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
+                                       const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  out.counters.reserve(after.counters.size());
+  for (const auto& [name, v] : after.counters) {
+    uint64_t prior = before.CounterValue(name);
+    out.counters.emplace_back(name, v >= prior ? v - prior : 0);
+  }
+  out.gauges = after.gauges;
+  for (const auto& h : after.histograms) {
+    HistogramValue d = h;
+    if (const HistogramValue* prior = before.FindHistogram(h.name);
+        prior != nullptr && prior->bucket_counts.size() ==
+                                d.bucket_counts.size()) {
+      for (size_t i = 0; i < d.bucket_counts.size(); ++i) {
+        uint64_t p = prior->bucket_counts[i];
+        d.bucket_counts[i] = d.bucket_counts[i] >= p
+                                 ? d.bucket_counts[i] - p
+                                 : 0;
+      }
+      d.count = d.count >= prior->count ? d.count - prior->count : 0;
+      d.sum -= prior->sum;
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << JsonEscape(counters[i].first) << "\":"
+       << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << JsonEscape(gauges[i].first) << "\":" << gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    if (i) os << ",";
+    os << "\"" << JsonEscape(h.name) << "\":{\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) os << ",";
+      os << FormatDouble(h.bounds[b]);
+    }
+    os << "],\"buckets\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b) os << ",";
+      os << h.bucket_counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << FormatDouble(h.sum)
+       << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+  }
+  for (const auto& h : histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      std::string le =
+          b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "+Inf";
+      os << h.name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    os << h.name << "_sum " << FormatDouble(h.sum) << "\n";
+    os << h.name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    std::fprintf(stderr, "metrics: %s re-registered as a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    std::fprintf(stderr, "metrics: %s re-registered as a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    it = entries_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::kHistogram) {
+    std::fprintf(stderr, "metrics: %s re-registered as a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(name, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(name, entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramValue h;
+        h.name = name;
+        h.bounds = entry.histogram->bounds();
+        h.bucket_counts = entry.histogram->bucket_counts();
+        h.count = entry.histogram->count();
+        h.sum = entry.histogram->sum();
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->Reset(); break;
+      case Kind::kGauge: entry.gauge->Reset(); break;
+      case Kind::kHistogram: entry.histogram->Reset(); break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace kcpq

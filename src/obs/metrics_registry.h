@@ -1,0 +1,99 @@
+// MetricsRegistry: the process-wide name -> instrument table behind the
+// snapshot/export API.
+//
+// Registration returns stable pointers (instruments are heap-allocated and
+// never destroyed before process exit), so hot paths hold raw pointers and
+// never touch the registry lock. Snapshot() walks the table under the lock
+// but only performs relaxed loads on each instrument, so it can run
+// concurrently with active queries; `Delta(before, after)` turns two
+// snapshots into the counters attributable to the work in between, which
+// is how benches and the CLI report per-run metrics from process-global
+// counters.
+
+#ifndef KCPQ_OBS_METRICS_REGISTRY_H_
+#define KCPQ_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kcpq {
+namespace obs {
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;          // finite upper bounds
+    std::vector<uint64_t> bucket_counts; // bounds.size()+1, last = +inf
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a named counter, 0 if absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Value of a named gauge, 0 if absent.
+  uint64_t GaugeValue(const std::string& name) const;
+  const HistogramValue* FindHistogram(const std::string& name) const;
+
+  /// Counter-wise `after - before` (gauges keep `after`'s value,
+  /// histogram bucket counts subtract). Names only in `after` survive.
+  static MetricsSnapshot Delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — stable key
+  /// order (sorted), suitable for golden files.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format, version 0.0.4. Histograms emit
+  /// cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
+  std::string ToPrometheusText() const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Idempotent by name: re-registering returns the existing instrument.
+  /// Returned pointers are valid for the registry's lifetime. A name must
+  /// keep one kind; requesting the same name as a different kind aborts
+  /// (programming error, names are compile-time constants).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (instruments stay registered and pointers
+  /// stay valid). Test-only: racy against concurrent increments.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_METRICS_REGISTRY_H_

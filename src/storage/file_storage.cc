@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/kcpq_metrics.h"
+
 namespace kcpq {
 
 namespace {
@@ -128,6 +130,7 @@ Status FileStorageManager::DoReadPage(PageId id, Page* page,
                                       const QueryContext* /*ctx*/) {
   if (id >= page_count_) return Status::OutOfRange("read of unknown page");
   CountRead();
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_reads_total);
   page->Resize(page_size());
   return ReadRaw(PageOffset(id), page->data(), page->size());
 }
@@ -138,6 +141,7 @@ Status FileStorageManager::WritePage(PageId id, const Page& page) {
     return Status::InvalidArgument("page size mismatch on write");
   }
   CountWrite();
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_writes_total);
   return WriteRaw(PageOffset(id), page.data(), page.size());
 }
 

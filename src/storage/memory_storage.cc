@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/kcpq_metrics.h"
+
 namespace kcpq {
 
 MemoryStorageManager::MemoryStorageManager(size_t page_size)
@@ -34,6 +36,7 @@ Status MemoryStorageManager::DoReadPage(PageId id, Page* page,
                                         const QueryContext* /*ctx*/) {
   KCPQ_RETURN_IF_ERROR(CheckId(id));
   CountRead();
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_reads_total);
   *page = pages_[id];
   return Status::OK();
 }
@@ -44,6 +47,7 @@ Status MemoryStorageManager::WritePage(PageId id, const Page& page) {
     return Status::InvalidArgument("page size mismatch on write");
   }
   CountWrite();
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_writes_total);
   pages_[id] = page;
   return Status::OK();
 }

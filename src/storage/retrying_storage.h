@@ -34,6 +34,8 @@
 
 #include "common/query_context.h"
 #include "common/random.h"
+#include "obs/kcpq_metrics.h"
+#include "obs/trace.h"
 #include "storage/storage_manager.h"
 
 namespace kcpq {
@@ -128,6 +130,7 @@ class RetryingStorageManager final : public StorageManager {
     Status s = op();
     if (s.ok() || !s.IsTransient()) return s;
     const bool deadline_bound = ctx != nullptr && ctx->has_deadline();
+    obs::TraceBuffer* trace = ctx != nullptr ? ctx->trace() : nullptr;
     for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
       const auto sleep = SleepDuration(salt, attempt);
       if (deadline_bound) {
@@ -137,6 +140,14 @@ class RetryingStorageManager final : public StorageManager {
         const auto now = QueryControl::Clock::now();
         if (now >= ctx->deadline() || now + sleep >= ctx->deadline()) {
           deadline_abandoned_.fetch_add(1, std::memory_order_relaxed);
+          KCPQ_METRIC_INC(obs::KcpqMetrics::Get()
+                              .storage_retry_deadline_abandoned_total);
+          if (trace != nullptr) {
+            obs::TraceEvent e;
+            e.kind = obs::TraceEventKind::kRetryAbandoned;
+            e.a = static_cast<uint64_t>(attempt);
+            trace->RecordNow(e);
+          }
           return Status::DeadlineExceeded(
               "transient-fault retry abandoned: deadline cannot cover the "
               "backoff");
@@ -144,13 +155,29 @@ class RetryingStorageManager final : public StorageManager {
       }
       if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
       retries_.fetch_add(1, std::memory_order_relaxed);
+      KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_retries_total);
+      if (trace != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kRetry;
+        e.a = static_cast<uint64_t>(attempt) + 1;
+        e.dur_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(sleep)
+                .count());
+        e.ts_ns = trace->NowNs() >= e.dur_ns ? trace->NowNs() - e.dur_ns : 0;
+        trace->Record(e);
+      }
       s = op();
       if (!s.IsTransient()) {
-        if (s.ok()) recovered_.fetch_add(1, std::memory_order_relaxed);
+        if (s.ok()) {
+          recovered_.fetch_add(1, std::memory_order_relaxed);
+          KCPQ_METRIC_INC(
+              obs::KcpqMetrics::Get().storage_retries_recovered_total);
+        }
         return s;
       }
     }
     exhausted_.fetch_add(1, std::memory_order_relaxed);
+    KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_retries_exhausted_total);
     return s;
   }
 

@@ -283,5 +283,134 @@ TEST(AdmissionTest, MixedBatchShedsOnlyOverBudgetQueries) {
   }
 }
 
+// feedback_alpha = 0 (the default) keeps the estimator purely static:
+// RecordOutcome is a no-op and estimates never move.
+TEST(AdmissionFeedbackTest, DisabledByDefault) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kAdvisory;
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+  const AdmissionDecision first = controller.Admit(query);
+  controller.RecordOutcome(first, /*measured_peak_bytes=*/1,
+                           /*logical_reads=*/100, /*physical_reads=*/10);
+  controller.Release(first);
+  EXPECT_DOUBLE_EQ(controller.correction(), 1.0);
+  EXPECT_EQ(controller.Admit(query).estimated_bytes, first.estimated_bytes);
+}
+
+// With feedback on, a measured peak far below the model pulls the
+// correction under 1 and later estimates shrink toward the truth.
+TEST(AdmissionFeedbackTest, OverestimateShrinksLaterEstimates) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kAdvisory;
+  options.feedback_alpha = 0.5;
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+
+  const AdmissionDecision first = controller.Admit(query);
+  EXPECT_EQ(first.model_bytes, first.estimated_bytes);  // no samples yet
+  controller.Release(first);
+  // Query actually peaked at a tenth of the model, all reads physical.
+  controller.RecordOutcome(first, first.model_bytes / 10,
+                           /*logical_reads=*/100, /*physical_reads=*/100);
+  // First sample seeds the EWMA; tolerance covers model_bytes/10 rounding.
+  EXPECT_NEAR(controller.correction(), 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(controller.observed_hit_ratio(), 0.0);
+
+  const AdmissionDecision second = controller.Admit(query);
+  EXPECT_LT(second.estimated_bytes, first.estimated_bytes);
+  EXPECT_GE(second.estimated_bytes, 4096u);  // one-page floor
+  controller.Release(second);
+}
+
+// A warm buffer (high observed hit ratio) shrinks the buffer-aware base:
+// only expected *physical* reads occupy new memory.
+TEST(AdmissionFeedbackTest, BufferHitsShrinkTheBase) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kAdvisory;
+  options.feedback_alpha = 1.0;  // adopt each sample wholesale
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+
+  const AdmissionDecision cold = controller.Admit(query);
+  controller.Release(cold);
+  // Peak matched the model exactly, but 90% of reads were buffer hits.
+  controller.RecordOutcome(cold, cold.model_bytes, /*logical_reads=*/1000,
+                           /*physical_reads=*/100);
+  EXPECT_NEAR(controller.observed_hit_ratio(), 0.9, 1e-9);
+
+  const AdmissionDecision warm = controller.Admit(query);
+  // Base shrinks to ~10% of the static model before correction applies.
+  EXPECT_NEAR(static_cast<double>(warm.model_bytes),
+              static_cast<double>(cold.model_bytes) * 0.1,
+              static_cast<double>(cold.model_bytes) * 0.01);
+  controller.Release(warm);
+}
+
+// The correction EWMA is clamped so one absurd sample cannot blow up or
+// zero out every later estimate.
+TEST(AdmissionFeedbackTest, CorrectionIsClamped) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kAdvisory;
+  options.feedback_alpha = 1.0;
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+
+  const AdmissionDecision d = controller.Admit(query);
+  controller.Release(d);
+  controller.RecordOutcome(d, d.model_bytes * 100000,
+                           /*logical_reads=*/10, /*physical_reads=*/10);
+  EXPECT_DOUBLE_EQ(controller.correction(), 100.0);
+
+  const AdmissionDecision d2 = controller.Admit(query);
+  controller.Release(d2);
+  controller.RecordOutcome(d2, /*measured_peak_bytes=*/0,
+                           /*logical_reads=*/10, /*physical_reads=*/10);
+  EXPECT_DOUBLE_EQ(controller.correction(), 0.01);
+}
+
+// RecordOutcome ignores rejected decisions: a shed query ran nothing and
+// must not teach the estimator anything.
+TEST(AdmissionFeedbackTest, RejectedOutcomesAreIgnored) {
+  AdmissionOptions options;
+  options.mode = AdmissionMode::kEnforce;
+  options.feedback_alpha = 1.0;
+  options.max_concurrent = 1;
+  AdmissionController controller(options, 50000, 50000, 50, 4096);
+  BatchQuery query;
+  query.options.k = 16;
+  const AdmissionDecision held = controller.Admit(query);
+  const AdmissionDecision shed = controller.Admit(query);
+  ASSERT_FALSE(shed.admitted);
+  controller.RecordOutcome(shed, 1, 1, 1);
+  EXPECT_DOUBLE_EQ(controller.correction(), 1.0);
+  controller.Release(held);
+}
+
+// End-to-end through the batch path: feedback updates accumulate across a
+// batch and the controller's estimates react.
+TEST(AdmissionFeedbackTest, BatchRunFeedsTheEstimator) {
+  TreeFixture fp;
+  TreeFixture fq;
+  KCPQ_ASSERT_OK(fp.Build(MakeUniformItems(600, 21, UnitWorkspace())));
+  KCPQ_ASSERT_OK(fq.Build(MakeUniformItems(600, 22, UnitWorkspace())));
+
+  BatchOptions options;
+  options.threads = 1;
+  options.admission.mode = AdmissionMode::kAdvisory;
+  options.admission.feedback_alpha = 0.5;
+  BatchStats stats;
+  const std::vector<BatchQueryResult> results =
+      BatchKClosestPairs(fp.tree(), fq.tree(), MakeBatch(8, 4), options,
+                         &stats);
+  ASSERT_EQ(results.size(), 8u);
+  for (const BatchQueryResult& r : results) KCPQ_ASSERT_OK(r.status);
+  EXPECT_EQ(stats.ok, 8u);
+}
+
 }  // namespace
 }  // namespace kcpq

@@ -277,5 +277,98 @@ TEST_F(CliTest, CustomPageSizeBuild) {
   EXPECT_NE(out.find("M=85"), std::string::npos);  // 4 KiB pages
 }
 
+// Reads a whole file into a string; empty string doubles as "missing".
+std::string Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+TEST_F(CliTest, KcpExplainReport) {
+  BuildBoth("600");
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "10", "--algorithm=heap", "--explain"},
+             &out));
+  EXPECT_NE(out.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(out.find("Per-level pruning"), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+  EXPECT_NE(out.find("Bound progression"), std::string::npos);
+}
+
+TEST_F(CliTest, KcpTraceOutWritesChromeJson) {
+  BuildBoth("500");
+  const std::string trace_path = db_p_ + ".trace.json";
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "5", "--trace-out=" + trace_path}, &out));
+  EXPECT_NE(out.find("# trace:"), std::string::npos);
+  const std::string trace = Slurp(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace[0], '{');
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"query\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, KcpStatsJsonWritesRegistryDelta) {
+  BuildBoth("500");
+  const std::string stats_path = db_p_ + ".stats.json";
+  std::string out;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "5", "--stats-json=" + stats_path}, &out));
+  const std::string stats = Slurp(stats_path);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0], '{');
+  EXPECT_NE(stats.find("kcpq_cpq_queries_total"), std::string::npos);
+  std::remove(stats_path.c_str());
+}
+
+TEST_F(CliTest, DiagnosticsFlagValidation) {
+  BuildBoth("100");
+  std::string out;
+  // --explain is single-query-only: incompatible with worker threads.
+  Status status =
+      RunCli({"kcp", db_p_, db_q_, "1", "--explain", "--threads=2"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Path-valued flags require a value.
+  status = RunCli({"kcp", db_p_, db_q_, "1", "--trace-out"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  status = RunCli({"kcp", db_p_, db_q_, "1", "--stats-json"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, AdmissionFeedbackFlagValidation) {
+  BuildBoth("100");
+  std::string out;
+  // Out of range: alpha must lie in [0, 1].
+  Status status = RunCli({"kcp", db_p_, db_q_, "1", "--admission=advisory",
+                          "--admission-feedback=2"},
+                         &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Feedback without an admission mode has nothing to update.
+  status = RunCli({"kcp", db_p_, db_q_, "1", "--admission-feedback=0.5"}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliTest, AdmissionFeedbackBatchRuns) {
+  BuildBoth("400");
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "4", "--admission=advisory",
+                         "--admission-feedback=0.5", "--repeat=2"},
+                        &out));
+  EXPECT_NE(out.find("outcomes:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace kcpq

@@ -1,0 +1,65 @@
+// Verifies the KCPQ_METRICS=0 compile-out contract at the call-site
+// level: with the macro forced off in this translation unit (legal — the
+// primitive classes are defined identically regardless, only the
+// call-site macros change shape), every KCPQ_METRIC_* site must expand to
+// a no-op that does not even evaluate its operands.
+
+#define KCPQ_METRICS 0
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/metrics_registry.h"
+
+namespace kcpq {
+namespace obs {
+namespace {
+
+int g_operand_evaluations = 0;
+
+// Referenced only from macro operands, which KCPQ_METRICS=0 erases.
+[[maybe_unused]] Counter* CountingOperand() {
+  ++g_operand_evaluations;
+  return MetricsRegistry::Global().GetCounter("compileout_test_counter");
+}
+
+TEST(CompileOutTest, MacrosAreNoOps) {
+  Counter* c = MetricsRegistry::Global().GetCounter("compileout_test_counter");
+  const uint64_t before = c->value();
+  KCPQ_METRIC_INC(c);
+  KCPQ_METRIC_ADD(c, 100);
+  EXPECT_EQ(c->value(), before);
+
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("compileout_test_hist", {1.0});
+  KCPQ_METRIC_OBSERVE(h, 0.5);
+  EXPECT_EQ(h->count(), 0u);
+
+  Gauge* g = MetricsRegistry::Global().GetGauge("compileout_test_gauge");
+  KCPQ_METRIC_SET_MAX(g, 42);
+  EXPECT_EQ(g->value(), 0u);
+}
+
+TEST(CompileOutTest, OperandsNotEvaluated) {
+  g_operand_evaluations = 0;
+  KCPQ_METRIC_INC(CountingOperand());
+  KCPQ_METRIC_ADD(CountingOperand(), 7);
+  EXPECT_EQ(g_operand_evaluations, 0);
+}
+
+TEST(CompileOutTest, LibraryCompileSettingIsIndependent) {
+  // MetricsCompiledIn() reports how the kcpq_obs *library* was built; the
+  // per-TU override above must not change that answer (it is resolved in
+  // metrics.cc, not here).
+  const bool lib_setting = MetricsCompiledIn();
+  // Whichever way the library was built, the direct API still works even
+  // in a KCPQ_METRICS=0 TU — only the macros vanish.
+  Counter* c =
+      MetricsRegistry::Global().GetCounter("compileout_test_direct");
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+  (void)lib_setting;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kcpq

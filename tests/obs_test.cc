@@ -1,0 +1,262 @@
+// Observability layer tests: metric primitives, the registry's
+// snapshot/delta/export API, the runtime master switch, concurrent
+// snapshot consistency (exercised under TSan in CI), and the per-query
+// trace ring buffer with its Chrome trace_event export.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/kcpq_metrics.h"
+#include "obs/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace kcpq {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10u);
+  g.SetMax(5);  // lower: no effect
+  EXPECT_EQ(g.value(), 10u);
+  g.SetMax(99);
+  EXPECT_EQ(g.value(), 99u);
+  g.Set(3);  // Set always wins
+  EXPECT_EQ(g.value(), 3u);
+}
+
+TEST(HistogramTest, BucketsCountAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // <= 1 (inclusive upper bound)
+  h.Observe(7.0);    // <= 10
+  h.Observe(100.0);  // <= 100
+  h.Observe(1e6);    // +inf
+  const std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<double> bounds = ExponentialBounds(1.0, 4.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+}
+
+TEST(RegistryTest, IdempotentByName) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* a = r.GetCounter("obs_test_idempotent");
+  Counter* b = r.GetCounter("obs_test_idempotent");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = r.GetHistogram("obs_test_idempotent_hist", {1.0, 2.0});
+  Histogram* h2 = r.GetHistogram("obs_test_idempotent_hist", {9.0});
+  EXPECT_EQ(h1, h2);  // first registration's bounds win
+  EXPECT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotAndDelta) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* c = r.GetCounter("obs_test_delta_counter");
+  Gauge* g = r.GetGauge("obs_test_delta_gauge");
+  Histogram* h = r.GetHistogram("obs_test_delta_hist", {1.0, 10.0});
+
+  c->Add(5);
+  g->Set(7);
+  h->Observe(0.5);
+  const MetricsSnapshot before = r.Snapshot();
+
+  c->Add(3);
+  g->Set(11);
+  h->Observe(5.0);
+  h->Observe(5.0);
+  const MetricsSnapshot after = r.Snapshot();
+
+  EXPECT_EQ(before.CounterValue("obs_test_delta_counter"), 5u);
+  EXPECT_EQ(after.CounterValue("obs_test_delta_counter"), 8u);
+
+  const MetricsSnapshot delta = MetricsSnapshot::Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("obs_test_delta_counter"), 3u);
+  EXPECT_EQ(delta.GaugeValue("obs_test_delta_gauge"), 11u);  // gauges: after
+  const MetricsSnapshot::HistogramValue* hv =
+      delta.FindHistogram("obs_test_delta_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, 2u);
+  ASSERT_EQ(hv->bucket_counts.size(), 3u);
+  EXPECT_EQ(hv->bucket_counts[0], 0u);
+  EXPECT_EQ(hv->bucket_counts[1], 2u);
+}
+
+TEST(RegistryTest, JsonAndPrometheusExport) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("obs_test_export_counter")->Add(4);
+  r.GetHistogram("obs_test_export_hist", {1.0})->Observe(0.5);
+  const MetricsSnapshot snap = r.Snapshot();
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_export_counter\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_export_hist\""), std::string::npos);
+
+  const std::string prom = snap.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE obs_test_export_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_export_counter 4"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE obs_test_export_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_export_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_export_hist_count 1"), std::string::npos);
+}
+
+TEST(RegistryTest, RuntimeDisableFreezesMacros) {
+  Counter* c =
+      MetricsRegistry::Global().GetCounter("obs_test_runtime_disable");
+  ASSERT_TRUE(Enabled());
+  KCPQ_METRIC_INC(c);
+  const uint64_t with_on = c->value();
+  SetEnabled(false);
+  KCPQ_METRIC_INC(c);
+  KCPQ_METRIC_ADD(c, 100);
+  SetEnabled(true);
+  if (MetricsCompiledIn()) {
+    EXPECT_EQ(c->value(), with_on);
+    EXPECT_GE(with_on, 1u);
+  }
+}
+
+TEST(RegistryTest, KcpqMetricsHandlesRegistered) {
+  // The unified handle set registers every instrument up front; spot-check
+  // that the names land in snapshots.
+  KcpqMetrics::Get();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "kcpq_cpq_queries_total") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(snap.FindHistogram("kcpq_cpq_query_seconds"), nullptr);
+}
+
+// Snapshots race increments by design (relaxed loads); the invariant that
+// must survive is per-counter monotonicity across successive snapshots,
+// and exactness once writers join. CI runs this under TSan.
+TEST(RegistryTest, ConcurrentSnapshotConsistency) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* c = r.GetCounter("obs_test_concurrent_counter");
+  Histogram* h = r.GetHistogram("obs_test_concurrent_hist", {0.5});
+  const uint64_t c_start = c->value();
+  const uint64_t h_start = h->count();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(i % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = r.Snapshot();
+      const uint64_t now = snap.CounterValue("obs_test_concurrent_counter");
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(c->value() - c_start,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count() - h_start,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceBufferTest, RecordsAndUnwrapsRing) {
+  TraceBuffer buffer(/*capacity=*/4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kHeapPush;
+    e.a = i;
+    buffer.RecordNow(e);
+  }
+  EXPECT_EQ(buffer.total_recorded(), 6u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (a = 0, 1) were overwritten; order is oldest -> newest.
+  EXPECT_EQ(events.front().a, 2u);
+  EXPECT_EQ(events.back().a, 5u);
+}
+
+TEST(TraceBufferTest, ChromeTraceJsonShape) {
+  TraceBuffer buffer;
+  TraceEvent instant;
+  instant.kind = TraceEventKind::kPrune;
+  instant.value = 0.25;
+  buffer.RecordNow(instant);
+  TraceEvent span;
+  span.kind = TraceEventKind::kLeafKernel;
+  span.dur_ns = 1500;
+  buffer.RecordNow(span);
+
+  const std::string json = ChromeTraceJson(buffer);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"prune\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"leaf_kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+}
+
+TEST(TraceBufferTest, WriteChromeTraceRoundtrips) {
+  TraceBuffer buffer;
+  TraceEvent e;
+  e.kind = TraceEventKind::kQuery;
+  e.dur_ns = 1000;
+  buffer.Record(e);
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(buffer, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char head[16] = {};
+  const size_t n = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(head[0], '{');
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace kcpq

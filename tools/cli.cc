@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "buffer/buffer_manager.h"
+#include "common/query_context.h"
 #include "common/timer.h"
 #include "cpq/cpq.h"
 #include "cpq/distance_join.h"
@@ -12,6 +13,9 @@
 #include "cpq/planner.h"
 #include "datagen/datagen.h"
 #include "exec/batch.h"
+#include "obs/explain.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "rtree/rtree.h"
 #include "storage/file_storage.h"
 #include "storage/retrying_storage.h"
@@ -109,6 +113,83 @@ Status ParseAdmissionFlags(const Flags& flags, AdmissionOptions* admission) {
       it != flags.named.end()) {
     KCPQ_RETURN_IF_ERROR(
         ParseCount(it->second, &admission->memory_pool_bytes));
+  }
+  if (const auto it = flags.named.find("admission-feedback");
+      it != flags.named.end()) {
+    double alpha;
+    KCPQ_RETURN_IF_ERROR(ParseNumber(it->second, &alpha));
+    if (alpha < 0.0 || alpha > 1.0) {
+      return Status::InvalidArgument(
+          "--admission-feedback must be in [0, 1]");
+    }
+    admission->feedback_alpha = alpha;
+  }
+  if (admission->feedback_alpha > 0.0 &&
+      admission->mode == AdmissionMode::kOff) {
+    return Status::InvalidArgument(
+        "--admission-feedback requires --admission=advisory|enforce");
+  }
+  return Status::OK();
+}
+
+// Diagnostics flags shared by the query commands: --explain renders the
+// EXPLAIN ANALYZE report, --trace-out dumps per-query spans as Chrome
+// trace JSON, --stats-json writes the run's metrics-registry delta.
+struct DiagnosticsFlags {
+  bool explain = false;
+  std::string trace_path;  // empty = no trace
+  std::string stats_json_path;  // empty = no export
+};
+
+// Parses (and validates up front, like --admission) the diagnostics
+// flags. --explain and --trace-out attach single-query instrumentation,
+// so they reject the batch paths where many queries would fight over one
+// profile/trace buffer.
+Status ParseDiagnosticsFlags(const Flags& flags, uint64_t threads,
+                             uint64_t repeat, AdmissionMode admission_mode,
+                             DiagnosticsFlags* diag) {
+  diag->explain = flags.named.count("explain") > 0;
+  if (const auto it = flags.named.find("trace-out");
+      it != flags.named.end()) {
+    if (it->second.empty() || it->second == "true") {
+      return Status::InvalidArgument("--trace-out needs a path: "
+                                     "--trace-out=trace.json");
+    }
+    diag->trace_path = it->second;
+  }
+  if (const auto it = flags.named.find("stats-json");
+      it != flags.named.end()) {
+    if (it->second.empty() || it->second == "true") {
+      return Status::InvalidArgument("--stats-json needs a path: "
+                                     "--stats-json=stats.json");
+    }
+    diag->stats_json_path = it->second;
+  }
+  if (diag->explain || !diag->trace_path.empty()) {
+    const char* flag = diag->explain ? "--explain" : "--trace-out";
+    if (threads > 1 || repeat > 1) {
+      return Status::InvalidArgument(
+          std::string(flag) + " instruments a single query; drop "
+          "--threads/--repeat");
+    }
+    if (admission_mode != AdmissionMode::kOff) {
+      return Status::InvalidArgument(
+          std::string(flag) +
+          " runs outside the batch path; drop --admission");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IoError("short write to " + path);
   }
   return Status::OK();
 }
@@ -334,7 +415,9 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "[--buffer=N] [--fix-at-leaves] [--self] [--kernel=nested|sweep] "
         "[--threads=N] [--repeat=N] [--deadline-ms=N] "
         "[--max-node-accesses=N] [--io-retries=N] [--fail-fast] "
-        "[--admission=off|advisory|enforce] [--memory-pool-bytes=N]");
+        "[--admission=off|advisory|enforce] [--memory-pool-bytes=N] "
+        "[--admission-feedback=ALPHA] [--explain] [--trace-out=PATH] "
+        "[--stats-json=PATH]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -370,6 +453,21 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   // of one), which is where the controller lives.
   AdmissionOptions admission;
   KCPQ_RETURN_IF_ERROR(ParseAdmissionFlags(flags, &admission));
+
+  DiagnosticsFlags diag;
+  KCPQ_RETURN_IF_ERROR(
+      ParseDiagnosticsFlags(flags, threads, repeat, admission.mode, &diag));
+  obs::MetricsSnapshot metrics_before;
+  if (!diag.stats_json_path.empty()) {
+    metrics_before = obs::MetricsRegistry::Global().Snapshot();
+  }
+  // Deferred so both the batch and single-query paths export on success.
+  const auto write_stats_json = [&]() -> Status {
+    if (diag.stats_json_path.empty()) return Status::OK();
+    const obs::MetricsSnapshot delta = obs::MetricsSnapshot::Delta(
+        metrics_before, obs::MetricsRegistry::Global().Snapshot());
+    return WriteTextFile(diag.stats_json_path, delta.ToJson() + "\n");
+  };
 
   if (threads > 1 || repeat > 1 || admission.mode != AdmissionMode::kOff) {
     // Batch mode: the same query `repeat` times across `threads` workers —
@@ -422,18 +520,95 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                    static_cast<unsigned long long>(
                        batch_stats.admission_would_reject));
     }
-    return Status::OK();
+    return write_stats_json();
   }
 
   KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &options.control));
+
+  // Single-query instrumentation: a context owning the pruning profile
+  // (--explain) and/or the trace ring (--trace-out), plus the buffer
+  // counters of this thread before the query so the report can show the
+  // query's own hits/misses.
+  QueryContext ctx(options.control);
+  obs::PruningProfile profile;
+  obs::TraceBuffer trace;
+  if (diag.explain || !diag.trace_path.empty()) {
+    if (diag.explain) ctx.set_profile(&profile);
+    if (!diag.trace_path.empty()) ctx.set_trace(&trace);
+    options.context = &ctx;
+  }
+  const BufferStats buffer_before_p = p.buffer->ThreadStats();
+  const BufferStats buffer_before_q = q.buffer->ThreadStats();
+
   CpqStats stats;
   Timer timer;
   KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
                         KClosestPairs(*p.tree, *q.tree, options, &stats));
+  const double seconds = timer.ElapsedSeconds();
   PrintPairs(out, pairs);
   PrintQuality(out, stats.quality);
-  PrintQueryStats(out, stats, timer.ElapsedSeconds());
-  return Status::OK();
+  PrintQueryStats(out, stats, seconds);
+
+  if (diag.explain) {
+    const BufferStats after_p = p.buffer->ThreadStats();
+    const BufferStats after_q = q.buffer->ThreadStats();
+
+    // The cost model's view of this query, for the estimate-vs-measured
+    // line (an advisory controller is just the estimator).
+    AdmissionOptions estimate_options;
+    estimate_options.mode = AdmissionMode::kAdvisory;
+    AdmissionController estimator(
+        estimate_options, p.tree->size(), q.tree->size(),
+        p.tree->max_entries(), p.tree->buffer()->storage()->page_size());
+    BatchQuery query;
+    query.kind = options.self_join ? BatchQueryKind::kSelfClosestPairs
+                                   : BatchQueryKind::kClosestPairs;
+    query.options = options;
+
+    obs::ExplainInputs inputs;
+    inputs.algorithm = CpqAlgorithmName(options.algorithm);
+    inputs.leaf_kernel = options.leaf_kernel == LeafKernel::kPlaneSweep
+                             ? "plane-sweep"
+                             : "nested-loop";
+    inputs.k = options.k;
+    inputs.results_returned = pairs.size();
+    inputs.result_max_distance =
+        pairs.empty() ? -1.0 : pairs.back().distance;
+    inputs.node_pairs_processed = stats.node_pairs_processed;
+    inputs.candidate_pairs_generated = stats.candidate_pairs_generated;
+    inputs.candidate_pairs_pruned = stats.candidate_pairs_pruned;
+    inputs.point_distance_computations = stats.point_distance_computations;
+    inputs.leaf_pairs_skipped = stats.leaf_pairs_skipped;
+    inputs.max_heap_size = stats.max_heap_size;
+    inputs.node_accesses = stats.node_accesses;
+    inputs.disk_accesses = stats.disk_accesses();
+    inputs.buffer_hits =
+        (after_p.hits - buffer_before_p.hits) +
+        (after_q.hits - buffer_before_q.hits);
+    inputs.buffer_misses =
+        (after_p.misses - buffer_before_p.misses) +
+        (after_q.misses - buffer_before_q.misses);
+    inputs.admission_estimate_bytes = estimator.EstimateQueryBytes(query);
+    inputs.measured_peak_bytes = ctx.accountant().peak_total_bytes();
+    inputs.complete = !stats.quality.is_partial();
+    if (!inputs.complete) {
+      inputs.stop_cause = StopCauseName(stats.quality.stop_cause);
+      inputs.quality_bound = stats.quality.guaranteed_lower_bound;
+    }
+    inputs.seconds = seconds;
+    std::fputs(RenderExplainReport(inputs, profile).c_str(), out);
+  }
+
+  if (!diag.trace_path.empty()) {
+    if (!obs::WriteChromeTrace(trace, diag.trace_path)) {
+      return Status::IoError("cannot write trace to " + diag.trace_path);
+    }
+    std::fprintf(out, "# trace: %llu events (%llu dropped) -> %s\n",
+                 static_cast<unsigned long long>(trace.total_recorded()),
+                 static_cast<unsigned long long>(trace.dropped()),
+                 diag.trace_path.c_str());
+  }
+  return write_stats_json();
 }
 
 Status CmdJoin(const Flags& flags, std::FILE* out) {
@@ -649,7 +824,8 @@ void PrintUsage(std::FILE* out) {
       "       [--kernel=nested|sweep] [--threads=N] [--repeat=N]\n"
       "       [--deadline-ms=N] [--max-node-accesses=N] [--io-retries=N]\n"
       "       [--fail-fast] [--admission=off|advisory|enforce]\n"
-      "       [--memory-pool-bytes=N]\n"
+      "       [--memory-pool-bytes=N] [--admission-feedback=ALPHA]\n"
+      "       [--explain] [--trace-out=PATH] [--stats-json=PATH]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
       "       [--max-node-accesses=N] [--io-retries=N]\n"
