@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <utility>
 
 #include "obs/kcpq_metrics.h"
 #include "obs/trace.h"
@@ -22,6 +23,9 @@ struct BufferTlsCounters {
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> writebacks{0};
+  std::atomic<uint64_t> prefetch_issued{0};
+  std::atomic<uint64_t> prefetch_hits{0};
+  std::atomic<uint64_t> prefetch_wasted{0};
 
   BufferStats Load() const {
     BufferStats s;
@@ -29,6 +33,9 @@ struct BufferTlsCounters {
     s.misses = misses.load(std::memory_order_relaxed);
     s.evictions = evictions.load(std::memory_order_relaxed);
     s.writebacks = writebacks.load(std::memory_order_relaxed);
+    s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+    s.prefetch_hits = prefetch_hits.load(std::memory_order_relaxed);
+    s.prefetch_wasted = prefetch_wasted.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -43,6 +50,16 @@ using internal::BufferTlsCounters;
 /// table keyed by id can never confuse a dead buffer with a new one that
 /// happens to land at the same address.
 std::atomic<uint64_t> next_instance_id{1};
+
+void FoldInto(BufferStats& into, const BufferStats& s) {
+  into.hits += s.hits;
+  into.misses += s.misses;
+  into.evictions += s.evictions;
+  into.writebacks += s.writebacks;
+  into.prefetch_issued += s.prefetch_issued;
+  into.prefetch_hits += s.prefetch_hits;
+  into.prefetch_wasted += s.prefetch_wasted;
+}
 
 struct ThreadTable;
 
@@ -85,12 +102,7 @@ struct ThreadTable {
     std::lock_guard<std::mutex> lock(reg.mu);
     reg.live.erase(this);
     for (const auto& e : entries) {
-      BufferStats& into = reg.retired[e->instance_id];
-      BufferStats s = e->Load();
-      into.hits += s.hits;
-      into.misses += s.misses;
-      into.evictions += s.evictions;
-      into.writebacks += s.writebacks;
+      FoldInto(reg.retired[e->instance_id], e->Load());
     }
   }
 
@@ -137,6 +149,9 @@ BufferManager::BufferManager(
 }
 
 BufferManager::~BufferManager() {
+  // Settle speculation first: completion callbacks capture `this`, so the
+  // buffer must not die while reads are in flight.
+  if (prefetch_active_.load(std::memory_order_relaxed)) DrainPrefetches();
   // Best effort; callers that care about durability call Flush themselves.
   Flush();
 }
@@ -155,6 +170,24 @@ void BufferManager::CountMiss() {
   misses_.fetch_add(1, std::memory_order_relaxed);
   Tls().misses.fetch_add(1, std::memory_order_relaxed);
   KCPQ_METRIC_INC(obs::KcpqMetrics::Get().buffer_misses_total);
+}
+
+void BufferManager::CountPrefetchIssued() {
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  Tls().prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().prefetch_issued_total);
+}
+
+void BufferManager::CountPrefetchHit() {
+  prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+  Tls().prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().prefetch_hits_total);
+}
+
+void BufferManager::CountPrefetchWasted() {
+  prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+  Tls().prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
+  KCPQ_METRIC_INC(obs::KcpqMetrics::Get().prefetch_wasted_total);
 }
 
 namespace {
@@ -184,8 +217,15 @@ Status TracedStorageRead(StorageManager* storage, PageId id, Page* out,
 
 Status BufferManager::Read(PageId id, Page* out, QueryContext* ctx) {
   if (ctx != nullptr) ctx->OnPageRead(instance_id_, id, storage_->page_size());
+  // A miss always counts as a disk access (the paper's metric) whether the
+  // page then arrives via a claimed prefetch or a synchronous read — the
+  // speculative read replaced exactly that physical access.
   if (capacity_ == 0) {
     CountMiss();
+    if (prefetch_active_.load(std::memory_order_relaxed) &&
+        ClaimPrefetched(id, out, ctx)) {
+      return Status::OK();
+    }
     return TracedStorageRead(storage_, id, out, ctx);
   }
   Shard& shard = ShardFor(id);
@@ -201,7 +241,10 @@ Status BufferManager::Read(PageId id, Page* out, QueryContext* ctx) {
   // page trigger exactly one storage read per residency.
   CountMiss();
   Page page;
-  KCPQ_RETURN_IF_ERROR(TracedStorageRead(storage_, id, &page, ctx));
+  if (!(prefetch_active_.load(std::memory_order_relaxed) &&
+        ClaimPrefetched(id, &page, ctx))) {
+    KCPQ_RETURN_IF_ERROR(TracedStorageRead(storage_, id, &page, ctx));
+  }
   KCPQ_RETURN_IF_ERROR(EvictIfFull(shard));
   shard.policy->OnInsert(id);
   *out = page;
@@ -228,6 +271,149 @@ Status BufferManager::Write(PageId id, const Page& page) {
   return Status::OK();
 }
 
+size_t BufferManager::Prefetch(const PageId* ids, size_t count,
+                               QueryContext* ctx) {
+  if (count == 0) return 0;
+  prefetch_active_.store(true, std::memory_order_relaxed);
+  std::vector<PageId> accepted;
+  accepted.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PageId id = ids[i];
+    if (capacity_ > 0) {
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      // Already resident: a speculative read would be pure waste. (The
+      // page may still be evicted before the demand read arrives; that
+      // just costs the synchronous read it would have cost anyway.)
+      if (shard.frames.count(id) > 0) continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(prefetch_.mu);
+      if (prefetch_.entries.size() >= prefetch_.capacity) break;
+      // Duplicate of a staged or in-flight read: coalesce.
+      if (!prefetch_.entries.emplace(id, PrefetchEntry{}).second) continue;
+      ++prefetch_.inflight;
+      const auto inflight = static_cast<uint64_t>(prefetch_.inflight);
+      if (inflight > prefetch_inflight_peak_.load(std::memory_order_relaxed)) {
+        prefetch_inflight_peak_.store(inflight, std::memory_order_relaxed);
+      }
+      KCPQ_METRIC_SET_MAX(obs::KcpqMetrics::Get().prefetch_inflight_peak,
+                          inflight);
+    }
+    // Charge speculation to the query at issue time, on the query's own
+    // thread (contexts are single-threaded; completions run on I/O
+    // threads). The charge dedups with any later demand read of the page.
+    if (ctx != nullptr) {
+      ctx->OnPageRead(instance_id_, id, storage_->page_size());
+    }
+    CountPrefetchIssued();
+    accepted.push_back(id);
+  }
+  if (!accepted.empty()) {
+    storage_->ReadPagesAsync(
+        accepted.data(), accepted.size(),
+        [this](AsyncPageRead done) { OnPrefetchComplete(std::move(done)); });
+  }
+  return accepted.size();
+}
+
+void BufferManager::OnPrefetchComplete(AsyncPageRead done) {
+  bool wasted = false;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_.mu);
+    auto it = prefetch_.entries.find(done.id);
+    if (it == prefetch_.entries.end()) return;  // unreachable by protocol
+    if (it->second.abandoned || !done.status.ok()) {
+      // Unwanted or failed speculation: discard. A demand read of a
+      // failed page retries synchronously through the full decorator
+      // stack, so faults surface exactly as they do without prefetch.
+      prefetch_.entries.erase(it);
+      wasted = true;
+    } else {
+      it->second.ready = true;
+      it->second.page = std::move(done.page);
+    }
+  }
+  if (wasted) CountPrefetchWasted();
+  // Last touch, and deliberately under the lock: a drain (possibly the
+  // destructor) woken by this decrement may free the buffer the moment it
+  // observes inflight == 0, so nothing may run on this thread afterwards
+  // except releasing the mutex.
+  {
+    std::lock_guard<std::mutex> lock(prefetch_.mu);
+    --prefetch_.inflight;
+    prefetch_.cv.notify_all();
+  }
+}
+
+bool BufferManager::ClaimPrefetched(PageId id, Page* out, QueryContext* ctx) {
+  obs::TraceBuffer* trace = ctx != nullptr ? ctx->trace() : nullptr;
+  const uint64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
+  {
+    std::unique_lock<std::mutex> lock(prefetch_.mu);
+    auto it = prefetch_.entries.find(id);
+    if (it == prefetch_.entries.end()) return false;
+    if (!it->second.ready) {
+      // In flight: wait for the completion. The caller may hold its shard
+      // lock; completions only ever take prefetch mu, so this cannot
+      // deadlock — and the wait is never longer than the synchronous read
+      // it replaces.
+      prefetch_.cv.wait(lock, [&] {
+        auto i = prefetch_.entries.find(id);
+        return i == prefetch_.entries.end() || i->second.ready;
+      });
+      it = prefetch_.entries.find(id);
+      if (it == prefetch_.entries.end()) return false;  // speculation failed
+    }
+    *out = std::move(it->second.page);
+    prefetch_.entries.erase(it);
+  }
+  CountPrefetchHit();
+  if (trace != nullptr) {
+    // The io_overlap span is the residual wait a demand read paid for an
+    // overlapped page — the counterpart of the io_wait span a synchronous
+    // read records.
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kIoOverlap;
+    e.a = id;
+    e.ts_ns = start_ns;
+    const uint64_t end_ns = trace->NowNs();
+    e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 1;
+    trace->Record(e);
+  }
+  return true;
+}
+
+void BufferManager::DrainPrefetches() {
+  size_t dropped = 0;
+  {
+    std::unique_lock<std::mutex> lock(prefetch_.mu);
+    prefetch_.cv.wait(lock, [&] { return prefetch_.inflight == 0; });
+    dropped = prefetch_.entries.size();
+    prefetch_.entries.clear();
+  }
+  for (size_t i = 0; i < dropped; ++i) CountPrefetchWasted();
+}
+
+void BufferManager::set_prefetch_capacity(size_t pages) {
+  std::lock_guard<std::mutex> lock(prefetch_.mu);
+  prefetch_.capacity = pages;
+}
+
+size_t BufferManager::prefetch_inflight() const {
+  std::lock_guard<std::mutex> lock(prefetch_.mu);
+  return prefetch_.inflight;
+}
+
+size_t BufferManager::prefetch_staged() const {
+  std::lock_guard<std::mutex> lock(prefetch_.mu);
+  return prefetch_.entries.size() - prefetch_.inflight;
+}
+
+uint64_t BufferManager::prefetch_inflight_peak() const {
+  return prefetch_inflight_peak_.load(std::memory_order_relaxed);
+}
+
 Result<PageId> BufferManager::Allocate() { return storage_->Allocate(); }
 
 Status BufferManager::Free(PageId id) {
@@ -239,6 +425,24 @@ Status BufferManager::Free(PageId id) {
       shard.policy->OnErase(id);
       shard.frames.erase(it);
     }
+  }
+  if (prefetch_active_.load(std::memory_order_relaxed)) {
+    // A freed page's speculative read must never be claimed: drop a staged
+    // copy, abandon an in-flight one (its completion becomes waste).
+    bool wasted = false;
+    {
+      std::lock_guard<std::mutex> lock(prefetch_.mu);
+      auto it = prefetch_.entries.find(id);
+      if (it != prefetch_.entries.end()) {
+        if (it->second.ready) {
+          prefetch_.entries.erase(it);
+          wasted = true;
+        } else {
+          it->second.abandoned = true;
+        }
+      }
+    }
+    if (wasted) CountPrefetchWasted();
   }
   return storage_->Free(id);
 }
@@ -282,6 +486,25 @@ Status BufferManager::FlushAndClear() {
     for (const auto& [id, frame] : shard->frames) shard->policy->OnErase(id);
     shard->frames.clear();
   }
+  if (prefetch_active_.load(std::memory_order_relaxed)) {
+    // Cold cache means cold speculation too: drop staged pages, abandon
+    // in-flight ones (without waiting — their completions become waste).
+    size_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(prefetch_.mu);
+      for (auto it = prefetch_.entries.begin();
+           it != prefetch_.entries.end();) {
+        if (it->second.ready) {
+          it = prefetch_.entries.erase(it);
+          ++dropped;
+        } else {
+          it->second.abandoned = true;
+          ++it;
+        }
+      }
+    }
+    for (size_t i = 0; i < dropped; ++i) CountPrefetchWasted();
+  }
   return Status::OK();
 }
 
@@ -300,6 +523,9 @@ BufferStats BufferManager::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.prefetch_wasted = prefetch_wasted_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -316,11 +542,7 @@ BufferStats BufferManager::AggregateStats() const {
     std::lock_guard<std::mutex> table_lock(table->mu);
     for (const auto& e : table->entries) {
       if (e->instance_id != instance_id_) continue;
-      BufferStats s = e->Load();
-      total.hits += s.hits;
-      total.misses += s.misses;
-      total.evictions += s.evictions;
-      total.writebacks += s.writebacks;
+      FoldInto(total, e->Load());
     }
   }
   return total;
@@ -334,6 +556,10 @@ void BufferManager::ResetStats() {
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
   writebacks_.store(0, std::memory_order_relaxed);
+  prefetch_issued_.store(0, std::memory_order_relaxed);
+  prefetch_hits_.store(0, std::memory_order_relaxed);
+  prefetch_wasted_.store(0, std::memory_order_relaxed);
+  prefetch_inflight_peak_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace kcpq

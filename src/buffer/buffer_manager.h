@@ -28,6 +28,21 @@
 // single-threaded buffer byte for byte — same policy decisions, same
 // eviction order.
 //
+// Speculative prefetch (docs/io.md): Prefetch() stages pages read through
+// the storage manager's async path (ReadPagesAsync) in a side table — the
+// prefetch area — that is deliberately *not* the frame table. A demand
+// miss first consults the area: a staged page is claimed (moved into the
+// frame table through the normal eviction path), an in-flight one is
+// awaited, anything else falls back to the synchronous read. Because the
+// frame table and replacement policy only ever see the demand-driven
+// access history, hits/misses/evictions — the paper's cost metric — are
+// bit-identical with prefetch on or off; speculation can only convert
+// wait time into overlap. Duplicate prefetches of a page coalesce on the
+// area; a bounded capacity caps staged+in-flight pages. Failed
+// speculative reads are discarded (counted wasted) and the demand read
+// retries through the full decorator stack, so faults behave exactly as
+// they do without prefetch.
+//
 // Statistics: the global counters (stats()) are atomics, exact under any
 // concurrency. Per-query cost accounting needs per-*thread* counts — two
 // queries sharing the buffer would otherwise see each other's misses in a
@@ -45,6 +60,7 @@
 #define KCPQ_BUFFER_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -63,13 +79,20 @@ namespace internal {
 struct BufferTlsCounters;  // buffer_manager.cc
 }  // namespace internal
 
-/// Hit/miss accounting snapshot. `misses` equals the physical reads this
-/// buffer caused; `logical_reads = hits + misses`.
+/// Hit/miss accounting snapshot. `misses` equals the *demand* physical
+/// reads this buffer caused — the paper's disk-access metric, unchanged by
+/// speculation; `logical_reads = hits + misses`. The prefetch counters
+/// account the speculative side channel separately and obey the identity
+/// `prefetch_issued == prefetch_hits + prefetch_wasted + pending`, where
+/// pending (in-flight + staged-unclaimed) is zero after DrainPrefetches.
 struct BufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
 
   uint64_t logical_reads() const { return hits + misses; }
   void Reset() { *this = BufferStats{}; }
@@ -105,6 +128,34 @@ class BufferManager {
   /// independent of thread count and buffer state — and forwarded to the
   /// storage stack on a miss (deadline-aware retries).
   Status Read(PageId id, Page* out, QueryContext* ctx = nullptr);
+
+  /// Speculatively reads `count` pages through the storage manager's async
+  /// path into the prefetch area. Pages already resident, already staged,
+  /// or beyond the area's capacity are skipped (duplicates coalesce);
+  /// returns how many reads were actually issued. When `ctx` is given,
+  /// each issued page is charged to the query's ResourceAccountant at
+  /// issue time (speculation is not free under governance; the charge
+  /// dedups with a later demand read of the same page). Never blocks on
+  /// I/O and never fails: a failed speculative read is absorbed as waste.
+  size_t Prefetch(const PageId* ids, size_t count, QueryContext* ctx = nullptr);
+
+  /// Settles all speculation: waits for in-flight prefetch reads to
+  /// complete, then discards staged-but-unclaimed pages (counting them
+  /// wasted). Afterwards `prefetch_issued == prefetch_hits +
+  /// prefetch_wasted` exactly. Called by the destructor; call it before
+  /// reading final stats.
+  void DrainPrefetches();
+
+  /// Caps staged + in-flight prefetched pages (default 128). Issue
+  /// requests beyond the cap are dropped, not queued.
+  void set_prefetch_capacity(size_t pages);
+
+  /// In-flight speculative reads (issued, not yet completed).
+  size_t prefetch_inflight() const;
+  /// Completed speculative reads staged but not yet claimed or discarded.
+  size_t prefetch_staged() const;
+  /// High-water mark of prefetch_inflight over the buffer's lifetime.
+  uint64_t prefetch_inflight_peak() const;
 
   /// Writes `page` to `id` (cached, write-back). Pass-through writes
   /// directly when capacity is 0.
@@ -157,11 +208,47 @@ class BufferManager {
     size_t capacity = 0;
   };
 
+  /// One speculative read's life in the prefetch area: in-flight
+  /// (!ready), then either staged (ready, awaiting a claim) or gone
+  /// (claimed / wasted / failed). `abandoned` marks an in-flight entry
+  /// whose result is unwanted (Free / FlushAndClear); its completion is
+  /// discarded as waste.
+  struct PrefetchEntry {
+    bool ready = false;
+    bool abandoned = false;
+    Page page;
+  };
+
+  /// Staging table for speculative reads, separate from the frame table so
+  /// the replacement policy never observes speculation. Lock order: a
+  /// shard mutex may be held when taking `mu`; never the reverse.
+  /// Completion callbacks take only `mu`, so a claimer may wait on `cv`
+  /// while holding its shard lock without deadlock.
+  struct PrefetchArea {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<PageId, PrefetchEntry> entries;
+    size_t inflight = 0;
+    size_t capacity = 128;
+  };
+
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
 
   /// Ensures space in `shard` for one more frame, evicting (with
   /// write-back) if full. Caller holds shard.mu.
   Status EvictIfFull(Shard& shard);
+
+  /// Demand-miss hook: claims `id` from the prefetch area (waiting out an
+  /// in-flight read) into `*out`. False when the page is not there or its
+  /// speculative read failed — caller falls back to the synchronous path.
+  bool ClaimPrefetched(PageId id, Page* out, QueryContext* ctx);
+
+  /// Async-read completion (runs on I/O threads; takes only prefetch mu).
+  void OnPrefetchComplete(AsyncPageRead done);
+
+  void CountPrefetchIssued();
+  void CountPrefetchHit();
+  void CountPrefetchWasted();
 
   /// This thread's stats slot for this buffer instance.
   internal::BufferTlsCounters& Tls() const;
@@ -182,6 +269,17 @@ class BufferManager {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
+
+  PrefetchArea prefetch_;
+  /// Set once by the first Prefetch call; the demand-read hot path checks
+  /// it (one relaxed load) before touching the area, so a prefetch-free
+  /// run never takes the area lock and stays bit-identical in behavior
+  /// *and* cost to a build without this feature.
+  std::atomic<bool> prefetch_active_{false};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
+  std::atomic<uint64_t> prefetch_inflight_peak_{0};
 };
 
 }  // namespace kcpq

@@ -131,6 +131,16 @@ struct CpqOptions {
   /// algorithm and metric (tests/parallel_test.cc locks this in).
   LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
 
+  /// Speculative prefetch window W: at each expansion the engine issues
+  /// asynchronous reads for the pages of the W best not-yet-read node
+  /// pairs of its frontier (the kHeap priority queue; the sorted child
+  /// list for the recursive algorithms). 0 disables speculation — the
+  /// default, and results, disk-access counts, and traversal order are
+  /// bit-identical for every W (prefetched pages are staged outside the
+  /// buffer's frame table; docs/io.md). Speculation only changes
+  /// wall-clock, and is charged to the query's ResourceAccountant.
+  size_t prefetch_window = 0;
+
   /// Lifecycle limits (deadline / budgets / cancellation). Default is
   /// unlimited. When a limit trips mid-query the engine returns OK with a
   /// *partial* result and describes it in CpqStats::quality; it never
@@ -176,6 +186,12 @@ struct CpqStats {
   /// QueryControl::max_node_accesses limits. Unlike disk accesses it is
   /// independent of buffer state, so budget stops are deterministic.
   uint64_t node_accesses = 0;
+  /// Speculative reads issued / claimed by this query's thread (both trees
+  /// combined; zero with prefetch_window = 0). Wasted speculation is a
+  /// buffer-level quantity — completions land on I/O threads — and is
+  /// reported by BufferManager::stats() as issued - hits after a drain.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
 
   /// Result quality certificate: trivial (exact) for completed queries,
   /// the anytime bound for partial ones. See QueryQuality.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "geometry/metrics.h"
 #include "obs/explain.h"
@@ -86,6 +85,9 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
 
   const BufferStats before_p = tree_p_.buffer()->ThreadStats();
   const BufferStats before_q = tree_q_.buffer()->ThreadStats();
+  prefetch_.Configure(tree_p_.buffer(), tree_q_.buffer(),
+                      options_.prefetch_window,
+                      accounting_ ? context_ : nullptr);
 
   const int root_level = PairLevel(tree_p_.height() - 1, tree_q_.height() - 1);
   // The root pair enters the search unconditionally: it is the one pair
@@ -130,11 +132,32 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
     }
   }
 
-  stats_->disk_accesses_p =
-      tree_p_.buffer()->ThreadStats().misses - before_p.misses;
-  stats_->disk_accesses_q =
-      tree_q_.buffer()->ThreadStats().misses - before_q.misses;
+  if (prefetch_.enabled()) {
+    // Settle speculation before reading the deltas: waits out in-flight
+    // reads and discards staged-but-unclaimed pages as waste, so the
+    // accounting identity holds at query end. (Concurrent queries sharing
+    // a buffer may drain each other's staged pages — results are
+    // unaffected, the victims just fall back to synchronous reads.)
+    tree_p_.buffer()->DrainPrefetches();
+    if (tree_q_.buffer() != tree_p_.buffer()) {
+      tree_q_.buffer()->DrainPrefetches();
+    }
+  }
+
+  const BufferStats after_p = tree_p_.buffer()->ThreadStats();
+  const BufferStats after_q = tree_q_.buffer()->ThreadStats();
+  stats_->disk_accesses_p = after_p.misses - before_p.misses;
+  stats_->disk_accesses_q = after_q.misses - before_q.misses;
   stats_->node_accesses = node_accesses_;
+  // Issue and claim both happen on the query's thread, so these deltas are
+  // exact per query; don't double-count a self-join's shared buffer.
+  stats_->prefetch_issued = after_p.prefetch_issued - before_p.prefetch_issued;
+  stats_->prefetch_hits = after_p.prefetch_hits - before_p.prefetch_hits;
+  if (tree_q_.buffer() != tree_p_.buffer()) {
+    stats_->prefetch_issued +=
+        after_q.prefetch_issued - before_q.prefetch_issued;
+    stats_->prefetch_hits += after_q.prefetch_hits - before_q.prefetch_hits;
+  }
 
   // Quality certificate. A completed query keeps the default (exact,
   // bound = +inf). A stopped one reports the frontier minimum: no pair the
@@ -464,6 +487,20 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
   if (options_.algorithm == CpqAlgorithm::kSortedDistances) {
     std::sort(candidates.begin(), candidates.end(), CandidateLess());
   }
+  if (prefetch_.enabled() && !candidates.empty()) {
+    // Speculate on the first W surviving candidates — for STD this is the
+    // exact descend order; for the unsorted algorithms it is generation
+    // order, which is still the processing order of this frame.
+    prefetch_.Clear();
+    size_t added = 0;
+    for (const Candidate& cand : candidates) {
+      if (added >= prefetch_.window()) break;
+      if (Prunes() && cand.minmin > bound_) continue;
+      prefetch_.Add(cand.minmin, cand.p.page, cand.q.page);
+      ++added;
+    }
+    prefetch_.Issue();
+  }
   for (const Candidate& cand : candidates) {
     // Re-test against T at descend time: T may have tightened while the
     // earlier candidates of this very list were processed (the mechanism
@@ -505,49 +542,89 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
 
 Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
   // Min-heap of node pairs by (MINMINDIST, tie chain); CP1-CP5 of
-  // Section 3.5. priority_queue is a max-heap, so reverse the order.
+  // Section 3.5. Open-coded over a vector with std::push_heap / pop_heap —
+  // the exact operations std::priority_queue is specified to perform, so
+  // the pop order is bit-identical to the previous implementation — which
+  // exposes the underlying array: the prefetch scheduler peeks at the
+  // frontier's best pairs without disturbing the heap.
   struct CandidateGreater {
     bool operator()(const Candidate& a, const Candidate& b) const {
       return CandidateLess()(b, a);
     }
   };
-  std::priority_queue<Candidate, std::vector<Candidate>, CandidateGreater>
-      heap;
+  const CandidateGreater heap_order{};
+  std::vector<Candidate> heap;
 
   Candidate first;
   first.p = root_p;
   first.q = root_q;
   first.minmin = MinMinDistPow(root_p.mbr, root_q.mbr, options_.metric);
   first.max_pairs = SaturatingMul(root_p.max_points, root_q.max_points);
-  heap.push(first);
+  heap.push_back(first);
 
   // On a stop, the popped pair plus everything still queued is the
   // frontier; fold it all so the per-rank certificate sees the full
   // capacity profile (the scalar bound needs only the popped key — the
   // heap pops in ascending MINMINDIST — but rank bounds improve with
-  // every entry).
-  const auto drain_into_certificate = [&](const Candidate& popped,
-                                          auto* heap_ptr) {
+  // every entry). FoldFrontier and the profile's per-level counts are
+  // order-insensitive, so the remaining entries are walked in array
+  // order, no pops needed.
+  const auto drain_into_certificate = [&](const Candidate& popped) {
     FoldFrontier(popped.minmin, popped.max_pairs);
     if (profile_ != nullptr) {
       profile_->Deferred(PairLevel(popped.p.level, popped.q.level), 1);
     }
-    while (!heap_ptr->empty()) {
-      const Candidate& c = heap_ptr->top();
+    for (const Candidate& c : heap) {
       FoldFrontier(c.minmin, c.max_pairs);
       if (profile_ != nullptr) {
         profile_->Deferred(PairLevel(c.p.level, c.q.level), 1);
       }
-      heap_ptr->pop();
     }
+    heap.clear();
   };
 
   std::vector<Candidate> candidates;
+  std::vector<uint32_t> spec_order;
   while (!heap.empty()) {
     stats_->max_heap_size = std::max<uint64_t>(stats_->max_heap_size,
                                                heap.size());
-    const Candidate top = heap.top();
-    heap.pop();
+    if (prefetch_.enabled()) {
+      // Speculate on the frontier's best W pairs — including heap[0], the
+      // pair read next, so even a child pushed by the previous expansion
+      // (the best-first descent chain, where the next pop is brand new)
+      // has its reads in flight before ReadPair demands them. The W
+      // smallest entries of a binary heap all live in the first 2^W - 1
+      // array slots, so a bounded prefix scan finds the exact top-W for
+      // W <= 9 and a close approximation above (speculation tolerates
+      // approximation; the claim path does not care which pages arrive).
+      //
+      // Selection must use the pop order itself (CandidateLess: MINMINDIST
+      // plus the tie chain) — with overlapping data most frontier keys tie
+      // at 0, and any other tie-break speculates on pairs the heap will
+      // not pop next. The rank is passed as the scheduler key so pages of
+      // the nearest pops are submitted, and therefore complete, first.
+      prefetch_.Clear();
+      const size_t scan = std::min<size_t>(heap.size(), 512);
+      spec_order.clear();
+      for (uint32_t i = 0; i < scan; ++i) {
+        if (heap[i].minmin > bound_) continue;  // would be CP5-cut
+        spec_order.push_back(i);
+      }
+      const size_t take = std::min(spec_order.size(), prefetch_.window());
+      std::partial_sort(spec_order.begin(),
+                        spec_order.begin() + static_cast<ptrdiff_t>(take),
+                        spec_order.end(), [&heap](uint32_t a, uint32_t b) {
+                          return CandidateLess()(heap[a], heap[b]);
+                        });
+      for (size_t r = 0; r < take; ++r) {
+        const Candidate& c = heap[spec_order[r]];
+        prefetch_.Add(static_cast<double>(r), c.p.page, c.q.page);
+      }
+      prefetch_.Issue();
+    }
+    const Candidate top = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), heap_order);
+    heap.pop_back();
     if (trace_ != nullptr) {
       obs::TraceEvent e;
       e.kind = obs::TraceEventKind::kHeapPop;
@@ -562,16 +639,14 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
       // still queued are cut off by the best-first order.
       if (profile_ != nullptr) {
         profile_->PrunedOrder(PairLevel(top.p.level, top.q.level), 1);
-        while (!heap.empty()) {
-          const Candidate& c = heap.top();
+        for (const Candidate& c : heap) {
           profile_->PrunedOrder(PairLevel(c.p.level, c.q.level), 1);
-          heap.pop();
         }
       }
       break;
     }
     if (ShouldStop(heap.size() * sizeof(Candidate))) {
-      drain_into_certificate(top, &heap);
+      drain_into_certificate(top);
       break;
     }
 
@@ -581,7 +656,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
     const Status read_status = ReadPair(&p, &q, &node_p, &node_q);
     if (read_status.code() == StatusCode::kDeadlineExceeded) {
       stop_ = StopCause::kDeadline;
-      drain_into_certificate(top, &heap);
+      drain_into_certificate(top);
       break;
     }
     KCPQ_RETURN_IF_ERROR(read_status);
@@ -621,7 +696,8 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
         e.bound = bound_;
         trace_->RecordNow(e);
       }
-      heap.push(cand);
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), heap_order);
     }
   }
   return Status::OK();

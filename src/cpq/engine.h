@@ -9,6 +9,7 @@
 
 #include "cpq/cpq.h"
 #include "cpq/leaf_kernel.h"
+#include "cpq/prefetch.h"
 #include "cpq/result_heap.h"
 #include "cpq/tie.h"
 #include "rtree/rtree.h"
@@ -138,6 +139,9 @@ class CpqEngine {
   std::vector<std::pair<double, uint64_t>> maxmax_scratch_;
   /// Sorted-copy buffers for the plane-sweep leaf kernel.
   SweepScratch<Entry> sweep_scratch_;
+  /// Speculative reads for the frontier's best pairs (disabled unless
+  /// options.prefetch_window > 0; see cpq/prefetch.h).
+  PrefetchScheduler prefetch_;
 
   // --- lifecycle control state ---
   /// The query's context: `options.context` when the caller provided one,

@@ -60,6 +60,9 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
         CpqOptions options = query.options;
         options.control = merged;
         options.context = &ctx;
+        if (options.prefetch_window == 0) {
+          options.prefetch_window = batch_options.prefetch_window;
+        }
         return query.kind == BatchQueryKind::kClosestPairs
                    ? KClosestPairs(tree_p, tree_q, options, &result->stats)
                    : SelfKClosestPairs(tree_p, options, &result->stats);

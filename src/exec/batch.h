@@ -92,6 +92,12 @@ struct BatchOptions {
   /// query; kEnforce sheds over-budget queries with ResourceExhausted
   /// *before* they touch storage. A rejection never trips fail-fast.
   AdmissionOptions admission;
+
+  /// Batch-wide speculative prefetch window, applied to every query whose
+  /// own CpqOptions::prefetch_window is 0 (a query's explicit nonzero
+  /// window wins). Per-query results and stats stay bit-identical for any
+  /// value; only wall-clock changes. 0 = speculation off (default).
+  size_t prefetch_window = 0;
 };
 
 /// Whole-batch aggregates (sums over the per-query stats).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cpq/leaf_kernel.h"
+#include "cpq/prefetch.h"
 #include "geometry/metrics.h"
 #include "hs/hybrid_queue.h"
 #include "obs/kcpq_metrics.h"
@@ -39,6 +40,8 @@ class JoinImpl {
                options.tie_policy == HsTiePolicy::kDepthFirst),
         k_bound_(options.k_bound,
                  /*dummy id-based heap — see PruneBound below*/ 0) {}
+
+  ~JoinImpl() { DrainSpeculation(); }
 
   Result<std::optional<PairResult>> Next();
   const HsStats& stats() const { return stats_; }
@@ -85,6 +88,15 @@ class JoinImpl {
   /// the popped (or about-to-pop) queue key bounding everything unemitted.
   void LatchStop(StopCause cause, double key_squared);
 
+  /// Snapshots the per-join I/O counters (buffer misses, queue spills,
+  /// speculation) into stats_ as deltas against the Start() baselines.
+  void CaptureIoStats();
+
+  /// Discards staged-but-unclaimed speculative pages so the accounting
+  /// identity (issued == hits + wasted) holds when the join ends. No-op
+  /// unless prefetch is enabled.
+  void DrainSpeculation();
+
   const RStarTree& tree_p_;
   const RStarTree& tree_q_;
   HsOptions options_;
@@ -96,6 +108,9 @@ class JoinImpl {
   HybridQueue queue_;
   KBound k_bound_;
   cpq_internal::SweepScratch<Entry> sweep_scratch_;
+  /// Speculative reads for the W nearest children of each expansion
+  /// (disabled unless options.prefetch_window > 0; see cpq/prefetch.h).
+  cpq_internal::PrefetchScheduler prefetch_;
   HsStats stats_;
   uint64_t next_seq_ = 0;
   uint64_t results_emitted_ = 0;
@@ -149,18 +164,39 @@ void JoinImpl::LatchStop(StopCause cause, double key_squared) {
   stats_.quality.pairs_found = results_emitted_;
   stats_.quality.guaranteed_lower_bound = std::sqrt(key_squared);
   stats_.quality.is_exact = false;
-  stats_.disk_accesses_p =
-      tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
-  stats_.disk_accesses_q =
-      tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
+  DrainSpeculation();
+  CaptureIoStats();
+}
+
+void JoinImpl::CaptureIoStats() {
+  const BufferStats now_p = tree_p_.buffer()->ThreadStats();
+  const BufferStats now_q = tree_q_.buffer()->ThreadStats();
+  stats_.disk_accesses_p = now_p.misses - before_p_.misses;
+  stats_.disk_accesses_q = now_q.misses - before_q_.misses;
+  stats_.prefetch_issued = now_p.prefetch_issued - before_p_.prefetch_issued;
+  stats_.prefetch_hits = now_p.prefetch_hits - before_p_.prefetch_hits;
+  if (tree_q_.buffer() != tree_p_.buffer()) {
+    stats_.prefetch_issued += now_q.prefetch_issued - before_q_.prefetch_issued;
+    stats_.prefetch_hits += now_q.prefetch_hits - before_q_.prefetch_hits;
+  }
   stats_.queue_spill_reads = queue_.spill_reads();
   stats_.queue_spill_writes = queue_.spill_writes();
+}
+
+void JoinImpl::DrainSpeculation() {
+  if (!prefetch_.enabled()) return;
+  tree_p_.buffer()->DrainPrefetches();
+  if (tree_q_.buffer() != tree_p_.buffer()) {
+    tree_q_.buffer()->DrainPrefetches();
+  }
 }
 
 Status JoinImpl::Start() {
   started_ = true;
   before_p_ = tree_p_.buffer()->ThreadStats();
   before_q_ = tree_q_.buffer()->ThreadStats();
+  prefetch_.Configure(tree_p_.buffer(), tree_q_.buffer(),
+                      options_.prefetch_window, accounting_ ? ctx_ : nullptr);
   if (tree_p_.size() == 0 || tree_q_.size() == 0) return Status::OK();
   // Pre-trip: a pre-expired or pre-cancelled join reads no pages. Nothing
   // was examined, so nothing is certified (bound 0).
@@ -198,6 +234,12 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
   KCPQ_RETURN_IF_ERROR(
       tree.ReadNode(node_side.id, &node, accounting_ ? ctx_ : nullptr));
   ++stats_.node_accesses;
+  // Speculate on the node pages of the W nearest children: the queue pops
+  // in ascending key order, so the children pushed with the smallest keys
+  // are the likeliest next expansions. Children the k_bound already rules
+  // out are dropped by PushItem and never speculated on.
+  const bool speculate = prefetch_.enabled() && !node.IsLeaf();
+  if (speculate) prefetch_.Clear();
   for (const Entry& entry : node.entries) {
     const ItemSide child = node.IsLeaf() ? ObjectSide(entry)
                                          : NodeSide(entry, node.level - 1);
@@ -207,7 +249,12 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
     item.key = KeyOf(item.a, item.b);
     item.tie_level = TieLevelOf(item.a, item.b);
     PushItem(item);
+    if (speculate && item.key <= k_bound_.Bound()) {
+      prefetch_.Add(item.key, node_first ? entry.id : kInvalidPageId,
+                    node_first ? kInvalidPageId : entry.id);
+    }
   }
+  if (speculate) prefetch_.Issue();
   return Status::OK();
 }
 
@@ -217,6 +264,10 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
   KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a, read_ctx));
   KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b, read_ctx));
   stats_.node_accesses += 2;
+  // Leaf/leaf expansions produce only object pairs — nothing to read ahead.
+  const bool speculate =
+      prefetch_.enabled() && !(node_a.IsLeaf() && node_b.IsLeaf());
+  if (speculate) prefetch_.Clear();
   const auto push_pair = [&](const Entry& ea, const Entry& eb) {
     const ItemSide ca = node_a.IsLeaf() ? ObjectSide(ea)
                                         : NodeSide(ea, node_a.level - 1);
@@ -228,6 +279,10 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
     item.key = KeyOf(ca, cb);
     item.tie_level = TieLevelOf(ca, cb);
     PushItem(item);
+    if (speculate && item.key <= k_bound_.Bound()) {
+      prefetch_.Add(item.key, ca.is_node ? ca.id : kInvalidPageId,
+                    cb.is_node ? cb.id : kInvalidPageId);
+    }
     return true;
   };
   if (options_.leaf_kernel == LeafKernel::kPlaneSweep && node_a.IsLeaf() &&
@@ -248,6 +303,7 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
       push_pair(ea, eb);
     }
   }
+  if (speculate) prefetch_.Issue();
   return Status::OK();
 }
 
@@ -271,12 +327,9 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       out.distance = std::sqrt(item.key);
       ++results_emitted_;
       stats_.quality.pairs_found = results_emitted_;
-      stats_.disk_accesses_p =
-          tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
-      stats_.disk_accesses_q =
-          tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
-      stats_.queue_spill_reads = queue_.spill_reads();
-      stats_.queue_spill_writes = queue_.spill_writes();
+      // No drain here: the join is incremental and staged speculation may
+      // still be claimed by the next Next() call.
+      CaptureIoStats();
       return std::optional<PairResult>(out);
     }
     // About to spend I/O expanding a node pair: poll the context. On a
@@ -329,10 +382,8 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
     }
     KCPQ_RETURN_IF_ERROR(expand_status);
   }
-  stats_.disk_accesses_p = tree_p_.buffer()->ThreadStats().misses - before_p_.misses;
-  stats_.disk_accesses_q = tree_q_.buffer()->ThreadStats().misses - before_q_.misses;
-  stats_.queue_spill_reads = queue_.spill_reads();
-  stats_.queue_spill_writes = queue_.spill_writes();
+  DrainSpeculation();
+  CaptureIoStats();
   stats_.quality.pairs_found = results_emitted_;
   return std::optional<PairResult>();
 }

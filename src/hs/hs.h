@@ -60,6 +60,12 @@ struct HsOptions {
   /// threshold stays infinite) or on non-leaf expansions.
   LeafKernel leaf_kernel = LeafKernel::kPlaneSweep;
 
+  /// Speculative prefetch window W (see CpqOptions::prefetch_window): on
+  /// each node expansion the join issues asynchronous reads for the node
+  /// pages of the W nearest children just pushed. 0 (default) disables
+  /// speculation; results and disk-access counts are identical either way.
+  size_t prefetch_window = 0;
+
   /// Lifecycle limits (see CpqOptions::control), polled before each node
   /// expansion. Because the join emits pairs in ascending distance, a
   /// stopped join's output is an exact *prefix* of the full result and the
@@ -86,6 +92,10 @@ struct HsStats {
   /// Logical R-tree node reads (1 per one-sided expansion, 2 per
   /// simultaneous one); the quantity HsOptions::control budgets.
   uint64_t node_accesses = 0;
+  /// Speculative reads issued / claimed by this join's thread (both trees
+  /// combined; zero with prefetch_window = 0; see CpqStats).
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
 
   /// Result quality certificate (see QueryQuality). An HS stop is gentler
   /// than a CPQ one: the emitted pairs are exactly the closest

@@ -162,6 +162,19 @@ std::string RenderExplainReport(const ExplainInputs& in,
      << "  misses: " << Num(in.buffer_misses)
      << "  hit ratio: " << Percent(in.buffer_hits, lookups) << "\n\n";
 
+  // Rendered only when speculation ran: default reports stay byte-stable.
+  if (in.prefetch_issued > 0) {
+    os << "Prefetch\n";
+    os << "  issued: " << Num(in.prefetch_issued)
+       << "  hits: " << Num(in.prefetch_hits)
+       << "  wasted: " << Num(in.prefetch_wasted)
+       << "  hit ratio: " << Percent(in.prefetch_hits, in.prefetch_issued);
+    if (in.prefetch_pending > 0) {
+      os << "  PENDING: " << Num(in.prefetch_pending) << " (not drained)";
+    }
+    os << "\n\n";
+  }
+
   os << "Memory\n";
   os << "  measured peak:          " << HumanBytes(in.measured_peak_bytes)
      << "\n";

@@ -94,6 +94,14 @@ struct ExplainInputs {
   uint64_t buffer_hits = 0;
   uint64_t buffer_misses = 0;
 
+  // Speculative prefetch (all zero — and the section omitted — when
+  // --prefetch=off). issued == hits + wasted + pending after a drain;
+  // pending should be 0 then and is rendered only as a leak indicator.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_pending = 0;
+
   // Memory: admission estimate vs. measured peak.
   uint64_t admission_estimate_bytes = 0;  // 0 -> not estimated
   uint64_t measured_peak_bytes = 0;

@@ -21,6 +21,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kRetry: return "retry";
     case TraceEventKind::kRetryAbandoned: return "retry_abandoned";
     case TraceEventKind::kBoundUpdate: return "bound_update";
+    case TraceEventKind::kIoOverlap: return "io_overlap";
   }
   return "unknown";
 }

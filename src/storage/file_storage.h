@@ -33,8 +33,19 @@ class FileStorageManager final : public StorageManager {
   Status WritePage(PageId id, const Page& page) override;
   Status Sync() override;
 
+  /// Additionally reports kUring when the io_uring backend is compiled in
+  /// (KCPQ_IOURING) and the running kernel accepts ring setup.
+  bool SupportsIoBackend(IoBackend backend) const override;
+
  protected:
   Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override;
+
+  /// With io_backend() == kUring, dispatches one pool task that services
+  /// the whole batch through a dedicated ring (storage/io_uring_backend.h),
+  /// falling back to per-page pread on ring-setup failure. Other backends
+  /// delegate to the base implementation.
+  void DoReadPagesAsync(const PageId* ids, size_t count,
+                        const AsyncReadCallback& callback) override;
 
  private:
   FileStorageManager(int fd, std::string path, size_t page_size);

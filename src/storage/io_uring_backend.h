@@ -1,0 +1,40 @@
+// Optional io_uring read backend for FileStorageManager (Linux only).
+//
+// Compiled in when CMake is configured with -DKCPQ_IOURING=ON and liburing
+// is found (KCPQ_HAVE_LIBURING); otherwise these functions are stubs that
+// report the backend unavailable and FileStorageManager falls back to the
+// portable thread-pool backend. See docs/io.md for the design and caveats.
+
+#ifndef KCPQ_STORAGE_IO_URING_BACKEND_H_
+#define KCPQ_STORAGE_IO_URING_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/storage_manager.h"
+
+namespace kcpq {
+
+/// True when the io_uring backend is compiled in AND the running kernel
+/// accepts ring setup (probed once; io_uring can be disabled by seccomp or
+/// sysctl even on new kernels).
+bool IoUringSupported();
+
+/// Services one batch of page reads from `fd` with a dedicated ring:
+/// batch-submits a pread SQE per page at offset `base_offset + id *
+/// page_size`, reaps completions, and invokes `callback` once per page
+/// from the calling thread. Returns false when the ring could not be set
+/// up (caller should fall back to its synchronous path; the callback has
+/// not been invoked for any page). Per-page failures (short read, negative
+/// res) are delivered through the completion Status as IoError and do not
+/// affect other pages in the batch.
+///
+/// Only compiled to a real implementation under KCPQ_HAVE_LIBURING; the
+/// stub returns false without invoking the callback.
+bool IoUringReadBatch(int fd, const PageId* ids, size_t count,
+                      size_t page_size, uint64_t base_offset,
+                      const AsyncReadCallback& callback);
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_IO_URING_BACKEND_H_

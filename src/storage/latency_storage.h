@@ -10,8 +10,16 @@
 // I/O-bound workload — overlapping the waits — independent of how many
 // CPU cores happen to be available.
 //
-// Thread-safety: stateless beyond the inner manager, so the decorator is
-// as concurrent as what it wraps; sleeps happen outside any lock.
+// Thread-safety: the decorator inherits the storage_manager.h contract —
+// concurrent ReadPage / WritePage on *distinct* pages must be safe — and
+// keeps it by holding no mutable state of its own (latencies are const,
+// counters are the base class's atomics). Critically, the sleep happens
+// on the calling thread *outside any lock*, so N threads reading N
+// distinct pages pay ~1 latency of wall-clock, not N: serializing the
+// sleeps would silently turn every concurrency bench into a sequential
+// one. async_storage_test.cc pins this down with a two-thread timing
+// assertion, and the async read path (ReadPagesAsync over the shared
+// I/O pool) relies on it to overlap speculative reads.
 
 #ifndef KCPQ_STORAGE_LATENCY_STORAGE_H_
 #define KCPQ_STORAGE_LATENCY_STORAGE_H_

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -19,6 +20,33 @@
 namespace kcpq {
 
 class QueryContext;
+
+/// How ReadPagesAsync services a batch (docs/io.md).
+enum class IoBackend {
+  /// Completions run inline on the calling thread, in submission order.
+  /// No overlap; useful as a differential baseline.
+  kSync,
+  /// Each page is read by the shared IoThreadPool (storage/async_io.h)
+  /// through the full virtual ReadPage stack, so every decorator
+  /// (latency/retry/fault-injection/checksum) composes. Portable default.
+  kThreadPool,
+  /// Batched io_uring submission (FileStorageManager on Linux, built with
+  /// -DKCPQ_IOURING=ON and liburing present). Bypasses decorators: only
+  /// valid on a bare file store.
+  kUring,
+};
+
+/// One completed asynchronous page read.
+struct AsyncPageRead {
+  PageId id = kInvalidPageId;
+  Page page;
+  Status status;
+};
+
+/// Completion callback for ReadPagesAsync. Invoked exactly once per
+/// submitted page, possibly concurrently from I/O threads and in any
+/// order; it must be thread-safe and must not block on storage.
+using AsyncReadCallback = std::function<void(AsyncPageRead)>;
 
 /// Physical I/O counters (a snapshot; see StorageManager::stats). Reset
 /// between experiment phases to isolate the cost of one query from
@@ -35,9 +63,12 @@ struct IoStats {
 /// Thread-safety contract (since the parallel batch executor): concurrent
 /// ReadPage / WritePage calls on *distinct* pages must be safe on every
 /// implementation — that is all the sharded buffer manager above ever
-/// issues concurrently. Allocate / Free / structural mutation remain
-/// single-threaded (trees are built before queries run against them).
-/// I/O counters are atomic, so mixed-thread counts are exact.
+/// issues concurrently, and the async read path (ReadPagesAsync with the
+/// thread-pool backend) multiplies such concurrent DoReadPage calls by
+/// running them on shared I/O threads. Allocate / Free / structural
+/// mutation remain single-threaded (trees are built before queries run
+/// against them). I/O counters are atomic, so mixed-thread counts are
+/// exact.
 class StorageManager {
  public:
   virtual ~StorageManager() = default;
@@ -70,6 +101,43 @@ class StorageManager {
     return DoReadPage(id, page, ctx);
   }
 
+  /// Batched asynchronous read: issues `count` page reads and invokes
+  /// `callback` exactly once per page as each completes (possibly
+  /// concurrently, in any order). Each completed page counts one read,
+  /// same as ReadPage. Per-page failures are reported through the
+  /// completion's Status; the call itself never fails.
+  ///
+  /// Asynchronous completions never receive a QueryContext: contexts are
+  /// single-threaded by contract (common/query_context.h), so callers
+  /// charge accounting on their own thread at submission time instead.
+  void ReadPagesAsync(const PageId* ids, size_t count,
+                      const AsyncReadCallback& callback) {
+    if (count == 0) return;
+    DoReadPagesAsync(ids, count, callback);
+  }
+
+  /// True when this implementation (including anything it decorates) can
+  /// service ReadPagesAsync with `backend`. Every store supports kSync and
+  /// kThreadPool; kUring requires FileStorageManager built with liburing.
+  virtual bool SupportsIoBackend(IoBackend backend) const {
+    return backend == IoBackend::kSync || backend == IoBackend::kThreadPool;
+  }
+
+  /// Selects the backend for subsequent ReadPagesAsync calls. Rejects
+  /// (InvalidArgument) backends SupportsIoBackend is false for. Not
+  /// thread-safe against in-flight async reads; configure before querying.
+  Status SetIoBackend(IoBackend backend) {
+    if (!SupportsIoBackend(backend)) {
+      return Status::InvalidArgument(
+          "io backend not supported by this storage stack");
+    }
+    io_backend_.store(backend, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  IoBackend io_backend() const {
+    return io_backend_.load(std::memory_order_relaxed);
+  }
+
   /// Writes `page` (must be exactly page_size bytes) to `id`. Counts one
   /// write.
   virtual Status WritePage(PageId id, const Page& page) = 0;
@@ -96,6 +164,13 @@ class StorageManager {
   virtual Status DoReadPage(PageId id, Page* page,
                             const QueryContext* ctx) = 0;
 
+  /// ReadPagesAsync implementation hook (`count` >= 1). The default
+  /// honours io_backend(): kSync completes inline; kThreadPool dispatches
+  /// one task per page to IoThreadPool::Shared(), each going through the
+  /// virtual ReadPage so decorators compose (storage_manager.cc).
+  virtual void DoReadPagesAsync(const PageId* ids, size_t count,
+                                const AsyncReadCallback& callback);
+
   /// Implementations call these from ReadPage / WritePage.
   void CountRead() { reads_.fetch_add(1, std::memory_order_relaxed); }
   void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
@@ -103,6 +178,7 @@ class StorageManager {
  private:
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<IoBackend> io_backend_{IoBackend::kThreadPool};
   size_t page_size_;
 };
 

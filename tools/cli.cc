@@ -248,6 +248,41 @@ Status ParseControlFlags(const Flags& flags, QueryControl* control) {
   return Status::OK();
 }
 
+/// Window used by a bare `--prefetch=on` (the bench's sweet spot; see
+/// bench/bench_prefetch.cc).
+constexpr size_t kDefaultPrefetchWindow = 8;
+
+// Parses --prefetch=on|off and --prefetch-window=N into a window size.
+// --prefetch-window=N implies on (N = 0 is off); --prefetch=on alone uses
+// kDefaultPrefetchWindow. Results are bit-identical either way — the flags
+// only trade speculative I/O for wall-clock (docs/io.md).
+Status ParsePrefetchFlags(const Flags& flags, size_t* window) {
+  *window = 0;
+  bool on = false;
+  if (const auto it = flags.named.find("prefetch"); it != flags.named.end()) {
+    if (it->second == "on" || it->second == "true") {
+      on = true;
+    } else if (it->second == "off") {
+      if (flags.named.count("prefetch-window") > 0) {
+        return Status::InvalidArgument(
+            "--prefetch=off contradicts --prefetch-window");
+      }
+      return Status::OK();
+    } else {
+      return Status::InvalidArgument("--prefetch must be on or off");
+    }
+  }
+  if (const auto it = flags.named.find("prefetch-window");
+      it != flags.named.end()) {
+    uint64_t w;
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &w));
+    *window = static_cast<size_t>(w);
+    return Status::OK();
+  }
+  if (on) *window = kDefaultPrefetchWindow;
+  return Status::OK();
+}
+
 void PrintQuality(std::FILE* out, const QueryQuality& quality) {
   if (!quality.is_partial()) return;
   std::fprintf(out,
@@ -281,6 +316,13 @@ void PrintQueryStats(std::FILE* out, const CpqStats& stats, double seconds) {
                static_cast<unsigned long long>(
                    stats.point_distance_computations),
                seconds * 1e3);
+  if (stats.prefetch_issued > 0) {
+    std::fprintf(out, "# prefetch: issued %llu, hits %llu (%.1f%% hit)\n",
+                 static_cast<unsigned long long>(stats.prefetch_issued),
+                 static_cast<unsigned long long>(stats.prefetch_hits),
+                 100.0 * static_cast<double>(stats.prefetch_hits) /
+                     static_cast<double>(stats.prefetch_issued));
+  }
 }
 
 Status CmdGenerate(const Flags& flags, std::FILE* out) {
@@ -405,6 +447,27 @@ Status OpenPair(const Flags& flags, Database* p, Database* q) {
                             RStarTree::Open(db->buffer.get(), kMetaPage));
     }
   }
+  // Async read backend for prefetching. `uring` is rejected here when the
+  // binary was built without liburing or when --io-retries put a decorator
+  // on top of the file store (decorators route async reads through the
+  // portable thread pool so the retry logic still applies).
+  if (const auto it = flags.named.find("io-backend");
+      it != flags.named.end()) {
+    IoBackend backend;
+    if (it->second == "sync") {
+      backend = IoBackend::kSync;
+    } else if (it->second == "pool") {
+      backend = IoBackend::kThreadPool;
+    } else if (it->second == "uring") {
+      backend = IoBackend::kUring;
+    } else {
+      return Status::InvalidArgument(
+          "--io-backend must be sync, pool, or uring");
+    }
+    for (Database* db : {p, q}) {
+      KCPQ_RETURN_IF_ERROR(db->top_storage()->SetIoBackend(backend));
+    }
+  }
   return Status::OK();
 }
 
@@ -416,8 +479,9 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "[--threads=N] [--repeat=N] [--deadline-ms=N] "
         "[--max-node-accesses=N] [--io-retries=N] [--fail-fast] "
         "[--admission=off|advisory|enforce] [--memory-pool-bytes=N] "
-        "[--admission-feedback=ALPHA] [--explain] [--trace-out=PATH] "
-        "[--stats-json=PATH]");
+        "[--admission-feedback=ALPHA] [--prefetch=on|off] "
+        "[--prefetch-window=N] [--io-backend=sync|pool|uring] "
+        "[--explain] [--trace-out=PATH] [--stats-json=PATH]");
   }
   Database p, q;
   KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
@@ -436,6 +500,7 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     options.height_strategy = HeightStrategy::kFixAtLeaves;
   }
   options.self_join = flags.named.count("self") > 0;
+  KCPQ_RETURN_IF_ERROR(ParsePrefetchFlags(flags, &options.prefetch_window));
 
   uint64_t threads = 1;
   uint64_t repeat = 1;
@@ -588,6 +653,22 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     inputs.buffer_misses =
         (after_p.misses - buffer_before_p.misses) +
         (after_q.misses - buffer_before_q.misses);
+    inputs.prefetch_issued = stats.prefetch_issued;
+    inputs.prefetch_hits = stats.prefetch_hits;
+    // The engine drained speculation before returning, so pending should
+    // be 0 and wasted == issued - hits; pending is surfaced as a leak
+    // indicator rather than asserted.
+    inputs.prefetch_pending =
+        p.buffer->prefetch_inflight() + p.buffer->prefetch_staged();
+    if (q.buffer.get() != p.buffer.get()) {
+      inputs.prefetch_pending +=
+          q.buffer->prefetch_inflight() + q.buffer->prefetch_staged();
+    }
+    const uint64_t prefetch_claimed =
+        stats.prefetch_hits + inputs.prefetch_pending;
+    inputs.prefetch_wasted = stats.prefetch_issued > prefetch_claimed
+                                 ? stats.prefetch_issued - prefetch_claimed
+                                 : 0;
     inputs.admission_estimate_bytes = estimator.EstimateQueryBytes(query);
     inputs.measured_peak_bytes = ctx.accountant().peak_total_bytes();
     inputs.complete = !stats.quality.is_partial();
@@ -825,6 +906,8 @@ void PrintUsage(std::FILE* out) {
       "       [--deadline-ms=N] [--max-node-accesses=N] [--io-retries=N]\n"
       "       [--fail-fast] [--admission=off|advisory|enforce]\n"
       "       [--memory-pool-bytes=N] [--admission-feedback=ALPHA]\n"
+      "       [--prefetch=on|off] [--prefetch-window=N]\n"
+      "       [--io-backend=sync|pool|uring]\n"
       "       [--explain] [--trace-out=PATH] [--stats-json=PATH]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
