@@ -291,7 +291,11 @@ size_t BufferManager::Prefetch(const PageId* ids, size_t count,
       std::lock_guard<std::mutex> lock(prefetch_.mu);
       if (prefetch_.entries.size() >= prefetch_.capacity) break;
       // Duplicate of a staged or in-flight read: coalesce.
-      if (!prefetch_.entries.emplace(id, PrefetchEntry{}).second) continue;
+      auto [eit, inserted] = prefetch_.entries.emplace(id, PrefetchEntry{});
+      if (!inserted) continue;
+      // The issuer pays for the page below; a claim by a different query
+      // credits it back (ReleaseIssuerLocked).
+      eit->second.issuer = ctx;
       ++prefetch_.inflight;
       const auto inflight = static_cast<uint64_t>(prefetch_.inflight);
       if (inflight > prefetch_inflight_peak_.load(std::memory_order_relaxed)) {
@@ -319,22 +323,37 @@ size_t BufferManager::Prefetch(const PageId* ids, size_t count,
 
 void BufferManager::OnPrefetchComplete(AsyncPageRead done) {
   bool wasted = false;
+  std::vector<Waker> waiters;
   {
     std::lock_guard<std::mutex> lock(prefetch_.mu);
     auto it = prefetch_.entries.find(done.id);
     if (it == prefetch_.entries.end()) return;  // unreachable by protocol
-    if (it->second.abandoned || !done.status.ok()) {
+    PrefetchEntry& entry = it->second;
+    const bool demand = entry.demand;
+    if (entry.abandoned || (!done.status.ok() && !demand)) {
       // Unwanted or failed speculation: discard. A demand read of a
       // failed page retries synchronously through the full decorator
       // stack, so faults surface exactly as they do without prefetch.
+      // (Abandoned demand fetches are dropped the same way; their woken
+      // waiters re-issue fresh.)
+      waiters = std::move(entry.waiters);
       prefetch_.entries.erase(it);
-      wasted = true;
+      wasted = !demand;
     } else {
-      it->second.ready = true;
-      it->second.page = std::move(done.page);
+      // A failed *demand* fetch stages its error instead: the first
+      // claimer takes it as its read's result, matching the blocking
+      // path's failed synchronous read.
+      entry.ready = true;
+      entry.status = done.status;
+      entry.page = std::move(done.page);
+      waiters = std::move(entry.waiters);
     }
   }
   if (wasted) CountPrefetchWasted();
+  // Wake parked tasks outside the area lock (wakers take scheduler
+  // locks), but before the inflight decrement below: the buffer is
+  // guaranteed alive until a drain observes inflight == 0.
+  for (const Waker& waker : waiters) waker();
   // Last touch, and deliberately under the lock: a drain (possibly the
   // destructor) woken by this decrement may free the buffer the moment it
   // observes inflight == 0, so nothing may run on this thread afterwards
@@ -349,6 +368,8 @@ void BufferManager::OnPrefetchComplete(AsyncPageRead done) {
 bool BufferManager::ClaimPrefetched(PageId id, Page* out, QueryContext* ctx) {
   obs::TraceBuffer* trace = ctx != nullptr ? ctx->trace() : nullptr;
   const uint64_t start_ns = trace != nullptr ? trace->NowNs() : 0;
+  bool speculative = true;
+  std::vector<Waker> waiters;
   {
     std::unique_lock<std::mutex> lock(prefetch_.mu);
     auto it = prefetch_.entries.find(id);
@@ -365,9 +386,28 @@ bool BufferManager::ClaimPrefetched(PageId id, Page* out, QueryContext* ctx) {
       it = prefetch_.entries.find(id);
       if (it == prefetch_.entries.end()) return false;  // speculation failed
     }
-    *out = std::move(it->second.page);
+    const bool failed = !it->second.status.ok();
+    if (!failed) {
+      speculative = !it->second.demand;
+      ReleaseIssuerLocked(it->second, ctx);
+      *out = std::move(it->second.page);
+    }
+    waiters = std::move(it->second.waiters);
     prefetch_.entries.erase(it);
+    if (failed) {
+      // A demand fetch that failed: drop it and retry synchronously, the
+      // same recovery a failed speculative read gets. (Waiters fire
+      // below, outside the lock, and re-issue fresh.)
+      lock.unlock();
+      for (const Waker& waker : waiters) waker();
+      return false;
+    }
   }
+  // Parked tasks waiting on the entry re-run their TryRead: the claimer's
+  // caller is about to make the page resident (or, at capacity 0, they
+  // re-issue their own fetch).
+  for (const Waker& waker : waiters) waker();
+  if (!speculative) return true;
   CountPrefetchHit();
   if (trace != nullptr) {
     // The io_overlap span is the residual wait a demand read paid for an
@@ -384,15 +424,165 @@ bool BufferManager::ClaimPrefetched(PageId id, Page* out, QueryContext* ctx) {
   return true;
 }
 
+void BufferManager::ReleaseIssuerLocked(const PrefetchEntry& entry,
+                                        QueryContext* claimer) {
+  if (entry.issuer != nullptr && entry.issuer != claimer) {
+    entry.issuer->accountant().ReleaseForeignBufferBytes(
+        storage_->page_size());
+  }
+}
+
+void BufferManager::StartDemandFetchLocked(PageId id, const Waker& waker) {
+  // The drain/abandon machinery must now run even if Prefetch was never
+  // called: demand entries live in the same area.
+  prefetch_active_.store(true, std::memory_order_relaxed);
+  auto [it, inserted] = prefetch_.entries.emplace(id, PrefetchEntry{});
+  (void)inserted;  // caller verified no entry exists
+  it->second.demand = true;
+  it->second.waiters.push_back(waker);
+  // Counts toward inflight (drains wait for it) but not toward the
+  // speculation peak gauge: it is a demand read in flight, not
+  // speculation.
+  ++prefetch_.inflight;
+}
+
+void BufferManager::IssueDemandFetch(PageId id) {
+  storage_->ReadPagesAsync(
+      &id, 1,
+      [this](AsyncPageRead done) { OnPrefetchComplete(std::move(done)); });
+}
+
+Status BufferManager::TryRead(PageId id, Page* out, QueryContext* ctx,
+                              const Waker& waker, TryReadOutcome* outcome) {
+  *outcome = TryReadOutcome{};
+  if (ctx != nullptr) ctx->OnPageRead(instance_id_, id, storage_->page_size());
+  bool issue = false;
+  bool served = false;
+  bool prefetch_claim = false;
+  Status result;
+  std::vector<Waker> waiters;
+  if (capacity_ == 0) {
+    // Pass-through: every serve is a miss (the paper's zero-buffer
+    // setting). Concurrent parkers coalesce on one fetch, but only the
+    // first re-runner claims it — later ones find no entry and re-issue,
+    // so each query still pays one miss per read, exactly like blocking
+    // pass-through reads.
+    {
+      std::lock_guard<std::mutex> lock(prefetch_.mu);
+      auto it = prefetch_.entries.find(id);
+      if (it == prefetch_.entries.end()) {
+        StartDemandFetchLocked(id, waker);
+        issue = true;
+      } else if (!it->second.ready) {
+        it->second.waiters.push_back(waker);
+      } else {
+        served = true;
+        result = it->second.status;
+        if (result.ok()) {
+          prefetch_claim = !it->second.demand;
+          ReleaseIssuerLocked(it->second, ctx);
+          *out = std::move(it->second.page);
+        }
+        waiters = std::move(it->second.waiters);
+        prefetch_.entries.erase(it);
+      }
+    }
+    for (const Waker& w : waiters) w();
+    if (issue) IssueDemandFetch(id);
+    if (!served) {
+      outcome->parked = true;
+      return Status::OK();
+    }
+    CountMiss();
+    outcome->prefetch_claim = prefetch_claim;
+    if (prefetch_claim) CountPrefetchHit();
+    return result;
+  }
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto fit = shard.frames.find(id);
+    if (fit != shard.frames.end()) {
+      CountHit();
+      shard.policy->OnAccess(id);
+      *out = fit->second.page;
+      outcome->hit = true;
+      return Status::OK();
+    }
+    // Non-resident: consult the staging area (shard mu -> prefetch mu is
+    // the legal lock order).
+    bool claimed = false;
+    Page page;
+    {
+      std::lock_guard<std::mutex> alock(prefetch_.mu);
+      auto it = prefetch_.entries.find(id);
+      if (it == prefetch_.entries.end()) {
+        StartDemandFetchLocked(id, waker);
+        issue = true;
+      } else if (!it->second.ready) {
+        it->second.waiters.push_back(waker);
+      } else {
+        served = true;
+        result = it->second.status;
+        if (result.ok()) {
+          claimed = true;
+          prefetch_claim = !it->second.demand;
+          ReleaseIssuerLocked(it->second, ctx);
+          page = std::move(it->second.page);
+        }
+        waiters = std::move(it->second.waiters);
+        prefetch_.entries.erase(it);
+      }
+    }
+    if (claimed) {
+      // The claim is this query's demand miss: counted and inserted
+      // through the same eviction path as a blocking miss, so the
+      // replacement policy sees the identical history. Parked waiters on
+      // the erased entry re-run and find the page resident (a hit) —
+      // matching the blocking path, where threads queued on the shard
+      // mutex during the fetch hit the fresh frame.
+      CountMiss();
+      outcome->prefetch_claim = prefetch_claim;
+      if (prefetch_claim) CountPrefetchHit();
+      result = EvictIfFull(shard);
+      if (result.ok()) {
+        shard.policy->OnInsert(id);
+        *out = page;
+        shard.frames.emplace(id, Frame{std::move(page), /*dirty=*/false});
+      }
+    } else if (served) {
+      // Failed fetch: the access still counts, like a failed synchronous
+      // read on the blocking path.
+      CountMiss();
+    }
+  }
+  for (const Waker& w : waiters) w();
+  if (issue) IssueDemandFetch(id);
+  if (!served) {
+    outcome->parked = true;
+    return Status::OK();
+  }
+  return result;
+}
+
 void BufferManager::DrainPrefetches() {
   size_t dropped = 0;
+  std::vector<Waker> waiters;
   {
     std::unique_lock<std::mutex> lock(prefetch_.mu);
     prefetch_.cv.wait(lock, [&] { return prefetch_.inflight == 0; });
-    dropped = prefetch_.entries.size();
+    for (auto& [id, entry] : prefetch_.entries) {
+      // Only speculation counts as waste; dropped demand entries were
+      // never issued/hit/wasted-accounted. Waiters (none in steady state
+      // — completions fire them — but possible on teardown races) are
+      // woken so no task sleeps forever.
+      if (!entry.demand) ++dropped;
+      for (Waker& waker : entry.waiters) waiters.push_back(std::move(waker));
+    }
     prefetch_.entries.clear();
   }
   for (size_t i = 0; i < dropped; ++i) CountPrefetchWasted();
+  for (const Waker& waker : waiters) waker();
 }
 
 void BufferManager::set_prefetch_capacity(size_t pages) {
@@ -428,27 +618,37 @@ Status BufferManager::Free(PageId id) {
   }
   if (prefetch_active_.load(std::memory_order_relaxed)) {
     // A freed page's speculative read must never be claimed: drop a staged
-    // copy, abandon an in-flight one (its completion becomes waste).
+    // copy, abandon an in-flight one (its completion becomes waste and
+    // wakes any parked tasks, which re-issue and surface the freed-page
+    // error through the normal fetch path).
     bool wasted = false;
+    std::vector<Waker> waiters;
     {
       std::lock_guard<std::mutex> lock(prefetch_.mu);
       auto it = prefetch_.entries.find(id);
       if (it != prefetch_.entries.end()) {
         if (it->second.ready) {
+          wasted = !it->second.demand;
+          waiters = std::move(it->second.waiters);
           prefetch_.entries.erase(it);
-          wasted = true;
         } else {
           it->second.abandoned = true;
         }
       }
     }
     if (wasted) CountPrefetchWasted();
+    for (const Waker& waker : waiters) waker();
   }
   return storage_->Free(id);
 }
 
 Status BufferManager::EvictIfFull(Shard& shard) {
-  if (shard.frames.size() < shard.capacity) return Status::OK();
+  // The empty check matters when capacity_pages < shards leaves this
+  // shard with capacity 0: there is no victim to choose, and the caller
+  // is about to insert — such a shard holds exactly its most recent page.
+  if (shard.frames.size() < shard.capacity || shard.frames.empty()) {
+    return Status::OK();
+  }
   const PageId victim = shard.policy->ChooseVictim();
   auto it = shard.frames.find(victim);
   evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -490,13 +690,17 @@ Status BufferManager::FlushAndClear() {
     // Cold cache means cold speculation too: drop staged pages, abandon
     // in-flight ones (without waiting — their completions become waste).
     size_t dropped = 0;
+    std::vector<Waker> waiters;
     {
       std::lock_guard<std::mutex> lock(prefetch_.mu);
       for (auto it = prefetch_.entries.begin();
            it != prefetch_.entries.end();) {
         if (it->second.ready) {
+          if (!it->second.demand) ++dropped;
+          for (Waker& waker : it->second.waiters) {
+            waiters.push_back(std::move(waker));
+          }
           it = prefetch_.entries.erase(it);
-          ++dropped;
         } else {
           it->second.abandoned = true;
           ++it;
@@ -504,6 +708,7 @@ Status BufferManager::FlushAndClear() {
       }
     }
     for (size_t i = 0; i < dropped; ++i) CountPrefetchWasted();
+    for (const Waker& waker : waiters) waker();
   }
   return Status::OK();
 }

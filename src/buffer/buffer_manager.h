@@ -43,6 +43,26 @@
 // retries through the full decorator stack, so faults behave exactly as
 // they do without prefetch.
 //
+// Non-blocking reads (docs/io.md, "completion-driven scheduling"):
+// TryRead is the resumable engines' Read. A resident page is served
+// exactly like a blocking hit; a non-resident one either claims a staged
+// (speculative or demand) copy — counted exactly like a blocking miss,
+// inserted through the same eviction path so the replacement policy sees
+// the same history — or *parks*: the caller's waker is registered on the
+// page's in-flight entry (starting a demand fetch through ReadPagesAsync
+// if none exists) and TryRead returns immediately with outcome.parked.
+// When the fetch completes, the buffer fires the waker and the caller
+// re-runs TryRead; the first re-runner claims the page and counts the
+// miss, later ones find it resident and count hits — the same
+// one-miss-per-residency (or, at capacity 0, one-miss-per-read) invariant
+// the blocking path's fetch-under-shard-lock provides. Demand entries
+// share the prefetch area's machinery but are exempt from its capacity
+// cap and invisible to the speculation counters (never issued / hit /
+// wasted). Demand fetches carry no QueryContext (async completions are
+// context-free by the storage contract), so deadline-aware retry
+// abandonment doesn't apply to them; a failed fetch is delivered to the
+// first claimer as its read's error, and later waiters re-issue fresh.
+//
 // Statistics: the global counters (stats()) are atomics, exact under any
 // concurrency. Per-query cost accounting needs per-*thread* counts — two
 // queries sharing the buffer would otherwise see each other's misses in a
@@ -70,6 +90,7 @@
 
 #include "buffer/replacement_policy.h"
 #include "common/query_context.h"
+#include "common/resumable.h"
 #include "common/status.h"
 #include "storage/storage_manager.h"
 
@@ -128,6 +149,31 @@ class BufferManager {
   /// independent of thread count and buffer state — and forwarded to the
   /// storage stack on a miss (deadline-aware retries).
   Status Read(PageId id, Page* out, QueryContext* ctx = nullptr);
+
+  /// How a TryRead attempt was resolved. Exactly one of three shapes:
+  /// parked (no page, no counting yet), served hit (`hit`), or served
+  /// miss (`!parked && !hit`; `prefetch_claim` marks a miss satisfied by
+  /// a claimed *speculative* page, the resumable analog of a blocking
+  /// read's prefetch hit).
+  struct TryReadOutcome {
+    bool parked = false;
+    bool hit = false;
+    bool prefetch_claim = false;
+  };
+
+  /// Non-blocking Read for resumable engines ("park on miss, wake on
+  /// completion" — see the file comment). Serves the page when it is
+  /// resident or staged; otherwise registers `waker` with the page's
+  /// in-flight fetch (starting a demand fetch if none exists), sets
+  /// outcome->parked and returns OK without counting anything. The waker
+  /// may fire from an I/O thread, possibly before TryRead returns; fire
+  /// semantics are at-least-once per park (a woken caller must re-run
+  /// TryRead, which may park again). Counting matches Read exactly: one
+  /// miss per serve at capacity 0, one miss per residency-establishment
+  /// (plus hits) otherwise, and the replacement policy sees the identical
+  /// OnInsert/OnAccess history.
+  Status TryRead(PageId id, Page* out, QueryContext* ctx, const Waker& waker,
+                 TryReadOutcome* outcome);
 
   /// Speculatively reads `count` pages through the storage manager's async
   /// path into the prefetch area. Pages already resident, already staged,
@@ -208,15 +254,26 @@ class BufferManager {
     size_t capacity = 0;
   };
 
-  /// One speculative read's life in the prefetch area: in-flight
-  /// (!ready), then either staged (ready, awaiting a claim) or gone
-  /// (claimed / wasted / failed). `abandoned` marks an in-flight entry
-  /// whose result is unwanted (Free / FlushAndClear); its completion is
-  /// discarded as waste.
+  /// One staged read's life in the prefetch area: in-flight (!ready),
+  /// then either staged (ready, awaiting a claim) or gone (claimed /
+  /// wasted / failed). `abandoned` marks an in-flight entry whose result
+  /// is unwanted (Free / FlushAndClear); its completion is discarded as
+  /// waste. `demand` marks a fetch started by a parked TryRead rather
+  /// than speculation: exempt from the area capacity, excluded from the
+  /// prefetch counters, and allowed to complete with an error (`status`),
+  /// which the first claimer takes as its read's result. `issuer` is the
+  /// query charged for a speculative page at issue time; a claim by a
+  /// different query releases that charge (ResourceAccountant). `waiters`
+  /// are parked resumable tasks, fired (outside the area lock) when the
+  /// entry becomes ready or is erased.
   struct PrefetchEntry {
     bool ready = false;
     bool abandoned = false;
+    bool demand = false;
+    Status status;
     Page page;
+    QueryContext* issuer = nullptr;
+    std::vector<Waker> waiters;
   };
 
   /// Staging table for speculative reads, separate from the frame table so
@@ -245,6 +302,18 @@ class BufferManager {
 
   /// Async-read completion (runs on I/O threads; takes only prefetch mu).
   void OnPrefetchComplete(AsyncPageRead done);
+
+  /// Creates an in-flight demand entry for `id` with `waker` parked on
+  /// it. Caller holds prefetch mu and has verified no entry exists; the
+  /// fetch itself must be issued after *all* locks are released
+  /// (IssueDemandFetch) because a kSync-backend completion runs inline
+  /// and takes prefetch mu.
+  void StartDemandFetchLocked(PageId id, const Waker& waker);
+  void IssueDemandFetch(PageId id);
+
+  /// Satellite accounting: a staged page claimed by a different query
+  /// than the one that paid for it at issue time credits the issuer back.
+  void ReleaseIssuerLocked(const PrefetchEntry& entry, QueryContext* claimer);
 
   void CountPrefetchIssued();
   void CountPrefetchHit();

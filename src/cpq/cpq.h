@@ -192,6 +192,12 @@ struct CpqStats {
   /// reported by BufferManager::stats() as issued - hits after a drain.
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
+  /// Resumable-scheduler execution only (zero under the blocking path):
+  /// how many times the query parked on a non-resident page and the total
+  /// wall time it spent parked. Parked time is scheduler wait, not work —
+  /// a multiplexed worker runs other queries during it.
+  uint64_t io_parks = 0;
+  uint64_t io_parked_ns = 0;
 
   /// Result quality certificate: trivial (exact) for completed queries,
   /// the anytime bound for partial ones. See QueryQuality.

@@ -97,6 +97,7 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   // Pre-trip check (a pre-cancelled or pre-expired query must not touch
   // the trees at all). Nothing was examined, so certify nothing: bound 0
   // at every rank.
+  Status engine_status;
   if (ShouldStop(0)) {
     FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
     if (profile_ != nullptr) profile_->Deferred(root_level, 1);
@@ -111,8 +112,9 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
       stop_ = StopCause::kDeadline;
       FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
       if (profile_ != nullptr) profile_->Deferred(root_level, 1);
+    } else if (!root_status.ok()) {
+      engine_status = root_status;
     } else {
-      KCPQ_RETURN_IF_ERROR(root_status);
       tie_context_.root_area_p = mbr_p.Area();
       tie_context_.root_area_q = mbr_q.Area();
       tie_context_.metric = options_.metric;
@@ -122,27 +124,28 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
       NodeRef root_q{tree_q_.root_page(), tree_q_.height() - 1, mbr_q, 1,
                      tree_q_.size()};
 
-      Status status;
       if (options_.algorithm == CpqAlgorithm::kHeap) {
-        status = RunHeap(root_p, root_q);
+        engine_status = RunHeap(root_p, root_q);
       } else {
-        status = ProcessPairRecursive(root_p, root_q);
+        engine_status = ProcessPairRecursive(root_p, root_q);
       }
-      KCPQ_RETURN_IF_ERROR(status);
     }
   }
 
   if (prefetch_.enabled()) {
     // Settle speculation before reading the deltas: waits out in-flight
     // reads and discards staged-but-unclaimed pages as waste, so the
-    // accounting identity holds at query end. (Concurrent queries sharing
-    // a buffer may drain each other's staged pages — results are
-    // unaffected, the victims just fall back to synchronous reads.)
+    // accounting identity holds at query end. Runs on the error paths too:
+    // staged entries record this query's context as their issuer, which
+    // must not outlive the context. (Concurrent queries sharing a buffer
+    // may drain each other's staged pages — results are unaffected, the
+    // victims just fall back to synchronous reads.)
     tree_p_.buffer()->DrainPrefetches();
     if (tree_q_.buffer() != tree_p_.buffer()) {
       tree_q_.buffer()->DrainPrefetches();
     }
   }
+  KCPQ_RETURN_IF_ERROR(engine_status);
 
   const BufferStats after_p = tree_p_.buffer()->ThreadStats();
   const BufferStats after_q = tree_q_.buffer()->ThreadStats();
@@ -159,6 +162,13 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
     stats_->prefetch_hits += after_q.prefetch_hits - before_q.prefetch_hits;
   }
 
+  FinalizeQualityAndTrace();
+
+  *out = std::move(results_).Extract();
+  return Status::OK();
+}
+
+void CpqEngine::FinalizeQualityAndTrace() {
   // Quality certificate. A completed query keeps the default (exact,
   // bound = +inf). A stopped one reports the frontier minimum: no pair the
   // traversal never saw can be closer than it (docs/robustness.md). The
@@ -194,9 +204,6 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
     e.b = node_accesses_;
     trace_->Record(e);
   }
-
-  *out = std::move(results_).Extract();
-  return Status::OK();
 }
 
 void CpqEngine::NoteBoundImprovement() {

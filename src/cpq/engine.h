@@ -15,6 +15,9 @@
 #include "rtree/rtree.h"
 
 namespace kcpq {
+
+class ResumableCpqQuery;
+
 namespace cpq_internal {
 
 /// A node of one tree as seen by the traversal: location plus the facts the
@@ -70,6 +73,12 @@ class CpqEngine {
   Status Run(std::vector<PairResult>* out);
 
  private:
+  /// The resumable adapter (cpq/resumable.h) re-drives this engine's
+  /// traversal as an explicit state machine; it reuses the kernels
+  /// (ProcessLeaves, GenerateCandidates, ...) and the control state
+  /// directly so the two execution modes cannot drift apart.
+  friend class ::kcpq::ResumableCpqQuery;
+
   /// Recursive driver (kNaive/kExhaustive/kSimple/kSortedDistances).
   Status ProcessPairRecursive(const NodeRef& ref_p, const NodeRef& ref_q);
 
@@ -110,6 +119,11 @@ class CpqEngine {
   /// Reports a strict improvement of the pruning bound T to the attached
   /// profile / trace; no-op (one compare) when neither wants it.
   void NoteBoundImprovement();
+
+  /// Run() epilogue shared with the resumable adapter: fills the quality
+  /// certificate from the latched stop cause / frontier state and records
+  /// the query-summary trace event.
+  void FinalizeQualityAndTrace();
 
   /// True for algorithms that prune with MINMINDIST (all but kNaive).
   bool Prunes() const { return options_.algorithm != CpqAlgorithm::kNaive; }

@@ -1,10 +1,17 @@
 #include "exec/batch.h"
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <utility>
 
+#include "buffer/buffer_manager.h"
+#include "common/resumable.h"
+#include "cpq/resumable.h"
+#include "exec/scheduler.h"
 #include "exec/thread_pool.h"
+#include "hs/hs.h"
+#include "hs/resumable.h"
 #include "obs/kcpq_metrics.h"
 
 namespace kcpq {
@@ -26,6 +33,36 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
 }
 
 namespace {
+
+/// The HS fields of CpqStats: a 1:1 copy where the counters mean the same
+/// thing, plus the documented popped->pairs and queue->heap renames (see
+/// BatchQueryKind::kHsClosestPairs).
+void MapHsStats(const HsStats& hs, CpqStats* out) {
+  *out = CpqStats{};
+  out->node_pairs_processed = hs.items_popped;
+  out->max_heap_size = hs.max_queue_size;
+  out->disk_accesses_p = hs.disk_accesses_p;
+  out->disk_accesses_q = hs.disk_accesses_q;
+  out->node_accesses = hs.node_accesses;
+  out->prefetch_issued = hs.prefetch_issued;
+  out->prefetch_hits = hs.prefetch_hits;
+  out->io_parks = hs.io_parks;
+  out->io_parked_ns = hs.io_parked_ns;
+  out->quality = hs.quality;
+}
+
+/// The HsOptions a kHsClosestPairs batch query maps to (k_bound is set by
+/// HsKClosestPairs / the ResumableHsQuery constructor from options.k).
+HsOptions HsOptionsFrom(const CpqOptions& cpq, const QueryControl& merged,
+                        QueryContext* ctx, size_t batch_prefetch_window) {
+  HsOptions hs;
+  hs.leaf_kernel = cpq.leaf_kernel;
+  hs.prefetch_window =
+      cpq.prefetch_window != 0 ? cpq.prefetch_window : batch_prefetch_window;
+  hs.control = merged;
+  hs.context = ctx;
+  return hs;
+}
 
 QueryOutcome OutcomeOf(const BatchQueryResult& result) {
   if (!result.status.ok()) return QueryOutcome::kFailed;
@@ -70,6 +107,15 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
       case BatchQueryKind::kSemiClosestPairs:
         return SemiClosestPairs(tree_p, tree_q, &result->stats, merged,
                                 &ctx);
+      case BatchQueryKind::kHsClosestPairs: {
+        HsStats hs_stats;
+        HsOptions hs = HsOptionsFrom(query.options, merged, &ctx,
+                                     batch_options.prefetch_window);
+        auto r = HsKClosestPairs(tree_p, tree_q, query.options.k,
+                                 std::move(hs), &hs_stats);
+        MapHsStats(hs_stats, &result->stats);
+        return r;
+      }
     }
     return Result<std::vector<PairResult>>(
         Status::InvalidArgument("unknown batch query kind"));
@@ -125,6 +171,161 @@ bool MetricsTimingOn() {
 #endif
 }
 
+/// Adapter for query kinds that have no resumable engine yet: the whole
+/// blocking execution is one Step. Correct under the scheduler (the task
+/// simply never parks) but it holds its worker for the duration.
+class BlockingStepTask final : public ResumableTask {
+ public:
+  explicit BlockingStepTask(std::function<void()> body)
+      : body_(std::move(body)) {}
+  StepResult Step() override {
+    body_();
+    return StepResult::kDone;
+  }
+
+ private:
+  std::function<void()> body_;
+};
+
+/// The completion-driven executor: every query is a ResumableTask and
+/// `options.threads` workers multiplex up to `options.max_inflight` of
+/// them, parking on buffer misses (see exec/scheduler.h and docs/io.md).
+/// Fills `results` in place; per-query results, certificates, and
+/// disk-access counts are identical to the blocking path.
+void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
+                       const std::vector<BatchQuery>& queries,
+                       const BatchOptions& options,
+                       AdmissionController* admission,
+                       CancellationSource* batch_source,
+                       const CancellationToken& batch_token,
+                       std::vector<BatchQueryResult>* results) {
+  // Per-query state that must outlive the scheduler run: contexts are
+  // registered as issuers of staged prefetch entries, so they may only be
+  // destroyed after the post-run buffer drains below.
+  struct Slot {
+    std::unique_ptr<QueryContext> ctx;
+    HsStats hs_stats;  // kHsClosestPairs only; mapped into CpqStats on done
+    bool timed = false;
+    std::chrono::steady_clock::time_point start;
+  };
+  std::vector<Slot> slots(queries.size());
+
+  const auto factory = [&](size_t i,
+                           Waker waker) -> std::unique_ptr<ResumableTask> {
+    BatchQueryResult& result = (*results)[i];
+    if (admission != nullptr) {
+      result.admission = admission->Admit(queries[i]);
+      if (!result.admission.admitted) {
+        result.status = Status::ResourceExhausted(result.admission.reason);
+        result.outcome = QueryOutcome::kRejected;
+        FoldBatchQueryMetrics(result, -1.0);
+        return nullptr;
+      }
+    }
+    Slot& slot = slots[i];
+    slot.timed = MetricsTimingOn();
+    if (slot.timed) slot.start = std::chrono::steady_clock::now();
+
+    QueryControl batch_control = options.control;
+    batch_control.cancel =
+        CancellationToken::Combine(batch_control.cancel, batch_token);
+    const QueryControl merged =
+        QueryControl::Merged(queries[i].options.control, batch_control);
+
+    switch (queries[i].kind) {
+      case BatchQueryKind::kClosestPairs:
+      case BatchQueryKind::kSelfClosestPairs: {
+        slot.ctx = std::make_unique<QueryContext>(merged);
+        CpqOptions o = queries[i].options;
+        o.control = merged;
+        o.context = slot.ctx.get();
+        if (o.prefetch_window == 0) {
+          o.prefetch_window = options.prefetch_window;
+        }
+        const bool self = queries[i].kind == BatchQueryKind::kSelfClosestPairs;
+        if (self) o.self_join = true;
+        return std::make_unique<ResumableCpqQuery>(
+            tree_p, self ? tree_p : tree_q, std::move(o), &result.stats,
+            std::move(waker));
+      }
+      case BatchQueryKind::kHsClosestPairs: {
+        slot.ctx = std::make_unique<QueryContext>(merged);
+        HsOptions hs = HsOptionsFrom(queries[i].options, merged,
+                                     slot.ctx.get(), options.prefetch_window);
+        return std::make_unique<ResumableHsQuery>(
+            tree_p, tree_q, queries[i].options.k, std::move(hs),
+            &slot.hs_stats, std::move(waker));
+      }
+      case BatchQueryKind::kSemiClosestPairs:
+        // Not resumable yet: run the blocking implementation (with its own
+        // private context, exactly as the blocking executor would) as a
+        // single Step.
+        return std::make_unique<BlockingStepTask>([&, i] {
+          RunOne(tree_p, tree_q, queries[i], options, batch_token,
+                 &(*results)[i]);
+        });
+    }
+    return nullptr;
+  };
+
+  const auto on_done = [&](size_t i, ResumableTask* task) {
+    BatchQueryResult& result = (*results)[i];
+    Slot& slot = slots[i];
+    switch (queries[i].kind) {
+      case BatchQueryKind::kClosestPairs:
+      case BatchQueryKind::kSelfClosestPairs: {
+        auto* q = static_cast<ResumableCpqQuery*>(task);
+        result.status = q->status();
+        if (result.status.ok()) result.pairs = q->TakeResults();
+        break;
+      }
+      case BatchQueryKind::kHsClosestPairs: {
+        auto* q = static_cast<ResumableHsQuery*>(task);
+        result.status = q->status();
+        if (result.status.ok()) result.pairs = q->TakeResults();
+        MapHsStats(slot.hs_stats, &result.stats);
+        break;
+      }
+      case BatchQueryKind::kSemiClosestPairs:
+        // RunOne filled status / pairs / stats / peak / outcome already.
+        break;
+    }
+    if (queries[i].kind != BatchQueryKind::kSemiClosestPairs) {
+      result.peak_memory_bytes =
+          slot.ctx != nullptr ? slot.ctx->accountant().peak_total_bytes() : 0;
+      result.outcome = OutcomeOf(result);
+    }
+    double seconds = -1.0;
+    if (slot.timed) {
+      seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              slot.start)
+                    .count();
+    }
+    result.seconds = seconds;
+    FoldBatchQueryMetrics(result, seconds);
+    if (admission != nullptr) {
+      admission->Release(result.admission);
+      admission->RecordOutcome(result.admission, result.peak_memory_bytes,
+                               result.stats.node_accesses,
+                               result.stats.disk_accesses());
+    }
+    if (options.cancel_batch_on_first_failure && !result.status.ok()) {
+      batch_source->Cancel();
+    }
+  };
+
+  ResumableScheduler::Options sched;
+  sched.workers = options.threads;        // 0 -> DefaultThreads
+  sched.max_inflight = options.max_inflight;  // 0 -> 256
+  ResumableScheduler::Run(queries.size(), factory, on_done, sched);
+
+  // Settle leftover speculation (and any staged demand entries) while the
+  // contexts registered as their issuers are still alive; `slots` may only
+  // be destroyed after this.
+  tree_p.buffer()->DrainPrefetches();
+  if (tree_q.buffer() != tree_p.buffer()) tree_q.buffer()->DrainPrefetches();
+}
+
 }  // namespace
 
 std::vector<BatchQueryResult> BatchKClosestPairs(
@@ -168,6 +369,7 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
                                               start)
                     .count();
     }
+    results[i].seconds = seconds;
     FoldBatchQueryMetrics(results[i], seconds);
     if (admission != nullptr) {
       admission->Release(results[i].admission);
@@ -184,16 +386,21 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
     }
   };
 
-  const size_t threads =
-      options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
-  if (threads == 1) {
-    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  if (options.scheduler == SchedulerMode::kResumable) {
+    RunResumableBatch(tree_p, tree_q, queries, options, admission.get(),
+                      &batch_source, batch_token, &results);
   } else {
-    ThreadPool pool(threads);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      pool.Submit([&run_one, i] { run_one(i); });
+    const size_t threads =
+        options.threads == 0 ? ThreadPool::DefaultThreads() : options.threads;
+    if (threads == 1) {
+      for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+    } else {
+      ThreadPool pool(threads);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        pool.Submit([&run_one, i] { run_one(i); });
+      }
+      pool.Wait();
     }
-    pool.Wait();
   }
 
   if (stats != nullptr) {

@@ -33,6 +33,28 @@ enum class BatchQueryKind {
   kSelfClosestPairs,
   /// SemiClosestPairs(tree_p, tree_q); options.k / algorithm ignored.
   kSemiClosestPairs,
+  /// HsKClosestPairs(tree_p, tree_q, options.k): the incremental distance
+  /// join with default traversal. Reuses the CpqOptions fields that make
+  /// sense for HS (k, control, context, prefetch_window, leaf_kernel);
+  /// algorithm / tie-breaking fields are ignored. HsStats are mapped into
+  /// CpqStats (items_popped -> node_pairs_processed, max_queue_size ->
+  /// max_heap_size; disk / node / prefetch / park counters carry over).
+  kHsClosestPairs,
+};
+
+/// How BatchKClosestPairs executes a batch.
+enum class SchedulerMode {
+  /// One pool thread per running query; every page read blocks its thread
+  /// (the classic executor).
+  kBlocking,
+  /// Completion-driven: queries are resumable state machines multiplexed
+  /// over the worker pool, parking on buffer misses instead of blocking
+  /// (exec/scheduler.h, docs/io.md). Per-query results, certificates, and
+  /// disk-access counts are bit-identical to kBlocking; only wall-clock
+  /// and the achievable in-flight query count change.
+  /// kSemiClosestPairs queries are not resumable yet and run as blocking
+  /// steps on a worker (correct, but they occupy their worker).
+  kResumable,
 };
 
 /// One query of a batch.
@@ -71,6 +93,11 @@ struct BatchQueryResult {
   /// Peak bytes the query's ResourceAccountant metered: engine state plus
   /// distinct buffer pages read on the query's behalf.
   uint64_t peak_memory_bytes = 0;
+  /// Wall-clock seconds from admission to completion, -1 when timing was
+  /// off (timing runs when metrics are compiled in and enabled). Under the
+  /// resumable scheduler this includes parked time — see
+  /// CpqStats::io_parked_ns for how much of it was I/O wait.
+  double seconds = -1.0;
 };
 
 struct BatchOptions {
@@ -98,6 +125,15 @@ struct BatchOptions {
   /// window wins). Per-query results and stats stay bit-identical for any
   /// value; only wall-clock changes. 0 = speculation off (default).
   size_t prefetch_window = 0;
+
+  /// Execution model; see SchedulerMode. Results are identical either way.
+  SchedulerMode scheduler = SchedulerMode::kBlocking;
+
+  /// kResumable only: cap on queries live (admitted, unfinished) at once.
+  /// This is the multiplexing knob — `threads` workers drive up to this
+  /// many in-flight queries. 0 = 256. Ignored under kBlocking, where
+  /// `threads` itself is the cap.
+  size_t max_inflight = 0;
 };
 
 /// Whole-batch aggregates (sums over the per-query stats).

@@ -1,0 +1,104 @@
+// Bounded lock-free MPMC ring (Vyukov's bounded queue) carrying slot
+// indices between I/O completion threads (producers: wakers fired by the
+// BufferManager) and scheduler workers (consumers). Push and Pop are
+// wait-free in the common case: one CAS on the position counter plus one
+// release store on the cell's sequence number — no mutex on the
+// wake/dispatch hot path.
+//
+// Capacity is fixed at construction (rounded up to a power of two). The
+// scheduler sizes the ring to task_count + workers + 1: its wake protocol
+// guarantees at most one queued entry per unfinished task, so the ring can
+// never fill (a mutex-guarded overflow list in the scheduler backstops the
+// invariant anyway).
+
+#ifndef KCPQ_EXEC_COMPLETION_RING_H_
+#define KCPQ_EXEC_COMPLETION_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kcpq {
+
+class CompletionRing {
+ public:
+  /// Capacity is the smallest power of two >= min_capacity (and >= 2).
+  explicit CompletionRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+  }
+
+  CompletionRing(const CompletionRing&) = delete;
+  CompletionRing& operator=(const CompletionRing&) = delete;
+
+  /// False when full (the caller falls back to its overflow path).
+  bool Push(size_t value) {
+    Cell* cell;
+    size_t pos = enqueue_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when empty.
+  bool Pop(size_t* value) {
+    Cell* cell;
+    size_t pos = dequeue_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_.compare_exchange_weak(pos, pos + 1,
+                                           std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_.load(std::memory_order_relaxed);
+      }
+    }
+    *value = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    size_t value = 0;
+  };
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> enqueue_{0};
+  alignas(64) std::atomic<size_t> dequeue_{0};
+};
+
+}  // namespace kcpq
+
+#endif  // KCPQ_EXEC_COMPLETION_RING_H_

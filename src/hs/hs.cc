@@ -2,12 +2,15 @@
 
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "cpq/leaf_kernel.h"
 #include "cpq/prefetch.h"
 #include "geometry/metrics.h"
 #include "hs/hybrid_queue.h"
+#include "hs/resumable.h"
 #include "obs/kcpq_metrics.h"
+#include "obs/trace.h"
 
 namespace kcpq {
 
@@ -46,7 +49,28 @@ class JoinImpl {
   Result<std::optional<PairResult>> Next();
   const HsStats& stats() const { return stats_; }
 
+  // --- resumable mode (driven by ResumableHsQuery) ---
+
+  /// Switches the join to non-blocking reads via `waker`. Must be called
+  /// before the first TryNext. In this mode the join never drains the
+  /// buffers (many queries share them under the scheduler; the batch
+  /// executor settles speculation once) and counts its I/O from TryRead
+  /// outcomes instead of thread-local deltas.
+  void EnableResumable(Waker waker) {
+    resumable_ = true;
+    waker_ = std::move(waker);
+  }
+
+  enum class NextOutcome { kEmitted, kExhausted, kParked, kError };
+
+  /// Non-blocking Next(): kEmitted fills `*out`; kParked means the waker
+  /// was registered and TryNext must be re-called after it fires (the join
+  /// resumes at the interrupted read — the pop, the context poll, and all
+  /// per-item bookkeeping happened exactly once); kError fills `*error`.
+  NextOutcome TryNext(std::optional<PairResult>* out, Status* error);
+
  private:
+  enum class TryOutcome { kOk, kParked, kDeadline, kError };
   // The "incremental up to K" bound: a max-heap of the K smallest
   // object-pair keys pushed so far. Queue items with a larger key cannot
   // be among the first K results and are dropped at push time.
@@ -84,6 +108,28 @@ class JoinImpl {
                        const ItemSide& other, bool node_first);
   Status ExpandBoth(const ItemSide& a, const ItemSide& b);
 
+  /// The push half of ExpandOneSide (everything after the node read):
+  /// enqueues the child pairs and speculates on the nearest ones. Returns
+  /// the number of speculative reads issued (the blocking path ignores it;
+  /// the resumable path accumulates it into its local issued counter).
+  size_t PushChildrenOneSide(const Node& node, const ItemSide& other,
+                             bool node_first);
+  /// The push half of ExpandBoth.
+  size_t PushChildrenBoth(const Node& node_a, const Node& node_b);
+
+  /// Resumable Start(): parks on the root reads instead of blocking.
+  TryOutcome TryStart(Status* error);
+  /// Resumable expansion of pending_item_: reads whichever node of the
+  /// pair is not cached yet (parking on a miss), then pushes children.
+  TryOutcome TryExpand(Status* error);
+
+  /// Tallies one served non-blocking read (see ResumableCpqQuery: a
+  /// self-join's shared buffer counts each miss on both sides, matching
+  /// the blocking thread-local delta arithmetic).
+  void CountRead(const BufferManager::TryReadOutcome& outcome, bool is_p);
+  void NotePark(PageId page);
+  void NoteResumed();
+
   /// Latches `cause` and fills the quality certificate: `key_squared` is
   /// the popped (or about-to-pop) queue key bounding everything unemitted.
   void LatchStop(StopCause cause, double key_squared);
@@ -119,6 +165,31 @@ class JoinImpl {
   StopCause stop_ = StopCause::kNone;
   BufferStats before_p_;
   BufferStats before_q_;
+
+  // --- resumable-mode state ---
+  bool resumable_ = false;
+  Waker waker_;
+  /// TryStart progress: 0 = not begun, 1 = reading root P, 2 = reading
+  /// root Q, 3 = seeded.
+  int root_stage_ = 0;
+  Rect root_mbr_p_;
+  /// The popped-but-unexpanded item a park interrupted, plus whichever of
+  /// its nodes is already resident (node_a_ doubles as the one-sided /
+  /// root-read scratch).
+  QueueItem pending_item_;
+  bool have_pending_ = false;
+  Node node_a_, node_b_;
+  bool have_a_ = false, have_b_ = false;
+  /// Per-query I/O tallies from TryRead outcomes (thread-local buffer
+  /// deltas are meaningless when many queries multiplex one worker).
+  uint64_t misses_p_ = 0;
+  uint64_t misses_q_ = 0;
+  uint64_t prefetch_hits_local_ = 0;
+  uint64_t prefetch_issued_local_ = 0;
+  bool park_pending_ = false;
+  PageId park_page_ = kInvalidPageId;
+  std::chrono::steady_clock::time_point park_start_;
+  uint64_t park_trace_ts_ = 0;
 };
 
 ItemSide JoinImpl::NodeSide(const Entry& entry, int child_level) const {
@@ -169,6 +240,17 @@ void JoinImpl::LatchStop(StopCause cause, double key_squared) {
 }
 
 void JoinImpl::CaptureIoStats() {
+  if (resumable_) {
+    // Thread-local deltas are meaningless when many queries multiplex one
+    // worker; the resumable path tallies its own TryRead outcomes.
+    stats_.disk_accesses_p = misses_p_;
+    stats_.disk_accesses_q = misses_q_;
+    stats_.prefetch_issued = prefetch_issued_local_;
+    stats_.prefetch_hits = prefetch_hits_local_;
+    stats_.queue_spill_reads = queue_.spill_reads();
+    stats_.queue_spill_writes = queue_.spill_writes();
+    return;
+  }
   const BufferStats now_p = tree_p_.buffer()->ThreadStats();
   const BufferStats now_q = tree_q_.buffer()->ThreadStats();
   stats_.disk_accesses_p = now_p.misses - before_p_.misses;
@@ -184,6 +266,10 @@ void JoinImpl::CaptureIoStats() {
 }
 
 void JoinImpl::DrainSpeculation() {
+  // Resumable joins share the buffers with the scheduler's other queries;
+  // a per-query drain would discard their staged pages. The batch executor
+  // settles speculation once after the whole run.
+  if (resumable_) return;
   if (!prefetch_.enabled()) return;
   tree_p_.buffer()->DrainPrefetches();
   if (tree_q_.buffer() != tree_p_.buffer()) {
@@ -234,6 +320,12 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
   KCPQ_RETURN_IF_ERROR(
       tree.ReadNode(node_side.id, &node, accounting_ ? ctx_ : nullptr));
   ++stats_.node_accesses;
+  PushChildrenOneSide(node, other, node_first);
+  return Status::OK();
+}
+
+size_t JoinImpl::PushChildrenOneSide(const Node& node, const ItemSide& other,
+                                     bool node_first) {
   // Speculate on the node pages of the W nearest children: the queue pops
   // in ascending key order, so the children pushed with the smallest keys
   // are the likeliest next expansions. Children the k_bound already rules
@@ -254,8 +346,7 @@ Status JoinImpl::ExpandOneSide(const RStarTree& tree,
                     node_first ? kInvalidPageId : entry.id);
     }
   }
-  if (speculate) prefetch_.Issue();
-  return Status::OK();
+  return speculate ? prefetch_.Issue() : 0;
 }
 
 Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
@@ -264,6 +355,11 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
   KCPQ_RETURN_IF_ERROR(tree_p_.ReadNode(a.id, &node_a, read_ctx));
   KCPQ_RETURN_IF_ERROR(tree_q_.ReadNode(b.id, &node_b, read_ctx));
   stats_.node_accesses += 2;
+  PushChildrenBoth(node_a, node_b);
+  return Status::OK();
+}
+
+size_t JoinImpl::PushChildrenBoth(const Node& node_a, const Node& node_b) {
   // Leaf/leaf expansions produce only object pairs — nothing to read ahead.
   const bool speculate =
       prefetch_.enabled() && !(node_a.IsLeaf() && node_b.IsLeaf());
@@ -296,15 +392,14 @@ Status JoinImpl::ExpandBoth(const ItemSide& a, const ItemSide& b) {
         node_a.entries, node_b.entries, Metric::kL2, /*strict=*/true,
         &sweep_scratch_, [](const Entry& e) -> const Rect& { return e.rect; },
         [&] { return k_bound_.Bound(); }, push_pair);
-    return Status::OK();
+    return 0;
   }
   for (const Entry& ea : node_a.entries) {
     for (const Entry& eb : node_b.entries) {
       push_pair(ea, eb);
     }
   }
-  if (speculate) prefetch_.Issue();
-  return Status::OK();
+  return speculate ? prefetch_.Issue() : 0;
 }
 
 Result<std::optional<PairResult>> JoinImpl::Next() {
@@ -388,6 +483,288 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
   return std::optional<PairResult>();
 }
 
+void JoinImpl::CountRead(const BufferManager::TryReadOutcome& outcome,
+                         bool is_p) {
+  if (outcome.hit) return;
+  if (tree_p_.buffer() == tree_q_.buffer()) {
+    ++misses_p_;
+    ++misses_q_;
+  } else if (is_p) {
+    ++misses_p_;
+  } else {
+    ++misses_q_;
+  }
+  if (outcome.prefetch_claim) ++prefetch_hits_local_;
+}
+
+void JoinImpl::NotePark(PageId page) {
+  ++stats_.io_parks;
+  park_pending_ = true;
+  park_page_ = page;
+  park_start_ = std::chrono::steady_clock::now();
+  obs::TraceBuffer* trace = ctx_->trace();
+  park_trace_ts_ = trace != nullptr ? trace->NowNs() : 0;
+}
+
+void JoinImpl::NoteResumed() {
+  park_pending_ = false;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - park_start_)
+                           .count();
+  const uint64_t dur = elapsed > 0 ? static_cast<uint64_t>(elapsed) : 0;
+  stats_.io_parked_ns += dur;
+  obs::TraceBuffer* trace = ctx_->trace();
+  if (trace != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kIoPark;
+    ev.ts_ns = park_trace_ts_;
+    ev.dur_ns = dur > 0 ? dur : 1;
+    ev.a = park_page_;
+    trace->Record(ev);
+  }
+}
+
+JoinImpl::TryOutcome JoinImpl::TryStart(Status* error) {
+  QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
+  if (root_stage_ == 0) {
+    before_p_ = tree_p_.buffer()->ThreadStats();
+    before_q_ = tree_q_.buffer()->ThreadStats();
+    prefetch_.Configure(tree_p_.buffer(), tree_q_.buffer(),
+                        options_.prefetch_window,
+                        accounting_ ? ctx_ : nullptr);
+    if (tree_p_.size() == 0 || tree_q_.size() == 0) {
+      started_ = true;
+      root_stage_ = 3;
+      return TryOutcome::kOk;
+    }
+    if (accounting_) {
+      const StopCause pre = ctx_->Check(0, 0);
+      if (pre != StopCause::kNone) {
+        LatchStop(pre, 0.0);
+        started_ = true;
+        root_stage_ = 3;
+        return TryOutcome::kOk;
+      }
+    }
+    root_stage_ = 1;
+  }
+  if (root_stage_ == 1) {
+    BufferManager::TryReadOutcome outcome;
+    const Status s = tree_p_.TryReadNode(tree_p_.root_page(), &node_a_,
+                                         read_ctx, waker_, &outcome);
+    if (outcome.parked) {
+      NotePark(tree_p_.root_page());
+      return TryOutcome::kParked;
+    }
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      LatchStop(StopCause::kDeadline, 0.0);
+      started_ = true;
+      root_stage_ = 3;
+      return TryOutcome::kOk;
+    }
+    if (!s.ok()) {
+      *error = s;
+      return TryOutcome::kError;
+    }
+    CountRead(outcome, /*is_p=*/true);
+    root_mbr_p_ = node_a_.ComputeMbr();
+    root_stage_ = 2;
+  }
+  if (root_stage_ == 2) {
+    BufferManager::TryReadOutcome outcome;
+    const Status s = tree_q_.TryReadNode(tree_q_.root_page(), &node_a_,
+                                         read_ctx, waker_, &outcome);
+    if (outcome.parked) {
+      NotePark(tree_q_.root_page());
+      return TryOutcome::kParked;
+    }
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      LatchStop(StopCause::kDeadline, 0.0);
+      started_ = true;
+      root_stage_ = 3;
+      return TryOutcome::kOk;
+    }
+    if (!s.ok()) {
+      *error = s;
+      return TryOutcome::kError;
+    }
+    CountRead(outcome, /*is_p=*/false);
+    QueueItem item;
+    item.a =
+        ItemSide{true, root_mbr_p_, tree_p_.root_page(), tree_p_.height() - 1};
+    item.b = ItemSide{true, node_a_.ComputeMbr(), tree_q_.root_page(),
+                      tree_q_.height() - 1};
+    item.key = KeyOf(item.a, item.b);
+    item.tie_level = TieLevelOf(item.a, item.b);
+    PushItem(item);
+    started_ = true;
+    root_stage_ = 3;
+  }
+  return TryOutcome::kOk;
+}
+
+JoinImpl::TryOutcome JoinImpl::TryExpand(Status* error) {
+  const QueueItem& item = pending_item_;
+  QueryContext* read_ctx = accounting_ ? ctx_ : nullptr;
+  const bool both = item.a.is_node && item.b.is_node &&
+                    options_.traversal == HsTraversal::kSimultaneous;
+  if (both) {
+    if (!have_a_) {
+      BufferManager::TryReadOutcome outcome;
+      const Status s =
+          tree_p_.TryReadNode(item.a.id, &node_a_, read_ctx, waker_, &outcome);
+      if (outcome.parked) {
+        NotePark(item.a.id);
+        return TryOutcome::kParked;
+      }
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        return TryOutcome::kDeadline;
+      }
+      if (!s.ok()) {
+        *error = s;
+        return TryOutcome::kError;
+      }
+      CountRead(outcome, /*is_p=*/true);
+      have_a_ = true;
+    }
+    if (!have_b_) {
+      BufferManager::TryReadOutcome outcome;
+      const Status s =
+          tree_q_.TryReadNode(item.b.id, &node_b_, read_ctx, waker_, &outcome);
+      if (outcome.parked) {
+        NotePark(item.b.id);
+        return TryOutcome::kParked;
+      }
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        return TryOutcome::kDeadline;
+      }
+      if (!s.ok()) {
+        *error = s;
+        return TryOutcome::kError;
+      }
+      CountRead(outcome, /*is_p=*/false);
+      have_b_ = true;
+    }
+    // Both nodes resident: the expansion's bookkeeping and pushes run
+    // exactly once, identical to the blocking ExpandBoth.
+    stats_.node_accesses += 2;
+    prefetch_issued_local_ += PushChildrenBoth(node_a_, node_b_);
+    return TryOutcome::kOk;
+  }
+
+  // One-sided expansion: same side selection as the blocking Next().
+  const RStarTree* tree;
+  const ItemSide* node_side;
+  const ItemSide* other;
+  bool node_first;
+  if (item.a.is_node && item.b.is_node) {
+    // kBasic always expands the first tree; kEven the shallower node.
+    if (options_.traversal == HsTraversal::kBasic ||
+        item.a.level >= item.b.level) {
+      tree = &tree_p_;
+      node_side = &item.a;
+      other = &item.b;
+      node_first = true;
+    } else {
+      tree = &tree_q_;
+      node_side = &item.b;
+      other = &item.a;
+      node_first = false;
+    }
+  } else if (item.a.is_node) {
+    tree = &tree_p_;
+    node_side = &item.a;
+    other = &item.b;
+    node_first = true;
+  } else {
+    tree = &tree_q_;
+    node_side = &item.b;
+    other = &item.a;
+    node_first = false;
+  }
+  if (!have_a_) {
+    BufferManager::TryReadOutcome outcome;
+    const Status s = tree->TryReadNode(node_side->id, &node_a_, read_ctx,
+                                       waker_, &outcome);
+    if (outcome.parked) {
+      NotePark(node_side->id);
+      return TryOutcome::kParked;
+    }
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      return TryOutcome::kDeadline;
+    }
+    if (!s.ok()) {
+      *error = s;
+      return TryOutcome::kError;
+    }
+    CountRead(outcome, node_first);
+    have_a_ = true;
+  }
+  ++stats_.node_accesses;
+  prefetch_issued_local_ += PushChildrenOneSide(node_a_, *other, node_first);
+  return TryOutcome::kOk;
+}
+
+JoinImpl::NextOutcome JoinImpl::TryNext(std::optional<PairResult>* out,
+                                        Status* error) {
+  out->reset();
+  if (park_pending_) NoteResumed();
+  if (!started_) {
+    const TryOutcome r = TryStart(error);
+    if (r == TryOutcome::kParked) return NextOutcome::kParked;
+    if (r == TryOutcome::kError) return NextOutcome::kError;
+  }
+  if (stop_ != StopCause::kNone) return NextOutcome::kExhausted;
+  if (options_.k_bound > 0 && results_emitted_ >= options_.k_bound) {
+    return NextOutcome::kExhausted;
+  }
+  for (;;) {
+    if (!have_pending_) {
+      if (queue_.Empty()) {
+        CaptureIoStats();
+        stats_.quality.pairs_found = results_emitted_;
+        return NextOutcome::kExhausted;
+      }
+      pending_item_ = queue_.PopMin();
+      ++stats_.items_popped;
+      if (!pending_item_.a.is_node && !pending_item_.b.is_node) {
+        PairResult res;
+        ClosestPoints(pending_item_.a.rect, pending_item_.b.rect, &res.p,
+                      &res.q);
+        res.p_id = pending_item_.a.id;
+        res.q_id = pending_item_.b.id;
+        res.distance = std::sqrt(pending_item_.key);
+        ++results_emitted_;
+        stats_.quality.pairs_found = results_emitted_;
+        CaptureIoStats();
+        *out = res;
+        return NextOutcome::kEmitted;
+      }
+      // The context poll happens on the fresh pop only — a park resumes at
+      // the interrupted read, never re-polling (the blocking path polls
+      // once per popped pair).
+      if (accounting_) {
+        const StopCause cause = ctx_->Check(
+            stats_.node_accesses, queue_.size() * sizeof(QueueItem));
+        if (cause != StopCause::kNone) {
+          LatchStop(cause, pending_item_.key);
+          return NextOutcome::kExhausted;
+        }
+      }
+      have_pending_ = true;
+      have_a_ = have_b_ = false;
+    }
+    const TryOutcome r = TryExpand(error);
+    if (r == TryOutcome::kParked) return NextOutcome::kParked;
+    if (r == TryOutcome::kError) return NextOutcome::kError;
+    have_pending_ = false;
+    if (r == TryOutcome::kDeadline) {
+      LatchStop(StopCause::kDeadline, pending_item_.key);
+      return NextOutcome::kExhausted;
+    }
+  }
+}
+
 }  // namespace hs_internal
 
 IncrementalDistanceJoin::IncrementalDistanceJoin(const RStarTree& tree_p,
@@ -455,6 +832,54 @@ Result<std::vector<PairResult>> HsKClosestPairs(const RStarTree& tree_p,
                             .count()
                       : -1.0);
   return out;
+}
+
+ResumableHsQuery::ResumableHsQuery(const RStarTree& tree_p,
+                                   const RStarTree& tree_q, size_t k,
+                                   HsOptions options, HsStats* stats,
+                                   Waker waker)
+    : k_(k), stats_(stats) {
+  options.k_bound = k;
+  impl_ = std::make_unique<hs_internal::JoinImpl>(tree_p, tree_q, options);
+  impl_->EnableResumable(std::move(waker));
+#if KCPQ_METRICS
+  timed_ = obs::Enabled();
+#endif
+  if (timed_) start_ = std::chrono::steady_clock::now();
+  results_.reserve(k);
+}
+
+ResumableHsQuery::~ResumableHsQuery() = default;
+
+ResumableTask::StepResult ResumableHsQuery::Step() {
+  if (done_) return StepResult::kDone;
+  while (results_.size() < k_) {
+    std::optional<PairResult> next;
+    Status error;
+    const auto r = impl_->TryNext(&next, &error);
+    if (r == hs_internal::JoinImpl::NextOutcome::kParked) {
+      return StepResult::kParked;
+    }
+    if (r == hs_internal::JoinImpl::NextOutcome::kError) {
+      final_status_ = std::move(error);
+      done_ = true;
+      return StepResult::kDone;
+    }
+    if (r == hs_internal::JoinImpl::NextOutcome::kEmitted) {
+      results_.push_back(*next);
+      continue;
+    }
+    break;  // exhausted (or stopped by the context)
+  }
+  if (stats_ != nullptr) *stats_ = impl_->stats();
+  FoldHsMetrics(impl_->stats(),
+                timed_ ? std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count()
+                       : -1.0);
+  final_status_ = Status::OK();
+  done_ = true;
+  return StepResult::kDone;
 }
 
 }  // namespace kcpq

@@ -96,6 +96,10 @@ struct HsStats {
   /// combined; zero with prefetch_window = 0; see CpqStats).
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_hits = 0;
+  /// Resumable-scheduler execution only (zero under the blocking path):
+  /// parks on non-resident pages and total parked wall time (see CpqStats).
+  uint64_t io_parks = 0;
+  uint64_t io_parked_ns = 0;
 
   /// Result quality certificate (see QueryQuality). An HS stop is gentler
   /// than a CPQ one: the emitted pairs are exactly the closest

@@ -175,6 +175,14 @@ std::string RenderExplainReport(const ExplainInputs& in,
     os << "\n\n";
   }
 
+  // Rendered only when the query ran under the completion-driven
+  // scheduler: blocking-path reports (and their goldens) stay byte-stable.
+  if (!in.scheduler.empty()) {
+    os << "Scheduler\n";
+    os << "  mode: " << in.scheduler << "  io parks: " << Num(in.io_parks)
+       << "  parked: " << Fixed(in.io_parked_seconds * 1e3, 1) << " ms\n\n";
+  }
+
   os << "Memory\n";
   os << "  measured peak:          " << HumanBytes(in.measured_peak_bytes)
      << "\n";

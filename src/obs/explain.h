@@ -102,6 +102,14 @@ struct ExplainInputs {
   uint64_t prefetch_wasted = 0;
   uint64_t prefetch_pending = 0;
 
+  // Completion-driven scheduling (docs/io.md): set only when the query ran
+  // as a resumable state machine (the section — and golden reports — are
+  // untouched when `scheduler` is empty). io_parked_seconds is scheduler
+  // wait, not work: a multiplexed worker runs other queries during it.
+  std::string scheduler;       // e.g. "resumable"; empty -> blocking
+  uint64_t io_parks = 0;
+  double io_parked_seconds = 0.0;
+
   // Memory: admission estimate vs. measured peak.
   uint64_t admission_estimate_bytes = 0;  // 0 -> not estimated
   uint64_t measured_peak_bytes = 0;

@@ -76,6 +76,13 @@ KcpqMetrics Register() {
       r.GetCounter("kcpq_admission_rejected_total");
   m.admission_feedback_updates_total =
       r.GetCounter("kcpq_admission_feedback_updates_total");
+
+  m.scheduler_parks_total = r.GetCounter("kcpq_scheduler_parks_total");
+  m.scheduler_wakes_total = r.GetCounter("kcpq_scheduler_wakes_total");
+  m.scheduler_steps_total = r.GetCounter("kcpq_scheduler_steps_total");
+  m.scheduler_parked = r.GetGauge("kcpq_scheduler_parked");
+  m.scheduler_runnable = r.GetGauge("kcpq_scheduler_runnable");
+  m.scheduler_inflight_peak = r.GetGauge("kcpq_scheduler_inflight_peak");
   return m;
 }
 

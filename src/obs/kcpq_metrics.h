@@ -75,6 +75,14 @@ struct KcpqMetrics {
   Counter* admission_rejected_total;
   Counter* admission_feedback_updates_total;
 
+  // -- completion-driven scheduler (docs/io.md) -------------------------
+  Counter* scheduler_parks_total;          // task yielded on a page miss
+  Counter* scheduler_wakes_total;          // parked task re-queued
+  Counter* scheduler_steps_total;          // task step invocations
+  Gauge* scheduler_parked;                 // tasks currently parked
+  Gauge* scheduler_runnable;               // tasks queued runnable
+  Gauge* scheduler_inflight_peak;          // high-water mark of in-flight
+
   /// The singleton handle bundle; instruments are registered on first use.
   static const KcpqMetrics& Get();
 };

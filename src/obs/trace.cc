@@ -22,6 +22,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kRetryAbandoned: return "retry_abandoned";
     case TraceEventKind::kBoundUpdate: return "bound_update";
     case TraceEventKind::kIoOverlap: return "io_overlap";
+    case TraceEventKind::kIoPark: return "io_park";
   }
   return "unknown";
 }

@@ -32,6 +32,8 @@ enum class TraceEventKind : uint8_t {
   kBoundUpdate,     // pruning bound T tightened; bound = new T
   kIoOverlap,       // demand read served by a prefetched page; a = page
                     // id, dur = residual wait (vs a full kIoWait)
+  kIoPark,          // resumable engine parked on a non-resident page;
+                    // a = page id, dur = parked time until resumption
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -101,6 +101,15 @@ Status RStarTree::ReadNode(PageId page, Node* node, QueryContext* ctx) const {
   return DeserializeNode(raw, node);
 }
 
+Status RStarTree::TryReadNode(PageId page, Node* node, QueryContext* ctx,
+                              const Waker& waker,
+                              BufferManager::TryReadOutcome* outcome) const {
+  Page raw;
+  KCPQ_RETURN_IF_ERROR(buffer_->TryRead(page, &raw, ctx, waker, outcome));
+  if (outcome->parked) return Status::OK();
+  return DeserializeNode(raw, node);
+}
+
 Status RStarTree::WriteNode(PageId page, const Node& node) {
   Page raw(buffer_->storage()->page_size());
   KCPQ_RETURN_IF_ERROR(SerializeNode(node, &raw));

@@ -125,6 +125,15 @@ class RStarTree {
   /// error).
   Status ReadNode(PageId page, Node* node, QueryContext* ctx = nullptr) const;
 
+  /// Non-blocking ReadNode for the resumable engines: forwards to
+  /// BufferManager::TryRead. When `outcome->parked` is set the node was
+  /// not available — the waker is registered and the caller must retry
+  /// after it fires; otherwise the node is deserialized and outcome
+  /// carries the hit/miss accounting of the access.
+  Status TryReadNode(PageId page, Node* node, QueryContext* ctx,
+                     const Waker& waker,
+                     BufferManager::TryReadOutcome* outcome) const;
+
   /// Tight MBR of the whole tree (reads the root). Empty rect if empty.
   Status RootMbr(Rect* mbr, QueryContext* ctx = nullptr) const;
 

@@ -20,6 +20,18 @@
 // one. async_storage_test.cc pins this down with a two-thread timing
 // assertion, and the async read path (ReadPagesAsync over the shared
 // I/O pool) relies on it to overlap speculative reads.
+//
+// The async batched path needs its own care: the default thread-pool
+// backend runs one DoReadPage per pool task, so a batch wider than the
+// I/O pool would *serialize* sleeps on the reused workers — a 16-page
+// batch over 8 I/O threads would cost 2 latencies instead of 1, and the
+// penalty would scale with pool occupancy rather than with the simulated
+// device. DoReadPagesAsync below therefore stamps the batch's ready time
+// at submission and has each worker sleep_until that absolute deadline:
+// every page becomes ready one read_latency after submission regardless
+// of which worker runs it or when it picks the task up, exactly like a
+// real device serving independent in-flight requests (latency is per
+// page, not per pool pass over the batch).
 
 #ifndef KCPQ_STORAGE_LATENCY_STORAGE_H_
 #define KCPQ_STORAGE_LATENCY_STORAGE_H_
@@ -27,6 +39,7 @@
 #include <chrono>
 #include <thread>
 
+#include "storage/async_io.h"
 #include "storage/storage_manager.h"
 
 namespace kcpq {
@@ -63,6 +76,32 @@ class LatencyStorageManager final : public StorageManager {
     if (read_latency_.count() > 0) std::this_thread::sleep_for(read_latency_);
     CountRead();
     return base_->ReadPage(id, page, ctx);
+  }
+
+  /// Async batch with per-page (not per-pool-pass) latency: all pages of
+  /// the batch become ready `read_latency_` after submission, even when
+  /// the shared I/O pool is narrower than the batch (see file comment).
+  /// kSync keeps the default inline path — its sequential per-page sleeps
+  /// are the point of that differential baseline.
+  void DoReadPagesAsync(const PageId* ids, size_t count,
+                        const AsyncReadCallback& callback) override {
+    if (io_backend() != IoBackend::kThreadPool || read_latency_.count() <= 0) {
+      StorageManager::DoReadPagesAsync(ids, count, callback);
+      return;
+    }
+    const auto ready = std::chrono::steady_clock::now() + read_latency_;
+    IoThreadPool& pool = IoThreadPool::Shared();
+    for (size_t i = 0; i < count; ++i) {
+      const PageId id = ids[i];
+      pool.Submit([this, id, ready, callback] {
+        std::this_thread::sleep_until(ready);
+        AsyncPageRead done;
+        done.id = id;
+        CountRead();
+        done.status = base_->ReadPage(id, &done.page, nullptr);
+        callback(std::move(done));
+      });
+    }
   }
 
  private:

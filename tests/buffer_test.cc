@@ -317,5 +317,23 @@ TEST(BufferManagerTest, AggregateStatsConcurrentWithReaders) {
             static_cast<uint64_t>(kThreads) * kReadsPerThread);
 }
 
+// Regression: capacity_pages < shards leaves some shards with capacity
+// 0; the first miss routed to such a shard used to pick an eviction
+// victim from an empty policy (undefined behaviour — crashed in release
+// builds). A zero-capacity shard must simply hold its most recent page.
+TEST(BufferManagerTest, FewerPagesThanShardsDoesNotCrash) {
+  MemoryStorageManager storage(64);
+  const auto ids = Populate(&storage, 128);
+  BufferManager buffer(&storage, /*capacity_pages=*/32, /*shards=*/64,
+                       [] { return MakeLruPolicy(); });
+  Page out;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const PageId id : ids) KCPQ_ASSERT_OK(buffer.Read(id, &out));
+  }
+  const BufferStats stats = buffer.AggregateStats();
+  EXPECT_EQ(stats.logical_reads(), 2u * ids.size());
+  EXPECT_GT(stats.misses, 0u);
+}
+
 }  // namespace
 }  // namespace kcpq

@@ -243,6 +243,51 @@ TEST_F(CliTest, KcpBatchOutcomesLineAndFailFast) {
   EXPECT_NE(out.find("# partial (node-budget):"), std::string::npos);
 }
 
+TEST_F(CliTest, KcpResumableSchedulerMatchesBlocking) {
+  BuildBoth("500");
+  // Single-query: the inline-driven state machine must print the exact
+  // pairs and disk-access line the blocking engine prints.
+  std::string blocking, resumable;
+  KCPQ_ASSERT_OK(
+      RunCli({"kcp", db_p_, db_q_, "3", "--buffer=0"}, &blocking));
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "3", "--buffer=0",
+                         "--scheduler=resumable"},
+                        &resumable));
+  EXPECT_EQ(blocking.substr(0, blocking.find("# disk")),
+            resumable.substr(0, resumable.find("# disk")));
+  // Same stats line up to (but excluding) the wall-time suffix.
+  const auto disk_line = [](const std::string& s) {
+    const size_t start = s.find("# disk");
+    std::string line = s.substr(start, s.find('\n', start) - start);
+    return line.substr(0, line.rfind(';'));
+  };
+  EXPECT_EQ(disk_line(blocking), disk_line(resumable));
+  EXPECT_NE(resumable.find("# scheduler:"), std::string::npos);
+  EXPECT_NE(resumable.find("io parks"), std::string::npos);
+  // Batch: the completion-driven executor reports the same outcomes.
+  std::string out;
+  KCPQ_ASSERT_OK(RunCli({"kcp", db_p_, db_q_, "2", "--threads=2",
+                         "--repeat=8", "--scheduler=resumable",
+                         "--max-inflight=4"},
+                        &out));
+  EXPECT_NE(out.find("outcomes: ok=8 partial=0 cancelled=0 failed=0"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, SchedulerFlagValidation) {
+  BuildBoth("100");
+  std::string out;
+  EXPECT_FALSE(
+      RunCli({"kcp", db_p_, db_q_, "1", "--scheduler=fiber"}, &out).ok());
+  // --max-inflight only makes sense for the resumable executor.
+  EXPECT_FALSE(
+      RunCli({"kcp", db_p_, db_q_, "1", "--max-inflight=8"}, &out).ok());
+  EXPECT_FALSE(RunCli({"kcp", db_p_, db_q_, "1", "--scheduler=resumable",
+                       "--max-inflight=0"},
+                      &out)
+                   .ok());
+}
+
 TEST_F(CliTest, JoinAndSemiHonorNodeBudget) {
   BuildBoth("500");
   std::string out;

@@ -6,8 +6,10 @@
 
 #include "buffer/buffer_manager.h"
 #include "common/query_context.h"
+#include "common/resumable.h"
 #include "common/timer.h"
 #include "cpq/cpq.h"
+#include "cpq/resumable.h"
 #include "cpq/distance_join.h"
 #include "cpq/multiway.h"
 #include "cpq/planner.h"
@@ -323,6 +325,42 @@ void PrintQueryStats(std::FILE* out, const CpqStats& stats, double seconds) {
                  100.0 * static_cast<double>(stats.prefetch_hits) /
                      static_cast<double>(stats.prefetch_issued));
   }
+  if (stats.io_parks > 0) {
+    std::fprintf(out, "# scheduler: %llu io parks, %.1f ms parked\n",
+                 static_cast<unsigned long long>(stats.io_parks),
+                 static_cast<double>(stats.io_parked_ns) / 1e6);
+  }
+}
+
+// Parses --scheduler=blocking|resumable and --max-inflight=N (the latter
+// implies nothing by itself; it caps concurrent in-flight queries of the
+// resumable batch path).
+Status ParseSchedulerFlags(const Flags& flags, SchedulerMode* mode,
+                           size_t* max_inflight) {
+  if (const auto it = flags.named.find("scheduler"); it != flags.named.end()) {
+    if (it->second == "blocking") {
+      *mode = SchedulerMode::kBlocking;
+    } else if (it->second == "resumable") {
+      *mode = SchedulerMode::kResumable;
+    } else {
+      return Status::InvalidArgument(
+          "--scheduler must be blocking or resumable");
+    }
+  }
+  if (const auto it = flags.named.find("max-inflight");
+      it != flags.named.end()) {
+    uint64_t n = 0;
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &n));
+    if (n == 0) {
+      return Status::InvalidArgument("--max-inflight must be positive");
+    }
+    if (*mode != SchedulerMode::kResumable) {
+      return Status::InvalidArgument(
+          "--max-inflight requires --scheduler=resumable");
+    }
+    *max_inflight = static_cast<size_t>(n);
+  }
+  return Status::OK();
 }
 
 Status CmdGenerate(const Flags& flags, std::FILE* out) {
@@ -481,6 +519,7 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "[--admission=off|advisory|enforce] [--memory-pool-bytes=N] "
         "[--admission-feedback=ALPHA] [--prefetch=on|off] "
         "[--prefetch-window=N] [--io-backend=sync|pool|uring] "
+        "[--scheduler=blocking|resumable] [--max-inflight=N] "
         "[--explain] [--trace-out=PATH] [--stats-json=PATH]");
   }
   Database p, q;
@@ -519,6 +558,10 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   AdmissionOptions admission;
   KCPQ_RETURN_IF_ERROR(ParseAdmissionFlags(flags, &admission));
 
+  SchedulerMode scheduler = SchedulerMode::kBlocking;
+  size_t max_inflight = 0;
+  KCPQ_RETURN_IF_ERROR(ParseSchedulerFlags(flags, &scheduler, &max_inflight));
+
   DiagnosticsFlags diag;
   KCPQ_RETURN_IF_ERROR(
       ParseDiagnosticsFlags(flags, threads, repeat, admission.mode, &diag));
@@ -546,6 +589,8 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     batch_options.cancel_batch_on_first_failure =
         flags.named.count("fail-fast") > 0;
     batch_options.admission = admission;
+    batch_options.scheduler = scheduler;
+    batch_options.max_inflight = max_inflight;
     BatchStats batch_stats;
     Timer timer;
     const std::vector<BatchQueryResult> results = BatchKClosestPairs(
@@ -607,8 +652,25 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
 
   CpqStats stats;
   Timer timer;
-  KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
-                        KClosestPairs(*p.tree, *q.tree, options, &stats));
+  std::vector<PairResult> pairs;
+  if (scheduler == SchedulerMode::kResumable) {
+    // Single-query diagnostic path for the completion-driven engine: the
+    // state machine is driven to completion inline (InlineWakerGate), so
+    // --explain/--trace observe exactly what a multiplexed worker would.
+    options.context = &ctx;
+    InlineWakerGate gate;
+    ResumableCpqQuery task(*p.tree, *q.tree, options, &stats,
+                           gate.waker());
+    gate.RunToCompletion(task);
+    // Settle speculation while the task (the prefetch issuer) is alive.
+    p.buffer->DrainPrefetches();
+    if (q.buffer.get() != p.buffer.get()) q.buffer->DrainPrefetches();
+    KCPQ_RETURN_IF_ERROR(task.status());
+    pairs = task.TakeResults();
+  } else {
+    KCPQ_ASSIGN_OR_RETURN(
+        pairs, KClosestPairs(*p.tree, *q.tree, options, &stats));
+  }
   const double seconds = timer.ElapsedSeconds();
   PrintPairs(out, pairs);
   PrintQuality(out, stats.quality);
@@ -671,6 +733,12 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                                  : 0;
     inputs.admission_estimate_bytes = estimator.EstimateQueryBytes(query);
     inputs.measured_peak_bytes = ctx.accountant().peak_total_bytes();
+    if (scheduler == SchedulerMode::kResumable) {
+      inputs.scheduler = "resumable";
+      inputs.io_parks = stats.io_parks;
+      inputs.io_parked_seconds =
+          static_cast<double>(stats.io_parked_ns) / 1e9;
+    }
     inputs.complete = !stats.quality.is_partial();
     if (!inputs.complete) {
       inputs.stop_cause = StopCauseName(stats.quality.stop_cause);
@@ -908,6 +976,7 @@ void PrintUsage(std::FILE* out) {
       "       [--memory-pool-bytes=N] [--admission-feedback=ALPHA]\n"
       "       [--prefetch=on|off] [--prefetch-window=N]\n"
       "       [--io-backend=sync|pool|uring]\n"
+      "       [--scheduler=blocking|resumable] [--max-inflight=N]\n"
       "       [--explain] [--trace-out=PATH] [--stats-json=PATH]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
