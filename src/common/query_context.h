@@ -120,6 +120,18 @@ class ResourceAccountant {
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> pages_;
 };
 
+/// Per-query replication outcomes (storage/mirrored_storage.h): how often
+/// the mirror had to fail over, repair, or hedge on this query's behalf.
+/// Purely observational — none of it feeds back into the result or the
+/// paper's disk-access metric — and filled in only when the storage stack
+/// is actually mirrored.
+struct ReplicationStats {
+  uint64_t failover_reads = 0;  // logical reads served past a replica error
+  uint64_t read_repairs = 0;    // corrupt replica copies healed inline
+  uint64_t hedged_reads = 0;    // speculative second replica reads issued
+  uint64_t hedge_wins = 0;      // hedges that finished first
+};
+
 /// First-class per-query context: control plane + resource accounting.
 /// Owned by whoever issues the query (the batch executor builds one per
 /// query; direct engine callers may pass their own for observability, or
@@ -170,11 +182,19 @@ class QueryContext {
   obs::PruningProfile* profile() const { return profile_; }
   void set_profile(obs::PruningProfile* profile) { profile_ = profile; }
 
+  /// Replication outcome tallies, mutable through the const context the
+  /// storage read path carries (same pattern as trace(): the context is
+  /// const below the buffer, but observability sinks are written to).
+  /// Single-threaded like the rest of the context — the mirror bumps
+  /// these only on the query's own thread, never from pool completions.
+  ReplicationStats& replication() const { return replication_; }
+
  private:
   QueryControl control_;
   ResourceAccountant accountant_;
   obs::TraceBuffer* trace_ = nullptr;
   obs::PruningProfile* profile_ = nullptr;
+  mutable ReplicationStats replication_;
 };
 
 /// Accumulates the frontier of a stopped branch-and-bound search into the

@@ -64,6 +64,17 @@ HsOptions HsOptionsFrom(const CpqOptions& cpq, const QueryControl& merged,
   return hs;
 }
 
+/// Surfaces the mirror's per-query replication tallies (failover, repair,
+/// hedging — see common/query_context.h) into the result; all zero when
+/// the storage stack has a single replica.
+void CopyReplication(const QueryContext& ctx, BatchQueryResult* result) {
+  const ReplicationStats& rep = ctx.replication();
+  result->failover_reads = rep.failover_reads;
+  result->read_repairs = rep.read_repairs;
+  result->hedged_reads = rep.hedged_reads;
+  result->hedge_wins = rep.hedge_wins;
+}
+
 QueryOutcome OutcomeOf(const BatchQueryResult& result) {
   if (!result.status.ok()) return QueryOutcome::kFailed;
   if (result.stats.quality.stop_cause == StopCause::kCancelled) {
@@ -121,6 +132,7 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
         Status::InvalidArgument("unknown batch query kind"));
   }();
   result->peak_memory_bytes = ctx.accountant().peak_total_bytes();
+  CopyReplication(ctx, result);
   if (r.ok()) {
     result->pairs = std::move(r).value();
     result->status = Status::OK();
@@ -293,6 +305,7 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
     if (queries[i].kind != BatchQueryKind::kSemiClosestPairs) {
       result.peak_memory_bytes =
           slot.ctx != nullptr ? slot.ctx->accountant().peak_total_bytes() : 0;
+      if (slot.ctx != nullptr) CopyReplication(*slot.ctx, &result);
       result.outcome = OutcomeOf(result);
     }
     double seconds = -1.0;
@@ -424,6 +437,12 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
           ++stats->rejected;
           break;
       }
+      // Replication effort is real even when the query ultimately failed
+      // (every replica may have been tried), so fold it unconditionally.
+      stats->failover_reads += r.failover_reads;
+      stats->read_repairs += r.read_repairs;
+      stats->hedged_reads += r.hedged_reads;
+      stats->hedge_wins += r.hedge_wins;
       if (!r.status.ok()) continue;
       stats->node_pairs_processed += r.stats.node_pairs_processed;
       stats->point_distance_computations +=

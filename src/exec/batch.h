@@ -98,6 +98,14 @@ struct BatchQueryResult {
   /// resumable scheduler this includes parked time — see
   /// CpqStats::io_parked_ns for how much of it was I/O wait.
   double seconds = -1.0;
+  /// Replication outcomes the mirrored storage stack recorded on this
+  /// query's behalf (common/query_context.h ReplicationStats); all zero on
+  /// single-replica stacks. Observational only — the result and the
+  /// paper's disk-access metric never depend on them.
+  uint64_t failover_reads = 0;
+  uint64_t read_repairs = 0;
+  uint64_t hedged_reads = 0;
+  uint64_t hedge_wins = 0;
 };
 
 struct BatchOptions {
@@ -153,6 +161,12 @@ struct BatchStats {
   uint64_t point_distance_computations = 0;
   uint64_t leaf_pairs_skipped = 0;
   uint64_t disk_accesses = 0;
+  /// Replication totals (sums of the per-query fields; zero when the
+  /// storage stack is not mirrored).
+  uint64_t failover_reads = 0;
+  uint64_t read_repairs = 0;
+  uint64_t hedged_reads = 0;
+  uint64_t hedge_wins = 0;
 };
 
 /// Runs every query of `queries` against (`tree_p`, `tree_q`) on

@@ -183,6 +183,19 @@ std::string RenderExplainReport(const ExplainInputs& in,
        << "  parked: " << Fixed(in.io_parked_seconds * 1e3, 1) << " ms\n\n";
   }
 
+  // Rendered only for a mirrored stack (>= 2 replicas): single-replica
+  // reports — and their goldens — stay byte-stable.
+  if (in.replicas > 1) {
+    os << "Replication\n";
+    os << "  replicas: " << Num(in.replicas) << "  hedging: "
+       << (in.hedge_mode.empty() ? "off" : in.hedge_mode) << "\n";
+    os << "  failover reads: " << Num(in.failover_reads)
+       << "  read repairs: " << Num(in.read_repairs) << "\n";
+    os << "  hedged reads: " << Num(in.hedged_reads)
+       << "  hedge wins: " << Num(in.hedge_wins) << "  win ratio: "
+       << Percent(in.hedge_wins, in.hedged_reads) << "\n\n";
+  }
+
   os << "Memory\n";
   os << "  measured peak:          " << HumanBytes(in.measured_peak_bytes)
      << "\n";

@@ -110,6 +110,16 @@ struct ExplainInputs {
   uint64_t io_parks = 0;
   double io_parked_seconds = 0.0;
 
+  // Replication (storage/mirrored_storage.h): rendered only when
+  // replicas > 1, so single-replica reports — and their goldens — are
+  // byte-identical to the pre-replication renderer.
+  uint64_t replicas = 0;        // 0 or 1 -> section omitted
+  std::string hedge_mode;       // "off" / "static" / "adaptive"
+  uint64_t failover_reads = 0;  // reads served past a replica failure
+  uint64_t read_repairs = 0;    // corrupt copies healed inline
+  uint64_t hedged_reads = 0;    // speculative second reads issued
+  uint64_t hedge_wins = 0;      // hedges that finished first
+
   // Memory: admission estimate vs. measured peak.
   uint64_t admission_estimate_bytes = 0;  // 0 -> not estimated
   uint64_t measured_peak_bytes = 0;

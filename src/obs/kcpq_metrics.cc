@@ -27,6 +27,31 @@ KcpqMetrics Register() {
   m.io_read_wait_seconds =
       r.GetHistogram("kcpq_io_read_wait_seconds", kLatency);
 
+  m.storage_replica_read_attempts_total =
+      r.GetCounter("kcpq_storage_replica_read_attempts_total");
+  m.storage_replica_failovers_total =
+      r.GetCounter("kcpq_storage_replica_failovers_total");
+  m.storage_replica_repairs_total =
+      r.GetCounter("kcpq_storage_replica_repairs_total");
+  m.storage_replica_breaker_opens_total =
+      r.GetCounter("kcpq_storage_replica_breaker_opens_total");
+  m.storage_replica_breaker_closes_total =
+      r.GetCounter("kcpq_storage_replica_breaker_closes_total");
+  m.storage_replica_breaker_skips_total =
+      r.GetCounter("kcpq_storage_replica_breaker_skips_total");
+  m.storage_corruptions_detected_total =
+      r.GetCounter("kcpq_storage_corruptions_detected_total");
+  m.storage_corruptions_injected_total =
+      r.GetCounter("kcpq_storage_corruptions_injected_total");
+  m.storage_faults_injected_total =
+      r.GetCounter("kcpq_storage_faults_injected_total");
+  m.hedge_issued_total = r.GetCounter("kcpq_hedge_issued_total");
+  m.hedge_wins_total = r.GetCounter("kcpq_hedge_wins_total");
+  m.hedge_wasted_total = r.GetCounter("kcpq_hedge_wasted_total");
+  m.scrub_pages_total = r.GetCounter("kcpq_scrub_pages_total");
+  m.scrub_divergent_total = r.GetCounter("kcpq_scrub_divergent_total");
+  m.scrub_repairs_total = r.GetCounter("kcpq_scrub_repairs_total");
+
   m.buffer_hits_total = r.GetCounter("kcpq_buffer_hits_total");
   m.buffer_misses_total = r.GetCounter("kcpq_buffer_misses_total");
   m.buffer_evictions_total = r.GetCounter("kcpq_buffer_evictions_total");

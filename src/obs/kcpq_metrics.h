@@ -31,6 +31,23 @@ struct KcpqMetrics {
   Counter* storage_retry_deadline_abandoned_total;
   Histogram* io_read_wait_seconds;         // per-page physical read latency
 
+  // -- replication / hedging / scrub (docs/robustness.md) ---------------
+  Counter* storage_replica_read_attempts_total;  // per-replica read tries
+  Counter* storage_replica_failovers_total;      // reads served past a failure
+  Counter* storage_replica_repairs_total;        // read-repair writebacks
+  Counter* storage_replica_breaker_opens_total;
+  Counter* storage_replica_breaker_closes_total;
+  Counter* storage_replica_breaker_skips_total;  // reads routed around open
+  Counter* storage_corruptions_detected_total;   // checksum mismatches
+  Counter* storage_corruptions_injected_total;   // fault layer (tests/chaos)
+  Counter* storage_faults_injected_total;        // fault layer (tests/chaos)
+  Counter* hedge_issued_total;                   // speculative second reads
+  Counter* hedge_wins_total;                     // hedge finished first
+  Counter* hedge_wasted_total;                   // hedge lost or failed
+  Counter* scrub_pages_total;                    // pages verified by scrub
+  Counter* scrub_divergent_total;                // pages with bad replicas
+  Counter* scrub_repairs_total;                  // replica copies rewritten
+
   // -- buffer -----------------------------------------------------------
   Counter* buffer_hits_total;
   Counter* buffer_misses_total;

@@ -23,6 +23,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kBoundUpdate: return "bound_update";
     case TraceEventKind::kIoOverlap: return "io_overlap";
     case TraceEventKind::kIoPark: return "io_park";
+    case TraceEventKind::kIoHedge: return "io_hedge";
   }
   return "unknown";
 }

@@ -34,6 +34,8 @@ enum class TraceEventKind : uint8_t {
                     // id, dur = residual wait (vs a full kIoWait)
   kIoPark,          // resumable engine parked on a non-resident page;
                     // a = page id, dur = parked time until resumption
+  kIoHedge,         // speculative second replica read issued; a = page
+                    // id, b = hedge replica, dur = delay before hedging
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

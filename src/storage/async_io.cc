@@ -20,7 +20,13 @@ size_t PoolSizeFromEnv() {
   return static_cast<size_t>(value);
 }
 
+// Set for the lifetime of WorkerLoop on each pool thread; never reset
+// (worker threads run the loop until pool destruction).
+thread_local bool t_on_io_worker = false;
+
 }  // namespace
+
+bool IoThreadPool::OnWorkerThread() { return t_on_io_worker; }
 
 IoThreadPool& IoThreadPool::Shared() {
   // Meyers singleton with a joining destructor: workers are stopped and
@@ -57,6 +63,7 @@ void IoThreadPool::Submit(std::function<void()> task) {
 }
 
 void IoThreadPool::WorkerLoop() {
+  t_on_io_worker = true;
   for (;;) {
     std::function<void()> task;
     {

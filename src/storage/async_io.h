@@ -48,6 +48,14 @@ class IoThreadPool {
 
   size_t threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this process's I/O pool
+  /// workers (any IoThreadPool instance). Storage layers that both submit
+  /// to the pool and block on the completion — the hedged-read path in
+  /// storage/mirrored_storage.h — must check this and fall back to a
+  /// non-blocking strategy: a worker waiting on a task queued behind
+  /// itself deadlocks the pool once every worker does it.
+  static bool OnWorkerThread();
+
   /// Default worker count when KCPQ_IO_THREADS is unset: enough to overlap
   /// a prefetch window of 8 node pairs, independent of core count (the
   /// workers block in I/O, they do not compute).

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/kcpq_metrics.h"
+
 namespace kcpq {
 
 namespace {
@@ -64,6 +66,8 @@ Status ChecksummedStorageManager::DoReadPage(PageId id, Page* page,
   const uint32_t computed = Crc32c(raw.data(), payload);
   if (stored != computed && !IsAllZero(raw.data(), raw.size())) {
     corruption_detections_.fetch_add(1, std::memory_order_relaxed);
+    KCPQ_METRIC_INC(
+        obs::KcpqMetrics::Get().storage_corruptions_detected_total);
     return Status::Corruption("checksum mismatch on page " +
                               std::to_string(id));
   }

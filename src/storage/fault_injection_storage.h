@@ -11,6 +11,15 @@
 // (kIoTransient — FailNextN and the transient probabilistic mode), which a
 // RetryingStorageManager stacked on top is allowed to absorb.
 //
+// Besides erroring, the wrapper models *silent media corruption*:
+// CorruptPage(id) makes the page's bytes come back deterministically
+// scrambled — sticky until the page is rewritten, exactly like real bit
+// rot under a store that heals on write. A ChecksummedStorageManager
+// stacked on top turns the scramble into Status::kCorruption; the
+// mirrored/scrub machinery (storage/mirrored_storage.h) then fails over
+// and repairs it. ApplyPlan replays a whole fault scenario from one seed
+// so chaos runs are reproducible per replica.
+//
 // Injection state is mutex-guarded so the wrapper honours the
 // StorageManager thread-safety contract (the batch chaos tests drive it
 // from many threads through the sharded buffer manager).
@@ -21,11 +30,27 @@
 #include <atomic>
 #include <limits>
 #include <mutex>
+#include <unordered_set>
 
 #include "common/random.h"
+#include "obs/kcpq_metrics.h"
 #include "storage/storage_manager.h"
 
 namespace kcpq {
+
+/// A reproducible per-replica fault scenario, replayable from one seed
+/// (chaos tests hand each replica its own plan). Corrupt pages are drawn
+/// deterministically from [0, PageCount()); apply the plan after the
+/// store is populated.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Distinct pages to corrupt stickily (CorruptPage semantics).
+  uint64_t corrupt_pages = 0;
+  /// Per-operation error probability (0 disables; FailWithProbability).
+  double error_probability = 0.0;
+  /// Error flavour for the probabilistic faults.
+  bool transient = false;
+};
 
 class FaultInjectionStorageManager final : public StorageManager {
  public:
@@ -68,6 +93,64 @@ class FaultInjectionStorageManager final : public StorageManager {
     transient_remaining_ = 0;
   }
 
+  /// Marks `id` as silently corrupt: reads return its bytes XORed with a
+  /// deterministic per-page scramble stream (seeded by `corruption_seed`
+  /// ^ id) until the page is rewritten, which heals it — matching how
+  /// read-repair and scrubbing fix real bit rot. The corruption is
+  /// *silent* at this layer (reads return OK); stack a
+  /// ChecksummedStorageManager above to detect it.
+  void CorruptPage(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    corrupt_pages_.insert(id);
+  }
+
+  /// Stickily corrupts `count` distinct pages drawn deterministically
+  /// from [0, PageCount()); the same seed over the same store corrupts
+  /// the same pages. Returns how many pages were newly marked.
+  uint64_t CorruptPagesFromSeed(uint64_t seed, uint64_t count) {
+    const uint64_t pages = base_->PageCount();
+    if (pages == 0) return 0;
+    Xoshiro256pp rng(seed);
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t marked = 0;
+    // Bounded draw loop: count is clamped by the page population.
+    const uint64_t want = count < pages ? count : pages;
+    while (marked < want) {
+      if (corrupt_pages_.insert(rng.NextBounded(pages)).second) ++marked;
+    }
+    return marked;
+  }
+
+  /// Replays a whole fault scenario from one seed (see FaultPlan).
+  void ApplyPlan(const FaultPlan& plan) {
+    if (plan.corrupt_pages > 0) {
+      CorruptPagesFromSeed(plan.seed, plan.corrupt_pages);
+    }
+    if (plan.error_probability > 0.0) {
+      FailWithProbability(plan.error_probability, plan.seed ^ 0x70726f62ULL,
+                          plan.transient);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    corruption_seed_ = plan.seed;
+  }
+
+  /// Forgets all sticky corruption without rewriting the pages.
+  void ClearCorruption() {
+    std::lock_guard<std::mutex> lock(mu_);
+    corrupt_pages_.clear();
+  }
+
+  /// Pages currently marked corrupt (not yet healed by a rewrite).
+  uint64_t corrupt_page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return corrupt_pages_.size();
+  }
+
+  /// Reads that returned scrambled bytes so far.
+  uint64_t corruptions_served() const {
+    return corruptions_served_.load(std::memory_order_relaxed);
+  }
+
   /// Number of faults injected so far.
   uint64_t faults_injected() const {
     return faults_injected_.load(std::memory_order_relaxed);
@@ -86,7 +169,13 @@ class FaultInjectionStorageManager final : public StorageManager {
   Status WritePage(PageId id, const Page& page) override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("WritePage"));
     CountWrite();
-    return base_->WritePage(id, page);
+    Status s = base_->WritePage(id, page);
+    if (s.ok()) {
+      // A successful rewrite heals sticky corruption (fresh bytes landed).
+      std::lock_guard<std::mutex> lock(mu_);
+      corrupt_pages_.erase(id);
+    }
+    return s;
   }
   Status Sync() override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("Sync"));
@@ -97,7 +186,32 @@ class FaultInjectionStorageManager final : public StorageManager {
   Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override {
     KCPQ_RETURN_IF_ERROR(MaybeFail("ReadPage"));
     CountRead();
-    return base_->ReadPage(id, page, ctx);
+    KCPQ_RETURN_IF_ERROR(base_->ReadPage(id, page, ctx));
+    bool corrupt;
+    uint64_t scramble_seed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      corrupt = corrupt_pages_.count(id) > 0;
+      scramble_seed = corruption_seed_;
+    }
+    if (corrupt) {
+      // Deterministic scramble: XOR with a SplitMix64 stream keyed by
+      // (seed, page). Re-reads of the same corrupt page return the same
+      // wrong bytes, like real bit rot.
+      SplitMix64 stream(scramble_seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                        0xBADC0FFEEULL);
+      uint8_t* data = page->data();
+      for (size_t i = 0; i < page->size(); i += 8) {
+        uint64_t word = stream.Next();
+        for (size_t b = 0; b < 8 && i + b < page->size(); ++b) {
+          data[i + b] ^= static_cast<uint8_t>(word >> (8 * b));
+        }
+      }
+      corruptions_served_.fetch_add(1, std::memory_order_relaxed);
+      KCPQ_METRIC_INC(
+          obs::KcpqMetrics::Get().storage_corruptions_injected_total);
+    }
+    return Status::OK();
   }
 
  private:
@@ -125,20 +239,24 @@ class FaultInjectionStorageManager final : public StorageManager {
 
   Status Fault(const char* op, bool transient) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_faults_injected_total);
     std::string msg = std::string("injected fault in ") + op;
     return transient ? Status::IoTransient(std::move(msg))
                      : Status::IoError(std::move(msg));
   }
 
   StorageManager* base_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   Xoshiro256pp rng_;
   uint64_t countdown_ = kNever;
   uint64_t transient_remaining_ = 0;
   double probability_ = 0.0;
   bool probability_transient_ = false;
   bool tripped_ = false;
+  uint64_t corruption_seed_ = 0;
+  std::unordered_set<PageId> corrupt_pages_;
   std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> corruptions_served_{0};
 };
 
 }  // namespace kcpq

@@ -1,0 +1,76 @@
+#include "storage/scrub.h"
+
+namespace kcpq {
+
+BackgroundScrubber::BackgroundScrubber(MirroredStorageManager* mirrored,
+                                       ScrubActivityProbe activity,
+                                       BackgroundScrubOptions options)
+    : mirrored_(mirrored),
+      activity_(std::move(activity)),
+      options_(options),
+      last_active_at_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+BackgroundScrubber::~BackgroundScrubber() { Stop(); }
+
+void BackgroundScrubber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool BackgroundScrubber::BufferIdle() {
+  const uint64_t now_reads = activity_ ? activity_() : 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now_reads != last_activity_) {
+    last_activity_ = now_reads;
+    last_active_at_ = now;
+    return false;
+  }
+  return now - last_active_at_ >= options_.idle_after;
+}
+
+void BackgroundScrubber::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, options_.poll, [this] { return stop_; })) {
+        return;
+      }
+    }
+    if (!BufferIdle()) continue;
+    const uint64_t pages = mirrored_->PageCount();
+    if (pages == 0) continue;
+    PageId begin;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      begin = cursor_ >= pages ? 0 : cursor_;
+    }
+    ScrubReport tick =
+        mirrored_->ScrubPages(begin, options_.pages_per_tick, options_.repair);
+    std::lock_guard<std::mutex> lock(mu_);
+    report_.Merge(tick);
+    cursor_ = begin + tick.pages_scanned;
+    if (cursor_ >= pages) {
+      cursor_ = 0;
+      ++sweeps_;
+    }
+  }
+}
+
+ScrubReport BackgroundScrubber::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return report_;
+}
+
+uint64_t BackgroundScrubber::sweeps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+}  // namespace kcpq

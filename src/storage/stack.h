@@ -1,0 +1,224 @@
+// Canonical storage-stack composition (docs/robustness.md).
+//
+// The decorators compose in exactly one sane order, and getting it wrong
+// is quietly disastrous — a RetryingStorageManager *under* the mirror
+// would burn its retry budget re-reading a corrupt replica that can never
+// heal itself, and a checksum layer *above* the mirror could not tell the
+// mirror which replica's copy was bad. The canonical order, bottom to
+// top, is:
+//
+//   media (file/memory)        the bytes
+//   -> fault injection         chaos source; sees raw pages (tests only)
+//   -> latency                 device timing; below the mirror so a
+//                              hedge can beat a slow replica
+//   -> checksum                detects corruption *per replica*
+//   == one replica stack; N of them under ==
+//   -> mirrored                failover / hedging / repair across replicas
+//   -> retrying                absorbs transient faults only after every
+//                              replica failed over; never re-reads a
+//                              Corruption (Status::IsTransient gate)
+//
+// The builders here are the enforcement: every test, bench, and tool
+// composes through them instead of hand-stacking, and
+// tests/mirrored_test.cc unit-tests the ordering properties (corruption
+// is never retried on the same replica, transient exhaustion fails over,
+// the mis-ordered stack documents the gap this fixes).
+
+#ifndef KCPQ_STORAGE_STACK_H_
+#define KCPQ_STORAGE_STACK_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/checksum_storage.h"
+#include "storage/fault_injection_storage.h"
+#include "storage/file_storage.h"
+#include "storage/latency_storage.h"
+#include "storage/memory_storage.h"
+#include "storage/mirrored_storage.h"
+#include "storage/retrying_storage.h"
+
+namespace kcpq {
+
+/// Configuration for ReplicatedMemoryStack (the test/bench substrate).
+struct ReplicaStackConfig {
+  size_t replicas = 2;
+  /// Raw media page size; the checksum layer (when on) exposes 8 less.
+  size_t media_page_size = kDefaultPageSize;
+  /// Include a FaultInjectionStorageManager per replica (off = the layer
+  /// is skipped entirely, not just healed).
+  bool fault_injection = true;
+  /// Include a per-replica checksum layer (canonical; off only for
+  /// breaker unit tests that want raw error injection).
+  bool checksum = true;
+  /// Per-replica simulated device timing; all-zero skips the layer. Each
+  /// replica's profile seed is offset by its index so tails decorrelate.
+  LatencyProfile latency;
+  MirroredOptions mirrored;
+  /// > 0 stacks a RetryingStorageManager on top with this retry budget.
+  int io_retries = 0;
+  RetryPolicy retry;
+};
+
+/// N memory-backed replica stacks in canonical order under one mirror
+/// (and optional retry layer). Layers are owned here; `top()` is what the
+/// buffer manager should decorate.
+class ReplicatedMemoryStack {
+ public:
+  explicit ReplicatedMemoryStack(const ReplicaStackConfig& config)
+      : config_(config) {
+    const size_t n = config.replicas == 0 ? 1 : config.replicas;
+    std::vector<StorageManager*> tops;
+    for (size_t r = 0; r < n; ++r) {
+      media_.push_back(
+          std::make_unique<MemoryStorageManager>(config.media_page_size));
+      StorageManager* layer = media_.back().get();
+      if (config.fault_injection) {
+        faults_.push_back(
+            std::make_unique<FaultInjectionStorageManager>(layer));
+        layer = faults_.back().get();
+      } else {
+        faults_.push_back(nullptr);
+      }
+      if (config.latency.has_read_latency() ||
+          config.latency.write_latency.count() > 0) {
+        LatencyProfile profile = config.latency;
+        profile.seed ^= (static_cast<uint64_t>(r) + 1) * 0x9e3779b97f4a7c15ULL;
+        latencies_.push_back(
+            std::make_unique<LatencyStorageManager>(layer, profile));
+        layer = latencies_.back().get();
+      } else {
+        latencies_.push_back(nullptr);
+      }
+      if (config.checksum) {
+        checksums_.push_back(
+            std::make_unique<ChecksummedStorageManager>(layer));
+        layer = checksums_.back().get();
+      } else {
+        checksums_.push_back(nullptr);
+      }
+      replica_tops_.push_back(layer);
+      tops.push_back(layer);
+    }
+    mirrored_ = std::make_unique<MirroredStorageManager>(std::move(tops),
+                                                         config.mirrored);
+    if (config.io_retries > 0) {
+      RetryPolicy policy = config.retry;
+      policy.max_retries = config.io_retries;
+      retrying_ =
+          std::make_unique<RetryingStorageManager>(mirrored_.get(), policy);
+    }
+  }
+
+  /// The logical store queries should use (retrying when configured,
+  /// else the mirror).
+  StorageManager* top() {
+    return retrying_ != nullptr
+               ? static_cast<StorageManager*>(retrying_.get())
+               : static_cast<StorageManager*>(mirrored_.get());
+  }
+
+  MirroredStorageManager* mirrored() { return mirrored_.get(); }
+  RetryingStorageManager* retrying() { return retrying_.get(); }
+  size_t replicas() const { return replica_tops_.size(); }
+  /// Per-replica layer access (null when the layer is configured off).
+  StorageManager* replica_top(size_t r) { return replica_tops_[r]; }
+  MemoryStorageManager* media(size_t r) { return media_[r].get(); }
+  FaultInjectionStorageManager* fault(size_t r) { return faults_[r].get(); }
+  ChecksummedStorageManager* checksum(size_t r) {
+    return checksums_[r].get();
+  }
+  LatencyStorageManager* latency(size_t r) { return latencies_[r].get(); }
+
+ private:
+  ReplicaStackConfig config_;
+  std::vector<std::unique_ptr<MemoryStorageManager>> media_;
+  std::vector<std::unique_ptr<FaultInjectionStorageManager>> faults_;
+  std::vector<std::unique_ptr<LatencyStorageManager>> latencies_;
+  std::vector<std::unique_ptr<ChecksummedStorageManager>> checksums_;
+  std::vector<StorageManager*> replica_tops_;
+  std::unique_ptr<MirroredStorageManager> mirrored_;
+  std::unique_ptr<RetryingStorageManager> retrying_;
+};
+
+/// Replica k's file path: the database itself for k = 0, `<path>.rK`
+/// alongside it otherwise.
+inline std::string ReplicaFilePath(const std::string& path, size_t replica) {
+  return replica == 0 ? path : path + ".r" + std::to_string(replica);
+}
+
+/// Raw page-image copy from `src` into the empty store `dst` (same page
+/// size). Unreadable (freed) pages stay zeroed. Used to seed missing
+/// replica files from the primary.
+inline Status CloneStorePages(StorageManager* src, StorageManager* dst) {
+  const uint64_t n = src->PageCount();
+  for (PageId id = 0; id < n; ++id) {
+    KCPQ_ASSIGN_OR_RETURN(PageId got, dst->Allocate());
+    if (got != id) {
+      return Status::Internal("replica clone allocation misalignment");
+    }
+    Page page;
+    if (!src->ReadPage(id, &page).ok()) continue;
+    KCPQ_RETURN_IF_ERROR(dst->WritePage(id, page));
+  }
+  return dst->Sync();
+}
+
+/// N file-backed replicas of one database under a mirror. Replica 0 is
+/// the database file; replicas k >= 1 live at `<path>.rK` and are cloned
+/// from the primary when missing or stale (different page count). For
+/// query paths only: cloned replicas do not reproduce the primary's
+/// internal free list, so tree *mutation* through the mirror is reserved
+/// for stacks built from scratch.
+struct ReplicatedFileStack {
+  std::vector<std::unique_ptr<FileStorageManager>> files;
+  std::unique_ptr<MirroredStorageManager> mirrored;
+
+  StorageManager* top() {
+    return mirrored != nullptr
+               ? static_cast<StorageManager*>(mirrored.get())
+               : static_cast<StorageManager*>(files[0].get());
+  }
+};
+
+inline Status OpenReplicatedFileStack(const std::string& path,
+                                      size_t replicas,
+                                      const MirroredOptions& options,
+                                      ReplicatedFileStack* out) {
+  if (replicas == 0) replicas = 1;
+  KCPQ_ASSIGN_OR_RETURN(auto primary, FileStorageManager::Open(path));
+  out->files.clear();
+  out->files.push_back(std::move(primary));
+  FileStorageManager* first = out->files[0].get();
+  for (size_t r = 1; r < replicas; ++r) {
+    const std::string rpath = ReplicaFilePath(path, r);
+    std::unique_ptr<FileStorageManager> replica;
+    Result<std::unique_ptr<FileStorageManager>> opened =
+        FileStorageManager::Open(rpath);
+    if (opened.ok() &&
+        opened.value()->PageCount() == first->PageCount() &&
+        opened.value()->page_size() == first->page_size()) {
+      replica = std::move(opened).value();
+    } else {
+      // Missing or stale replica: (re)seed it from the primary — the
+      // file-level equivalent of a full-replica repair.
+      KCPQ_ASSIGN_OR_RETURN(
+          replica, FileStorageManager::Create(rpath, first->page_size()));
+      KCPQ_RETURN_IF_ERROR(CloneStorePages(first, replica.get()));
+    }
+    out->files.push_back(std::move(replica));
+  }
+  if (replicas > 1) {
+    std::vector<StorageManager*> tops;
+    for (auto& f : out->files) tops.push_back(f.get());
+    out->mirrored = std::make_unique<MirroredStorageManager>(std::move(tops),
+                                                             options);
+  }
+  return Status::OK();
+}
+
+}  // namespace kcpq
+
+#endif  // KCPQ_STORAGE_STACK_H_

@@ -20,7 +20,10 @@
 #include "obs/trace.h"
 #include "rtree/rtree.h"
 #include "storage/file_storage.h"
+#include "storage/mirrored_storage.h"
 #include "storage/retrying_storage.h"
+#include "storage/scrub.h"
+#include "storage/stack.h"
 #include "tools/csv.h"
 
 namespace kcpq {
@@ -196,31 +199,90 @@ Status WriteTextFile(const std::string& path, const std::string& text) {
   return Status::OK();
 }
 
-// An opened database: storage (+ optional retry decorator) + buffer +
-// tree, kept alive together.
+// Replication flags shared by the query commands (--replicas and the
+// hedging knobs of storage/mirrored_storage.h). Single-replica (the
+// default) opens the plain file store, no mirror.
+struct ReplicationFlags {
+  uint64_t replicas = 1;
+  MirroredOptions mirrored;
+  bool scrub = false;
+};
+
+Status ParseReplicationFlags(const Flags& flags, ReplicationFlags* rep) {
+  if (const auto it = flags.named.find("replicas"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &rep->replicas));
+    if (rep->replicas == 0 || rep->replicas > 8) {
+      return Status::InvalidArgument("--replicas must be in [1, 8]");
+    }
+  }
+  bool hedging = false;
+  if (const auto it = flags.named.find("hedge"); it != flags.named.end()) {
+    if (it->second == "off") {
+      rep->mirrored.hedge.mode = HedgeMode::kOff;
+    } else if (it->second == "static") {
+      rep->mirrored.hedge.mode = HedgeMode::kStatic;
+      hedging = true;
+    } else if (it->second == "adaptive") {
+      rep->mirrored.hedge.mode = HedgeMode::kAdaptive;
+      hedging = true;
+    } else {
+      return Status::InvalidArgument(
+          "--hedge must be off, static, or adaptive");
+    }
+  }
+  if (const auto it = flags.named.find("hedge-after-us");
+      it != flags.named.end()) {
+    uint64_t us = 0;
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &us));
+    rep->mirrored.hedge.static_delay = std::chrono::microseconds(us);
+    // A delay without a mode means static hedging with that delay.
+    if (rep->mirrored.hedge.mode == HedgeMode::kOff) {
+      rep->mirrored.hedge.mode = HedgeMode::kStatic;
+    }
+    hedging = true;
+  }
+  rep->scrub = flags.named.count("scrub") > 0;
+  if ((hedging || rep->scrub) && rep->replicas < 2) {
+    return Status::InvalidArgument(
+        "--hedge/--hedge-after-us/--scrub need --replicas>=2");
+  }
+  return Status::OK();
+}
+
+// An opened database: file replicas (+ optional mirror and retry
+// decorators) + buffer + tree, kept alive together.
 struct Database {
-  std::unique_ptr<FileStorageManager> storage;
+  ReplicatedFileStack replicated;
   std::unique_ptr<RetryingStorageManager> retrying;
   std::unique_ptr<BufferManager> buffer;
   std::unique_ptr<RStarTree> tree;
 
+  MirroredStorageManager* mirrored() { return replicated.mirrored.get(); }
+
   /// What the buffer manager should sit on: the retry decorator when
-  /// --io-retries is in play, the raw file otherwise.
+  /// --io-retries is in play, else the mirror (or the raw file when
+  /// --replicas=1).
   StorageManager* top_storage() {
     return retrying != nullptr
                ? static_cast<StorageManager*>(retrying.get())
-               : static_cast<StorageManager*>(storage.get());
+               : replicated.top();
   }
 };
 
 Status OpenDatabase(const std::string& path, size_t buffer_pages,
-                    Database* db, uint64_t io_retries = 0) {
-  KCPQ_ASSIGN_OR_RETURN(db->storage, FileStorageManager::Open(path));
+                    Database* db, uint64_t io_retries = 0,
+                    const ReplicationFlags* rep = nullptr) {
+  const size_t replicas =
+      rep != nullptr ? static_cast<size_t>(rep->replicas) : 1;
+  const MirroredOptions mirrored =
+      rep != nullptr ? rep->mirrored : MirroredOptions{};
+  KCPQ_RETURN_IF_ERROR(
+      OpenReplicatedFileStack(path, replicas, mirrored, &db->replicated));
   if (io_retries > 0) {
     RetryPolicy policy;
     policy.max_retries = static_cast<int>(io_retries);
-    db->retrying =
-        std::make_unique<RetryingStorageManager>(db->storage.get(), policy);
+    db->retrying = std::make_unique<RetryingStorageManager>(
+        db->replicated.top(), policy);
   }
   db->buffer =
       std::make_unique<BufferManager>(db->top_storage(), buffer_pages);
@@ -455,7 +517,8 @@ Status CmdStats(const Flags& flags, std::FILE* out) {
 }
 
 // Shared flag handling for the two-database query commands.
-Status OpenPair(const Flags& flags, Database* p, Database* q) {
+Status OpenPair(const Flags& flags, Database* p, Database* q,
+                ReplicationFlags* rep_out = nullptr) {
   uint64_t buffer_pages = 0;
   if (const auto it = flags.named.find("buffer"); it != flags.named.end()) {
     KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &buffer_pages));
@@ -465,10 +528,13 @@ Status OpenPair(const Flags& flags, Database* p, Database* q) {
       it != flags.named.end()) {
     KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &io_retries));
   }
-  KCPQ_RETURN_IF_ERROR(
-      OpenDatabase(flags.positional[0], buffer_pages / 2, p, io_retries));
-  KCPQ_RETURN_IF_ERROR(
-      OpenDatabase(flags.positional[1], buffer_pages / 2, q, io_retries));
+  ReplicationFlags rep;
+  KCPQ_RETURN_IF_ERROR(ParseReplicationFlags(flags, &rep));
+  if (rep_out != nullptr) *rep_out = rep;
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[0], buffer_pages / 2, p,
+                                    io_retries, &rep));
+  KCPQ_RETURN_IF_ERROR(OpenDatabase(flags.positional[1], buffer_pages / 2, q,
+                                    io_retries, &rep));
   // Concurrent queries (--threads > 1) want sharded buffers: rebuild the
   // buffer layer with enough shards that workers rarely collide.
   uint64_t threads = 1;
@@ -520,10 +586,44 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "[--admission-feedback=ALPHA] [--prefetch=on|off] "
         "[--prefetch-window=N] [--io-backend=sync|pool|uring] "
         "[--scheduler=blocking|resumable] [--max-inflight=N] "
-        "[--explain] [--trace-out=PATH] [--stats-json=PATH]");
+        "[--replicas=N] [--hedge=off|static|adaptive] [--hedge-after-us=N] "
+        "[--scrub] [--explain] [--trace-out=PATH] [--stats-json=PATH]");
   }
   Database p, q;
-  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  ReplicationFlags rep;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q, &rep));
+
+  // Online scrub: background repair threads that walk the mirrors while
+  // the buffers are idle (storage/scrub.h). Started before the query so
+  // divergence seeded by earlier runs heals concurrently with it; the
+  // summary prints after the scrubbers stop.
+  std::vector<std::unique_ptr<BackgroundScrubber>> scrubbers;
+  if (rep.scrub) {
+    for (Database* db : {&p, &q}) {
+      BufferManager* buf = db->buffer.get();
+      scrubbers.push_back(std::make_unique<BackgroundScrubber>(
+          db->mirrored(),
+          [buf] { return buf->AggregateStats().logical_reads(); }));
+    }
+  }
+  const auto finish_scrub = [&](std::FILE* o) {
+    if (scrubbers.empty()) return;
+    ScrubReport report;
+    uint64_t sweeps = 0;
+    for (auto& s : scrubbers) {
+      s->Stop();
+      report.Merge(s->report());
+      sweeps += s->sweeps();
+    }
+    scrubbers.clear();
+    std::fprintf(o,
+                 "# scrub: scanned %llu pages, %llu divergent, %llu replica "
+                 "copies repaired, %llu full sweeps\n",
+                 static_cast<unsigned long long>(report.pages_scanned),
+                 static_cast<unsigned long long>(report.pages_divergent),
+                 static_cast<unsigned long long>(report.replicas_repaired),
+                 static_cast<unsigned long long>(sweeps));
+  };
   CpqOptions options;
   KCPQ_RETURN_IF_ERROR(ParseCount(flags.positional[2], &options.k));
   if (const auto it = flags.named.find("algorithm"); it != flags.named.end()) {
@@ -630,6 +730,19 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                    static_cast<unsigned long long>(
                        batch_stats.admission_would_reject));
     }
+    if (rep.replicas > 1) {
+      std::fprintf(
+          out,
+          "replication (%llu replicas, hedge=%s): failovers=%llu "
+          "repairs=%llu hedged=%llu hedge-wins=%llu\n",
+          static_cast<unsigned long long>(rep.replicas),
+          HedgeModeName(rep.mirrored.hedge.mode),
+          static_cast<unsigned long long>(batch_stats.failover_reads),
+          static_cast<unsigned long long>(batch_stats.read_repairs),
+          static_cast<unsigned long long>(batch_stats.hedged_reads),
+          static_cast<unsigned long long>(batch_stats.hedge_wins));
+    }
+    finish_scrub(out);
     return write_stats_json();
   }
 
@@ -675,6 +788,29 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   PrintPairs(out, pairs);
   PrintQuality(out, stats.quality);
   PrintQueryStats(out, stats, seconds);
+
+  if (rep.replicas > 1) {
+    // Store-level replication tallies (covers the whole command, tree
+    // open included). Drain first so in-flight hedge losers are counted.
+    MirroredStats rstats;
+    for (Database* db : {&p, &q}) {
+      db->mirrored()->DrainHedges();
+      const MirroredStats& s = db->mirrored()->mirrored_stats();
+      rstats.failovers += s.failovers;
+      rstats.repairs += s.repairs;
+      rstats.hedges_issued += s.hedges_issued;
+      rstats.hedge_wins += s.hedge_wins;
+    }
+    std::fprintf(out,
+                 "# replication (%llu replicas, hedge=%s): failovers=%llu "
+                 "repairs=%llu hedged=%llu hedge-wins=%llu\n",
+                 static_cast<unsigned long long>(rep.replicas),
+                 HedgeModeName(rep.mirrored.hedge.mode),
+                 static_cast<unsigned long long>(rstats.failovers),
+                 static_cast<unsigned long long>(rstats.repairs),
+                 static_cast<unsigned long long>(rstats.hedges_issued),
+                 static_cast<unsigned long long>(rstats.hedge_wins));
+  }
 
   if (diag.explain) {
     const BufferStats after_p = p.buffer->ThreadStats();
@@ -733,6 +869,15 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                                  : 0;
     inputs.admission_estimate_bytes = estimator.EstimateQueryBytes(query);
     inputs.measured_peak_bytes = ctx.accountant().peak_total_bytes();
+    if (rep.replicas > 1) {
+      const ReplicationStats& r = ctx.replication();
+      inputs.replicas = rep.replicas;
+      inputs.hedge_mode = HedgeModeName(rep.mirrored.hedge.mode);
+      inputs.failover_reads = r.failover_reads;
+      inputs.read_repairs = r.read_repairs;
+      inputs.hedged_reads = r.hedged_reads;
+      inputs.hedge_wins = r.hedge_wins;
+    }
     if (scheduler == SchedulerMode::kResumable) {
       inputs.scheduler = "resumable";
       inputs.io_parks = stats.io_parks;
@@ -757,6 +902,7 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                  static_cast<unsigned long long>(trace.dropped()),
                  diag.trace_path.c_str());
   }
+  finish_scrub(out);
   return write_stats_json();
 }
 
@@ -977,6 +1123,8 @@ void PrintUsage(std::FILE* out) {
       "       [--prefetch=on|off] [--prefetch-window=N]\n"
       "       [--io-backend=sync|pool|uring]\n"
       "       [--scheduler=blocking|resumable] [--max-inflight=N]\n"
+      "       [--replicas=N] [--hedge=off|static|adaptive]\n"
+      "       [--hedge-after-us=N] [--scrub]\n"
       "       [--explain] [--trace-out=PATH] [--stats-json=PATH]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
