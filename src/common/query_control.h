@@ -175,6 +175,20 @@ struct QueryQuality {
   double guaranteed_lower_bound = std::numeric_limits<double>::infinity();
   bool is_exact = true;
 
+  /// Certificate direction. False (the default, every minimizing family):
+  /// missing pairs are all >= the bound. True (kFarthest): the bound is an
+  /// *upper* bound — every missing pair is at most that far. The field
+  /// name keeps the historical "lower" even though a farthest-pair bound
+  /// points the other way; bound_is_upper is the single source of truth.
+  bool bound_is_upper = false;
+
+  /// Capacity-weighted upper bound on how many qualifying pairs a partial
+  /// result may be missing. Computed by the ε-join (the sum of subtree
+  /// pair capacities over deferred node pairs whose MINMINDIST <= ε);
+  /// engines that do not compute it leave 0, and it is only meaningful on
+  /// partial results.
+  uint64_t missing_pair_bound = 0;
+
   /// Per-rank refinement of the scalar bound (CPQ engines only; empty
   /// elsewhere). rank_lower_bounds[i] certifies that the (i+1)-th smallest
   /// pair *missing* from the partial result has distance >= that value —
@@ -182,6 +196,9 @@ struct QueryQuality {
   /// so on overlapping workspaces where guaranteed_lower_bound sticks at 0
   /// the higher ranks stay informative (docs/robustness.md has the proof).
   /// Invariants: ascending; rank_lower_bounds[0] == guaranteed_lower_bound.
+  /// Under bound_is_upper the inequality flips: rank_lower_bounds[i]
+  /// certifies that at most i missing pairs have distance > that value
+  /// (the values are then descending and start at the scalar upper bound).
   std::vector<double> rank_lower_bounds;
 
   bool is_partial() const { return stop_cause != StopCause::kNone; }

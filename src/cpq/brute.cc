@@ -35,7 +35,7 @@ std::vector<PairResult> BruteForceKClosestPairs(
     bool self_join, Metric metric, LeafKernel kernel,
     const QueryControl& control, QueryQuality* quality,
     QueryContext* context) {
-  ResultHeap heap(k, metric);
+  ResultHeap heap(k, QueryObjective(QueryFamily::kClosest, metric));
   StopCause stop = StopCause::kNone;
   const QueryControl& effective =
       context != nullptr ? context->control() : control;

@@ -70,6 +70,18 @@ const char* CpqAlgorithmName(CpqAlgorithm a) {
   return "?";
 }
 
+const char* QueryFamilyName(QueryFamily f) {
+  switch (f) {
+    case QueryFamily::kClosest:
+      return "k-closest-pairs";
+    case QueryFamily::kFarthest:
+      return "k-farthest-pairs";
+    case QueryFamily::kRangeClosest:
+      return "k-range-closest-pairs";
+  }
+  return "?";
+}
+
 const char* LeafKernelName(LeafKernel k) {
   switch (k) {
     case LeafKernel::kNestedLoop:

@@ -39,6 +39,7 @@
 #include "common/query_context.h"
 #include "common/query_control.h"
 #include "common/status.h"
+#include "cpq/objective.h"
 #include "geometry/minkowski.h"
 #include "geometry/point.h"
 #include "rtree/rtree.h"
@@ -103,6 +104,16 @@ struct CpqOptions {
 
   /// Number of closest pairs to report. Capped by |P| * |Q| naturally.
   size_t k = 1;
+
+  /// Query family (cpq/objective.h). kClosest is the paper's problem and
+  /// the default; kFarthest reports the K pairs in *descending* distance;
+  /// kRangeClosest restricts eligibility to pairs whose points both lie in
+  /// `query_rect`. All five algorithms, both schedulers, prefetch, and the
+  /// anytime certificates work for every family.
+  QueryFamily family = QueryFamily::kClosest;
+
+  /// The kRangeClosest query rectangle; ignored by the other families.
+  Rect query_rect{};
 
   HeightStrategy height_strategy = HeightStrategy::kFixAtRoot;
 

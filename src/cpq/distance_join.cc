@@ -11,6 +11,19 @@ namespace {
 
 using cpq_internal::ChooseDescend;
 using cpq_internal::DescendChoice;
+using cpq_internal::MaxPointsOfNode;
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a + b < a ? std::numeric_limits<uint64_t>::max() : a + b;
+}
+
+// M^(level+1): saturating upper bound on points in a subtree rooted at
+// `level`; level -1 (a leaf's entry) is a single point.
+uint64_t MaxPointsAtLevel(int level, uint64_t max_entries) {
+  uint64_t n = 1;
+  for (int i = 0; i <= level; ++i) n = SaturatingMul(n, max_entries);
+  return n;
+}
 
 // Recursive ε-join worker over two subtrees identified by page ids.
 class JoinWalker {
@@ -28,11 +41,14 @@ class JoinWalker {
         stats_(stats),
         out_(out) {}
 
-  /// `minmin_pow` is the pair's own MINMINDIST (power space), precomputed
-  /// by the caller — on a stop it becomes frontier instead of work.
-  Status Walk(PageId page_p, PageId page_q, double minmin_pow) {
+  /// `minmin_pow` is the pair's own MINMINDIST (power space) and
+  /// `max_pairs` its pair capacity (upper bound on point pairs beneath),
+  /// both precomputed by the caller — on a stop they become frontier
+  /// certificate instead of work.
+  Status Walk(PageId page_p, PageId page_q, double minmin_pow,
+              uint64_t max_pairs) {
     if (ShouldStop()) {
-      FoldFrontier(minmin_pow);
+      FoldFrontier(minmin_pow, max_pairs);
       return Status::OK();
     }
 
@@ -44,7 +60,7 @@ class JoinWalker {
     }
     if (read_status.code() == StatusCode::kDeadlineExceeded) {
       stop_ = StopCause::kDeadline;
-      FoldFrontier(minmin_pow);
+      FoldFrontier(minmin_pow, max_pairs);
       return Status::OK();
     }
     KCPQ_RETURN_IF_ERROR(read_status);
@@ -60,6 +76,16 @@ class JoinWalker {
     const bool expand_q = choice != DescendChoice::kFirstOnly;
     const Rect whole_p = node_p.ComputeMbr();
     const Rect whole_q = node_q.ComputeMbr();
+    // Per-side pair-capacity factors for the missing-pair certificate: an
+    // expanded side contributes one child subtree's capacity, a fixed side
+    // the whole node's.
+    const uint64_t cap_p =
+        expand_p ? MaxPointsAtLevel(node_p.level - 1, tree_p_.max_entries())
+                 : MaxPointsOfNode(node_p, tree_p_.max_entries());
+    const uint64_t cap_q =
+        expand_q ? MaxPointsAtLevel(node_q.level - 1, tree_q_.max_entries())
+                 : MaxPointsOfNode(node_q, tree_q_.max_entries());
+    const uint64_t child_max_pairs = SaturatingMul(cap_p, cap_q);
     const size_t np = expand_p ? node_p.entries.size() : 1;
     const size_t nq = expand_q ? node_q.entries.size() : 1;
     for (size_t i = 0; i < np; ++i) {
@@ -80,12 +106,13 @@ class JoinWalker {
         }
         // Drain once stopped (possibly by a deeper recursion).
         if (stop_ != StopCause::kNone) {
-          FoldFrontier(child_minmin);
+          FoldFrontier(child_minmin, child_max_pairs);
           continue;
         }
         KCPQ_RETURN_IF_ERROR(
             Walk(expand_p ? node_p.entries[i].id : page_p,
-                 expand_q ? node_q.entries[j].id : page_q, child_minmin));
+                 expand_q ? node_q.entries[j].id : page_q, child_minmin,
+                 child_max_pairs));
       }
     }
     return Status::OK();
@@ -94,6 +121,7 @@ class JoinWalker {
   uint64_t node_accesses() const { return node_accesses_; }
   StopCause stop_cause() const { return stop_; }
   double frontier_min_pow() const { return frontier_min_pow_; }
+  uint64_t missing_pair_bound() const { return missing_pair_bound_; }
 
  private:
   bool ShouldStop() {
@@ -103,8 +131,16 @@ class JoinWalker {
     return stop_ != StopCause::kNone;
   }
 
-  void FoldFrontier(double minmin_pow) {
+  // Records a deferred (unexpanded) node pair: its MINMINDIST joins the
+  // scalar frontier bound, and — when it could still hold qualifying
+  // pairs — its pair capacity joins the capacity-weighted count of pairs
+  // the partial result may be missing.
+  void FoldFrontier(double minmin_pow, uint64_t max_pairs) {
     frontier_min_pow_ = std::min(frontier_min_pow_, minmin_pow);
+    if (minmin_pow <= epsilon_pow_) {
+      missing_pair_bound_ =
+          SaturatingAdd(missing_pair_bound_, std::max<uint64_t>(max_pairs, 1));
+    }
   }
   Status EmitLeafPairs(const Node& node_p, const Node& node_q,
                        bool same_node) {
@@ -173,6 +209,7 @@ class JoinWalker {
   uint64_t node_accesses_ = 0;
   StopCause stop_ = StopCause::kNone;
   double frontier_min_pow_ = std::numeric_limits<double>::infinity();
+  uint64_t missing_pair_bound_ = 0;
 };
 
 void SortResults(std::vector<PairResult>* out) {
@@ -212,6 +249,9 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
     s->quality.stop_cause = pre;
     s->quality.guaranteed_lower_bound = 0.0;
     s->quality.is_exact = false;
+    // Nothing was examined: every cross-product pair may be missing.
+    s->quality.missing_pair_bound = SaturatingMul(tree_p.size(),
+                                                  tree_q.size());
     return out;
   }
 
@@ -226,18 +266,23 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
   if (root_status.ok()) root_status = tree_q.RootMbr(&mbr_q, read_ctx);
   StopCause stop;
   double frontier_pow;
+  uint64_t missing_pair_bound;
   if (root_status.code() == StatusCode::kDeadlineExceeded) {
     // Storage abandoned a retry before anything was examined: partial
     // with a vacuous certificate, same as a pre-expired deadline.
     stop = StopCause::kDeadline;
     frontier_pow = 0.0;
+    missing_pair_bound = SaturatingMul(tree_p.size(), tree_q.size());
   } else {
     KCPQ_RETURN_IF_ERROR(root_status);
     KCPQ_RETURN_IF_ERROR(walker.Walk(tree_p.root_page(), tree_q.root_page(),
                                      MinMinDistPow(mbr_p, mbr_q,
-                                                   options.metric)));
+                                                   options.metric),
+                                     SaturatingMul(tree_p.size(),
+                                                   tree_q.size())));
     stop = walker.stop_cause();
     frontier_pow = walker.frontier_min_pow();
+    missing_pair_bound = walker.missing_pair_bound();
   }
   s->disk_accesses_p = tree_p.buffer()->ThreadStats().misses - before_p.misses;
   s->disk_accesses_q = tree_q.buffer()->ThreadStats().misses - before_q.misses;
@@ -250,6 +295,9 @@ Result<std::vector<PairResult>> DistanceRangeJoin(
     // The stop is harmless when nothing qualifying was left unexpanded:
     // an empty frontier, or one entirely beyond ε.
     s->quality.is_exact = frontier_pow > epsilon_pow;
+    if (!s->quality.is_exact) {
+      s->quality.missing_pair_bound = missing_pair_bound;
+    }
   }
   SortResults(&out);
   return out;

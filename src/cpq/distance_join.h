@@ -29,8 +29,11 @@ struct DistanceJoinOptions {
   /// Lifecycle limits (see CpqOptions::control). A stopped join returns OK
   /// with the pairs found so far; quality.guaranteed_lower_bound certifies
   /// that every *unreported* qualifying pair is at least that far apart
-  /// (so is_exact holds when the frontier lies beyond ε). The memory
-  /// budget meters the materialized result vector.
+  /// (so is_exact holds when the frontier lies beyond ε), and
+  /// quality.missing_pair_bound caps how many qualifying pairs the partial
+  /// result can be missing (the sum of pair capacities over deferred node
+  /// pairs with MINMINDIST <= ε). The memory budget meters the
+  /// materialized result vector.
   QueryControl control;
 
   /// Optional externally-owned QueryContext; supersedes `control` and adds

@@ -68,7 +68,8 @@ CpqEngine::CpqEngine(const RStarTree& tree_p, const RStarTree& tree_q,
       tree_q_(tree_q),
       options_(options),
       stats_(stats != nullptr ? stats : &local_stats_),
-      results_(options.k, options.metric),
+      objective_(options.family, options.metric, options.query_rect),
+      results_(options.k, objective_),
       bound_(std::numeric_limits<double>::infinity()),
       local_context_(options.control),
       context_(options.context != nullptr ? options.context : &local_context_),
@@ -99,7 +100,8 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
   // at every rank.
   Status engine_status;
   if (ShouldStop(0)) {
-    FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+    FoldFrontier(objective_.WeakestKey(),
+                 std::numeric_limits<uint64_t>::max());
     if (profile_ != nullptr) profile_->Deferred(root_level, 1);
   } else {
     QueryContext* read_ctx = accounting_ ? context_ : nullptr;
@@ -110,7 +112,8 @@ Status CpqEngine::Run(std::vector<PairResult>* out) {
       // Storage abandoned a retry before anything was examined: partial
       // with a vacuous certificate, same as a pre-expired deadline.
       stop_ = StopCause::kDeadline;
-      FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+      FoldFrontier(objective_.WeakestKey(),
+                   std::numeric_limits<uint64_t>::max());
       if (profile_ != nullptr) profile_->Deferred(root_level, 1);
     } else if (!root_status.ok()) {
       engine_status = root_status;
@@ -177,20 +180,23 @@ void CpqEngine::FinalizeQualityAndTrace() {
   // partial result *is* a true answer and is_exact stays set.
   stats_->quality.stop_cause = stop_;
   stats_->quality.pairs_found = results_.size();
+  stats_->quality.bound_is_upper = objective_.BoundIsUpper();
   if (stop_ != StopCause::kNone) {
     stats_->quality.guaranteed_lower_bound =
-        PowToDistance(frontier_min_pow_, options_.metric);
+        objective_.KeyToDistance(frontier_min_pow_);
     stats_->quality.is_exact =
         frontier_min_pow_ == std::numeric_limits<double>::infinity() ||
         (results_.full() && results_.Bound() <= frontier_min_pow_);
     // Per-rank refinement: bound r certifies that at most r missing
-    // true-answer pairs can be closer than it (capacity-weighted frontier
-    // profile; proof in docs/robustness.md).
+    // true-answer pairs can beat it — closer for minimizing families,
+    // farther for kFarthest (capacity-weighted frontier profile; proof in
+    // docs/robustness.md). KeyToDistance flips negated farthest keys back
+    // to distances, so the reported values descend under bound_is_upper.
     const std::vector<double> pow_bounds = certificate_.RankBoundsPow();
     stats_->quality.rank_lower_bounds.reserve(pow_bounds.size());
     for (const double b : pow_bounds) {
       stats_->quality.rank_lower_bounds.push_back(
-          PowToDistance(b, options_.metric));
+          objective_.KeyToDistance(b));
     }
   }
 
@@ -209,13 +215,17 @@ void CpqEngine::FinalizeQualityAndTrace() {
 void CpqEngine::NoteBoundImprovement() {
   if (bound_ >= reported_bound_) return;
   reported_bound_ = bound_;
+  // The profile/trace report in power space; for kFarthest the key is the
+  // negated power, so flip the sign back for display (a tightening bound
+  // then *rises* toward the K-th farthest distance, as expected).
+  const double display = objective_.minimizing() ? bound_ : -bound_;
   if (profile_ != nullptr) {
-    profile_->BoundUpdate(stats_->node_pairs_processed, bound_);
+    profile_->BoundUpdate(stats_->node_pairs_processed, display);
   }
   if (trace_ != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::TraceEventKind::kBoundUpdate;
-    e.bound = bound_;
+    e.bound = display;
     e.a = stats_->node_pairs_processed;
     trace_->RecordNow(e);
   }
@@ -283,15 +293,16 @@ void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
         return true;
       }
     }
+    if (!objective_.LeafPairEligible(ep.rect, eq.rect)) return true;
     ++stats_->point_distance_computations;
-    const double d2 = MinMinDistPow(ep.rect, eq.rect, options_.metric);
-    if (d2 >= results_.Bound()) return true;  // cheap reject before points
+    const double key = objective_.LeafKey(ep.rect, eq.rect);
+    if (key >= results_.Bound()) return true;  // cheap reject before points
     Point p, q;
     ClosestPoints(ep.rect, eq.rect, &p, &q);
     if (options_.self_join && ep.id > eq.id) {
-      results_.Offer(d2, q, p, eq.id, ep.id);
+      results_.Offer(key, q, p, eq.id, ep.id);
     } else {
-      results_.Offer(d2, p, q, ep.id, eq.id);
+      results_.Offer(key, p, q, ep.id, eq.id);
     }
     return true;
   };
@@ -299,9 +310,13 @@ void CpqEngine::ProcessLeaves(const Node& node_p, const Node& node_q,
   const uint64_t kernel_start_ns =
       trace_ != nullptr ? trace_->NowNs() : 0;
 
-  if (options_.leaf_kernel == LeafKernel::kPlaneSweep) {
+  // The sweep's skip test lower-bounds a pair's *distance* by its sweep-axis
+  // gap, which only implies `key >= Bound()` for minimizing objectives —
+  // kFarthest falls back to the nested loop regardless of the option.
+  if (options_.leaf_kernel == LeafKernel::kPlaneSweep &&
+      objective_.SweepUsable()) {
     // Pairs the sweep skips have sweep-axis separation alone >= the result
-    // heap's bound, so their full distance would fail the `d2 >= Bound()`
+    // heap's bound, so their full distance would fail the `key >= Bound()`
     // reject above — identical results, fewer distance computations. The
     // bound is re-read per skip test, so pairs offered early in this very
     // sweep tighten it for the rest.
@@ -375,8 +390,14 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
                            options_.algorithm == CpqAlgorithm::kHeap);
   for (size_t i = 0; i < np; ++i) {
     const NodeRef cp = make_ref_p(i);
+    // Range-restricted objectives pre-prune subtrees that cannot contain a
+    // qualifying point (MBR strictly outside the query rect). Skipped
+    // children never enter the candidate list, so the EXPLAIN accounting
+    // identity (considered = visited + pruned + deferred) holds as-is.
+    if (!objective_.SubtreeEligible(cp.mbr)) continue;
     for (size_t j = 0; j < nq; ++j) {
       const NodeRef cq = make_ref_q(j);
+      if (!objective_.SubtreeEligible(cq.mbr)) continue;
       // Self-join: when both sides expand the *same* node, the child pairs
       // (i, j) and (j, i) both arise here and cover the same unordered
       // object pairs — keep only the page-ordered one (nearly halves the
@@ -389,7 +410,7 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
       Candidate cand;
       cand.p = cp;
       cand.q = cq;
-      cand.minmin = MinMinDistPow(cp.mbr, cq.mbr, options_.metric);
+      cand.key = objective_.NodeKey(cp.mbr, cq.mbr);
       cand.min_pairs = cp.min_points * cq.min_points;
       cand.max_pairs = SaturatingMul(cp.max_points, cq.max_points);
       if (score_ties) {
@@ -413,7 +434,10 @@ void CpqEngine::GenerateCandidates(const NodeRef& ref_p, const Node& node_p,
 void CpqEngine::TightenBoundFromCandidates(
     const std::vector<Candidate>& candidates) {
   if (candidates.empty()) return;
-  if (options_.k == 1) {
+  // Range-restricted objectives cannot count pairs toward the bound: the
+  // guaranteed pairs beneath a candidate may all lie outside the rect.
+  if (!objective_.CanTightenFromCapacities()) return;
+  if (objective_.minimizing() && options_.k == 1) {
     // 1-CPQ special case (Section 3.3): at least one point pair beneath
     // each candidate lies within its MINMAXDIST.
     for (const Candidate& c : candidates) {
@@ -422,23 +446,30 @@ void CpqEngine::TightenBoundFromCandidates(
     }
     return;
   }
-  if (!options_.use_maxmaxdist_pruning) return;
+  if (options_.k > 1 && !options_.use_maxmaxdist_pruning) return;
   // K > 1 (Section 3.8): every point pair beneath a candidate is within its
   // MAXMAXDIST; accumulate candidates in ascending MAXMAXDIST until the
   // guaranteed pair count reaches K — that MAXMAXDIST bounds the K-th
-  // closest distance.
+  // closest distance. kFarthest mirrors this in key space: every pair
+  // beneath a candidate is at least its MINMINDIST away, so the tighten key
+  // is -MINMINDIST and the same ascending accumulation (= descending
+  // MINMINDIST) bounds the K-th farthest distance from below. (For
+  // kFarthest this covers K = 1 too — the exact mirror of MINMAXDIST.)
   maxmax_scratch_.clear();
   maxmax_scratch_.reserve(candidates.size());
   for (const Candidate& c : candidates) {
-    maxmax_scratch_.emplace_back(
-        MaxMaxDistPow(c.p.mbr, c.q.mbr, options_.metric), c.min_pairs);
+    const double tighten_key =
+        objective_.minimizing()
+            ? MaxMaxDistPow(c.p.mbr, c.q.mbr, options_.metric)
+            : -MinMinDistPow(c.p.mbr, c.q.mbr, options_.metric);
+    maxmax_scratch_.emplace_back(tighten_key, c.min_pairs);
   }
   std::sort(maxmax_scratch_.begin(), maxmax_scratch_.end());
   uint64_t pairs = 0;
-  for (const auto& [maxmax, count] : maxmax_scratch_) {
+  for (const auto& [tighten_key, count] : maxmax_scratch_) {
     pairs += count;
     if (pairs >= options_.k) {
-      bound_ = std::min(bound_, maxmax);
+      bound_ = std::min(bound_, tighten_key);
       break;
     }
   }
@@ -449,7 +480,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
   // Stop check at node-pair granularity, *before* the reads: a stopped
   // query folds this unexpanded pair into the frontier bound instead.
   if (ShouldStop(0)) {
-    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
+    FoldFrontier(objective_.NodeKey(ref_p.mbr, ref_q.mbr),
                  SaturatingMul(ref_p.max_points, ref_q.max_points));
     if (profile_ != nullptr) {
       profile_->Deferred(PairLevel(ref_p.level, ref_q.level), 1);
@@ -465,7 +496,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     // The storage stack abandoned a retry the deadline could not cover.
     // The pair stays unexpanded: latch the deadline stop and fold it.
     stop_ = StopCause::kDeadline;
-    FoldFrontier(MinMinDistPow(ref_p.mbr, ref_q.mbr, options_.metric),
+    FoldFrontier(objective_.NodeKey(ref_p.mbr, ref_q.mbr),
                  SaturatingMul(ref_p.max_points, ref_q.max_points));
     if (profile_ != nullptr) {
       // ReadPair failed before recording a visit, so the pair is deferred.
@@ -502,8 +533,8 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     size_t added = 0;
     for (const Candidate& cand : candidates) {
       if (added >= prefetch_.window()) break;
-      if (Prunes() && cand.minmin > bound_) continue;
-      prefetch_.Add(cand.minmin, cand.p.page, cand.q.page);
+      if (Prunes() && cand.key > bound_) continue;
+      prefetch_.Add(cand.key, cand.p.page, cand.q.page);
       ++added;
     }
     prefetch_.Issue();
@@ -512,7 +543,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     // Re-test against T at descend time: T may have tightened while the
     // earlier candidates of this very list were processed (the mechanism
     // that makes the ascending-MINMINDIST order pay off).
-    if (Prunes() && cand.minmin > bound_) {
+    if (Prunes() && cand.key > bound_) {
       ++stats_->candidate_pairs_pruned;
       if (profile_ != nullptr) {
         profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level), 1);
@@ -522,7 +553,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
         e.kind = obs::TraceEventKind::kPrune;
         e.level_p = static_cast<int16_t>(cand.p.level);
         e.level_q = static_cast<int16_t>(cand.q.level);
-        e.value = cand.minmin;
+        e.value = cand.key;
         e.bound = bound_;
         trace_->RecordNow(e);
       }
@@ -531,7 +562,7 @@ Status CpqEngine::ProcessPairRecursive(const NodeRef& ref_p,
     // Once stopped (possibly by a deeper recursion), drain: the remaining
     // un-pruned candidates become frontier, not work.
     if (stop_ != StopCause::kNone) {
-      FoldFrontier(cand.minmin, cand.max_pairs);
+      FoldFrontier(cand.key, cand.max_pairs);
       if (profile_ != nullptr) {
         profile_->Deferred(PairLevel(cand.p.level, cand.q.level), 1);
       }
@@ -565,7 +596,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
   Candidate first;
   first.p = root_p;
   first.q = root_q;
-  first.minmin = MinMinDistPow(root_p.mbr, root_q.mbr, options_.metric);
+  first.key = objective_.NodeKey(root_p.mbr, root_q.mbr);
   first.max_pairs = SaturatingMul(root_p.max_points, root_q.max_points);
   heap.push_back(first);
 
@@ -577,12 +608,12 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
   // order-insensitive, so the remaining entries are walked in array
   // order, no pops needed.
   const auto drain_into_certificate = [&](const Candidate& popped) {
-    FoldFrontier(popped.minmin, popped.max_pairs);
+    FoldFrontier(popped.key, popped.max_pairs);
     if (profile_ != nullptr) {
       profile_->Deferred(PairLevel(popped.p.level, popped.q.level), 1);
     }
     for (const Candidate& c : heap) {
-      FoldFrontier(c.minmin, c.max_pairs);
+      FoldFrontier(c.key, c.max_pairs);
       if (profile_ != nullptr) {
         profile_->Deferred(PairLevel(c.p.level, c.q.level), 1);
       }
@@ -614,7 +645,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
       const size_t scan = std::min<size_t>(heap.size(), 512);
       spec_order.clear();
       for (uint32_t i = 0; i < scan; ++i) {
-        if (heap[i].minmin > bound_) continue;  // would be CP5-cut
+        if (heap[i].key > bound_) continue;  // would be CP5-cut
         spec_order.push_back(i);
       }
       const size_t take = std::min(spec_order.size(), prefetch_.window());
@@ -637,11 +668,11 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
       e.kind = obs::TraceEventKind::kHeapPop;
       e.level_p = static_cast<int16_t>(top.p.level);
       e.level_q = static_cast<int16_t>(top.q.level);
-      e.value = top.minmin;
+      e.value = top.key;
       e.bound = bound_;
       trace_->RecordNow(e);
     }
-    if (top.minmin > bound_) {
+    if (top.key > bound_) {
       // Nothing better can remain (CP5): the popped pair and everything
       // still queued are cut off by the best-first order.
       if (profile_ != nullptr) {
@@ -678,7 +709,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
     TightenBoundFromCandidates(candidates);
     NoteBoundImprovement();
     for (const Candidate& cand : candidates) {
-      if (cand.minmin > bound_) {
+      if (cand.key > bound_) {
         ++stats_->candidate_pairs_pruned;
         if (profile_ != nullptr) {
           profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level), 1);
@@ -688,7 +719,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
           e.kind = obs::TraceEventKind::kPrune;
           e.level_p = static_cast<int16_t>(cand.p.level);
           e.level_q = static_cast<int16_t>(cand.q.level);
-          e.value = cand.minmin;
+          e.value = cand.key;
           e.bound = bound_;
           trace_->RecordNow(e);
         }
@@ -699,7 +730,7 @@ Status CpqEngine::RunHeap(const NodeRef& root_p, const NodeRef& root_q) {
         e.kind = obs::TraceEventKind::kHeapPush;
         e.level_p = static_cast<int16_t>(cand.p.level);
         e.level_q = static_cast<int16_t>(cand.q.level);
-        e.value = cand.minmin;
+        e.value = cand.key;
         e.bound = bound_;
         trace_->RecordNow(e);
       }

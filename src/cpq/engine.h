@@ -40,17 +40,20 @@ struct NodeRef {
 struct Candidate {
   NodeRef p;
   NodeRef q;
-  double minmin = 0.0;  // squared MINMINDIST of the two MBRs
+  /// Objective key of the pair (cpq/objective.h): MINMINDIST power for
+  /// minimizing families, -MAXMAXDIST power for kFarthest. Smaller =
+  /// more promising for every family.
+  double key = 0.0;
   double tie[kMaxTieChain] = {0, 0, 0, 0, 0};
   uint64_t min_pairs = 1;  // lower bound on point pairs beneath
   uint64_t max_pairs = 1;  // upper bound on point pairs beneath
 };
 
-/// Strict weak order: ascending MINMINDIST, then the tie chain, then page
-/// ids (full determinism).
+/// Strict weak order: ascending key (the objective's pop order), then the
+/// tie chain, then page ids (full determinism).
 struct CandidateLess {
   bool operator()(const Candidate& a, const Candidate& b) const {
-    if (a.minmin != b.minmin) return a.minmin < b.minmin;
+    if (a.key != b.key) return a.key < b.key;
     for (size_t i = 0; i < kMaxTieChain; ++i) {
       if (a.tie[i] != b.tie[i]) return a.tie[i] < b.tie[i];
     }
@@ -99,8 +102,13 @@ class CpqEngine {
                           const NodeRef& ref_q, const Node& node_q,
                           DescendChoice choice, std::vector<Candidate>* out);
 
-  /// Tightens T from Inequality-2-style guarantees over `candidates`
-  /// (MINMAXDIST for K = 1; MAXMAXDIST count accumulation for K > 1).
+  /// Tightens T from Inequality-2-style guarantees over `candidates`.
+  /// Minimizing: MINMAXDIST for K = 1, MAXMAXDIST count accumulation for
+  /// K > 1. kFarthest: the mirror — MINMINDIST lower-bounds every pair
+  /// beneath a candidate, so accumulating candidates by descending
+  /// MINMINDIST until min_pairs reaches K bounds the K-th farthest
+  /// distance from below. No-op when the objective forbids capacity-based
+  /// tightening (kRangeClosest: counted pairs may lie outside the rect).
   void TightenBoundFromCandidates(const std::vector<Candidate>& candidates);
 
   /// Polls the QueryContext (at node-pair granularity). Once a stop cause
@@ -108,12 +116,13 @@ class CpqEngine {
   /// the frontier to draining it into the certificate.
   bool ShouldStop(uint64_t extra_bytes);
 
-  /// Records an unexpanded node pair: its MINMINDIST (the minimum over all
-  /// of them certifies that no undiscovered pair can be closer) and its
-  /// pair capacity, which refines the certificate per rank.
-  void FoldFrontier(double minmin_pow, uint64_t max_pairs) {
-    frontier_min_pow_ = std::min(frontier_min_pow_, minmin_pow);
-    certificate_.Add(minmin_pow, std::max<uint64_t>(max_pairs, 1));
+  /// Records an unexpanded node pair: its key (the minimum over all of
+  /// them certifies that no undiscovered pair can beat it — "closer" for
+  /// minimizing families, "farther" for kFarthest) and its pair capacity,
+  /// which refines the certificate per rank.
+  void FoldFrontier(double key, uint64_t max_pairs) {
+    frontier_min_pow_ = std::min(frontier_min_pow_, key);
+    certificate_.Add(key, std::max<uint64_t>(max_pairs, 1));
   }
 
   /// Reports a strict improvement of the pruning bound T to the attached
@@ -146,10 +155,14 @@ class CpqEngine {
   CpqStats local_stats_;
 
   TieContext tie_context_;
+  /// The query's objective policy (family + metric + optional rect); every
+  /// key, prune test, and certificate conversion goes through it.
+  QueryObjective objective_;
   ResultHeap results_;
-  /// Pruning bound T (squared). Upper bound on the final K-th distance.
+  /// Pruning bound T (key space). Upper bound on the final K-th key.
   double bound_;
-  /// Scratch for MAXMAXDIST accumulation (avoids reallocating per node).
+  /// Scratch for the capacity accumulation of TightenBoundFromCandidates
+  /// (avoids reallocating per node).
   std::vector<std::pair<double, uint64_t>> maxmax_scratch_;
   /// Sorted-copy buffers for the plane-sweep leaf kernel.
   SweepScratch<Entry> sweep_scratch_;
@@ -179,8 +192,10 @@ class CpqEngine {
   uint64_t candidate_bytes_ = 0;
   /// Latched stop cause; kNone while the query is allowed to expand.
   StopCause stop_ = StopCause::kNone;
-  /// Min MINMINDIST (power space) over node pairs left unexpanded by a
-  /// stop; +infinity when the search space was exhausted.
+  /// Min key over node pairs left unexpanded by a stop; +infinity when
+  /// the search space was exhausted. (Historically named after the
+  /// minimizing families' MINMINDIST power; for kFarthest it is the
+  /// negated MAXMAXDIST power, i.e. still the most optimistic frontier.)
   double frontier_min_pow_ = std::numeric_limits<double>::infinity();
   /// Per-rank refinement of the frontier bound (see FrontierCertificate).
   FrontierCertificate certificate_;

@@ -25,6 +25,12 @@
 // whichever side enters the sweep first (smaller lo on the sweep axis; ties
 // go to `a`). Orientation is preserved: the visitor always receives
 // (a-item, b-item) regardless of which side was the reference.
+//
+// Soundness is *minimizing-only*: the skip relies on AxisGapPow
+// lower-bounding the pair's key, which holds when smaller distance means
+// smaller key (closest / range-closest). Farthest-pair queries negate
+// MAXMAXDIST, breaking that monotonicity, so QueryObjective::SweepUsable()
+// gates every call site back to the nested loop for that family.
 
 #ifndef KCPQ_CPQ_LEAF_KERNEL_H_
 #define KCPQ_CPQ_LEAF_KERNEL_H_

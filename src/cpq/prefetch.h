@@ -13,6 +13,12 @@
 // the bound, Issue(). Issue selects the window() best by key, so callers
 // need not pre-sort; duplicate and already-resident pages are coalesced by
 // the buffer, making repeated speculation on a slow-moving frontier cheap.
+//
+// Keys live in the active QueryObjective's key space (cpq/objective.h):
+// "best" always means smallest key, which is ascending MINMINDIST for the
+// minimizing families and descending MAXMAXDIST (negated) for farthest
+// pairs — the scheduler speculates along whichever pop order the objective
+// actually uses, with no per-family code here.
 
 #ifndef KCPQ_CPQ_PREFETCH_H_
 #define KCPQ_CPQ_PREFETCH_H_

@@ -1,6 +1,13 @@
-// The K-heap of Section 3.8: a bounded max-heap holding the K best pairs
+// The K-heap of Section 3.8: a bounded max-heap holding the K best items
 // found so far, whose top (when full) is the data-driven part of the
 // pruning bound T.
+//
+// The core is the templated BoundedKeyHeap, shared by the CPQ engine's
+// ResultHeap (payload-carrying items) and the HS hybrid queue's K-bound
+// (key-only items) so the two cannot drift. Keys live in the objective's
+// key space (cpq/objective.h): smaller = better for every family, so the
+// same max-heap serves closest pairs (key = power-space distance) and
+// farthest pairs (key = negated power-space distance) unchanged.
 
 #ifndef KCPQ_CPQ_RESULT_HEAP_H_
 #define KCPQ_CPQ_RESULT_HEAP_H_
@@ -14,60 +21,100 @@
 
 namespace kcpq {
 
-class ResultHeap {
+/// Keeps the K smallest-keyed items offered so far. `Item` must expose a
+/// public `double key`. The heap top (the *largest* kept key) is the bound:
+/// an item must beat it to be admitted once the heap is full; equal keys
+/// are rejected (first-found wins, the paper's tie handling).
+template <typename Item>
+class BoundedKeyHeap {
  public:
-  explicit ResultHeap(size_t k, Metric metric = Metric::kL2)
-      : k_(k), metric_(metric) {}
+  explicit BoundedKeyHeap(size_t k) : k_(k) {}
 
-  bool full() const { return items_.size() == k_; }
+  bool full() const { return items_.size() >= k_; }
   size_t size() const { return items_.size(); }
 
-  /// Power-space distance (see geometry/minkowski.h) of the current K-th
-  /// best pair; +infinity until full.
+  /// Key of the current K-th best item; +infinity until full (and always
+  /// for k == 0 — the unbounded "fully incremental" mode of the HS queue).
   double Bound() const {
-    return full() ? items_.front().dist2
-                  : std::numeric_limits<double>::infinity();
+    return !items_.empty() && full()
+               ? items_.front().key
+               : std::numeric_limits<double>::infinity();
   }
 
-  /// Considers a found pair; keeps it if it is among the best K so far.
-  void Offer(double dist2, const Point& p, const Point& q, uint64_t p_id,
-             uint64_t q_id) {
+  /// Considers an item; keeps it if it is among the best K so far.
+  /// Returns whether it was admitted.
+  bool Offer(Item item) {
+    if (k_ == 0) return false;
     if (full()) {
-      if (dist2 >= items_.front().dist2) return;
-      std::pop_heap(items_.begin(), items_.end());
+      if (item.key >= items_.front().key) return false;
+      std::pop_heap(items_.begin(), items_.end(), KeyLess{});
       items_.pop_back();
     }
-    items_.push_back(Item{dist2, p, q, p_id, q_id});
-    std::push_heap(items_.begin(), items_.end());
+    items_.push_back(std::move(item));
+    std::push_heap(items_.begin(), items_.end(), KeyLess{});
+    return true;
   }
 
-  /// Drains the heap into ascending-distance PairResults.
+  /// Destructively sorts ascending by key and hands the items over.
+  std::vector<Item> TakeSorted() && {
+    std::sort_heap(items_.begin(), items_.end(), KeyLess{});
+    return std::move(items_);
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.key < b.key;
+    }
+  };
+
+  size_t k_;
+  std::vector<Item> items_;
+};
+
+/// The CPQ result heap: BoundedKeyHeap items carrying the pair payload,
+/// plus the key -> reported-distance conversion at extraction. Extraction
+/// order is ascending key, i.e. ascending distance for minimizing families
+/// and *descending* distance (farthest first) for kFarthest.
+class ResultHeap {
+ public:
+  explicit ResultHeap(size_t k, const QueryObjective& objective = {})
+      : heap_(k), objective_(objective) {}
+
+  bool full() const { return heap_.full(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Key (see cpq/objective.h) of the current K-th best pair; +infinity
+  /// until full.
+  double Bound() const { return heap_.Bound(); }
+
+  /// Considers a found pair; keeps it if it is among the best K so far.
+  void Offer(double key, const Point& p, const Point& q, uint64_t p_id,
+             uint64_t q_id) {
+    heap_.Offer(Item{key, p, q, p_id, q_id});
+  }
+
+  /// Drains the heap into ascending-key PairResults.
   std::vector<PairResult> Extract() && {
-    std::sort_heap(items_.begin(), items_.end());
+    std::vector<Item> items = std::move(heap_).TakeSorted();
     std::vector<PairResult> out;
-    out.reserve(items_.size());
-    for (const Item& it : items_) {
+    out.reserve(items.size());
+    for (const Item& it : items) {
       out.push_back(PairResult{it.p, it.q, it.p_id, it.q_id,
-                               PowToDistance(it.dist2, metric_)});
+                               objective_.KeyToDistance(it.key)});
     }
     return out;
   }
 
  private:
   struct Item {
-    double dist2;
+    double key;
     Point p, q;
     uint64_t p_id, q_id;
-
-    // Max-heap by distance (the farthest kept pair is on top).
-    friend bool operator<(const Item& a, const Item& b) {
-      return a.dist2 < b.dist2;
-    }
   };
 
-  size_t k_;
-  Metric metric_;
-  std::vector<Item> items_;
+  BoundedKeyHeap<Item> heap_;
+  QueryObjective objective_;
 };
 
 }  // namespace kcpq

@@ -99,7 +99,8 @@ bool ResumableCpqQuery::StartPhase() {
   root_level_ = PairLevel(e.tree_p_.height() - 1, e.tree_q_.height() - 1);
   if (e.profile_ != nullptr) e.profile_->Considered(root_level_, 1);
   if (e.ShouldStop(0)) {
-    e.FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+    e.FoldFrontier(e.objective_.WeakestKey(),
+                   std::numeric_limits<uint64_t>::max());
     if (e.profile_ != nullptr) e.profile_->Deferred(root_level_, 1);
     phase_ = Phase::kFinish;
   } else {
@@ -121,7 +122,8 @@ bool ResumableCpqQuery::ReadRoot(bool is_p, StepResult* parked) {
   }
   if (s.code() == StatusCode::kDeadlineExceeded) {
     e.stop_ = StopCause::kDeadline;
-    e.FoldFrontier(0.0, std::numeric_limits<uint64_t>::max());
+    e.FoldFrontier(e.objective_.WeakestKey(),
+                   std::numeric_limits<uint64_t>::max());
     if (e.profile_ != nullptr) e.profile_->Deferred(root_level_, 1);
     phase_ = Phase::kFinish;
     return true;
@@ -149,7 +151,7 @@ void ResumableCpqQuery::SeedPhase() {
   Candidate first;
   first.p = root_p;
   first.q = root_q;
-  first.minmin = MinMinDistPow(root_p.mbr, root_q.mbr, options_.metric);
+  first.key = e.objective_.NodeKey(root_p.mbr, root_q.mbr);
   first.max_pairs = SaturatingMul(root_p.max_points, root_q.max_points);
   if (options_.algorithm == CpqAlgorithm::kHeap) {
     heap_.push_back(first);
@@ -240,7 +242,7 @@ void ResumableCpqQuery::AdvanceRecursive() {
       continue;
     }
     const Candidate& cand = f.candidates[f.next++];
-    if (e.Prunes() && cand.minmin > e.bound_) {
+    if (e.Prunes() && cand.key > e.bound_) {
       ++e.stats_->candidate_pairs_pruned;
       if (e.profile_ != nullptr) {
         e.profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level), 1);
@@ -250,14 +252,14 @@ void ResumableCpqQuery::AdvanceRecursive() {
         ev.kind = obs::TraceEventKind::kPrune;
         ev.level_p = static_cast<int16_t>(cand.p.level);
         ev.level_q = static_cast<int16_t>(cand.q.level);
-        ev.value = cand.minmin;
+        ev.value = cand.key;
         ev.bound = e.bound_;
         e.trace_->RecordNow(ev);
       }
       continue;
     }
     if (e.stop_ != StopCause::kNone) {
-      e.FoldFrontier(cand.minmin, cand.max_pairs);
+      e.FoldFrontier(cand.key, cand.max_pairs);
       if (e.profile_ != nullptr) {
         e.profile_->Deferred(PairLevel(cand.p.level, cand.q.level), 1);
       }
@@ -272,12 +274,12 @@ void ResumableCpqQuery::AdvanceRecursive() {
 
 void ResumableCpqQuery::DrainHeapIntoCertificate(const Candidate& popped) {
   CpqEngine& e = engine_;
-  e.FoldFrontier(popped.minmin, popped.max_pairs);
+  e.FoldFrontier(popped.key, popped.max_pairs);
   if (e.profile_ != nullptr) {
     e.profile_->Deferred(PairLevel(popped.p.level, popped.q.level), 1);
   }
   for (const Candidate& c : heap_) {
-    e.FoldFrontier(c.minmin, c.max_pairs);
+    e.FoldFrontier(c.key, c.max_pairs);
     if (e.profile_ != nullptr) {
       e.profile_->Deferred(PairLevel(c.p.level, c.q.level), 1);
     }
@@ -300,7 +302,7 @@ void ResumableCpqQuery::HeapLoopPhase() {
     const size_t scan = std::min<size_t>(heap_.size(), 512);
     spec_order_.clear();
     for (uint32_t i = 0; i < scan; ++i) {
-      if (heap_[i].minmin > e.bound_) continue;  // would be CP5-cut
+      if (heap_[i].key > e.bound_) continue;  // would be CP5-cut
       spec_order_.push_back(i);
     }
     const size_t take = std::min(spec_order_.size(), e.prefetch_.window());
@@ -323,11 +325,11 @@ void ResumableCpqQuery::HeapLoopPhase() {
     ev.kind = obs::TraceEventKind::kHeapPop;
     ev.level_p = static_cast<int16_t>(top.p.level);
     ev.level_q = static_cast<int16_t>(top.q.level);
-    ev.value = top.minmin;
+    ev.value = top.key;
     ev.bound = e.bound_;
     e.trace_->RecordNow(ev);
   }
-  if (top.minmin > e.bound_) {
+  if (top.key > e.bound_) {
     // CP5: the popped pair and everything still queued are cut off.
     if (e.profile_ != nullptr) {
       e.profile_->PrunedOrder(PairLevel(top.p.level, top.q.level), 1);
@@ -397,7 +399,7 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
         const NodeRef& rp = pending_.p;
         const NodeRef& rq = pending_.q;
         if (e.ShouldStop(0)) {
-          e.FoldFrontier(MinMinDistPow(rp.mbr, rq.mbr, options_.metric),
+          e.FoldFrontier(e.objective_.NodeKey(rp.mbr, rq.mbr),
                          SaturatingMul(rp.max_points, rq.max_points));
           if (e.profile_ != nullptr) {
             e.profile_->Deferred(PairLevel(rp.level, rq.level), 1);
@@ -423,7 +425,7 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
           e.stop_ = StopCause::kDeadline;
           const NodeRef& rp = pending_.p;
           const NodeRef& rq = pending_.q;
-          e.FoldFrontier(MinMinDistPow(rp.mbr, rq.mbr, options_.metric),
+          e.FoldFrontier(e.objective_.NodeKey(rp.mbr, rq.mbr),
                          SaturatingMul(rp.max_points, rq.max_points));
           if (e.profile_ != nullptr) {
             e.profile_->Deferred(PairLevel(rp.level, rq.level), 1);
@@ -457,8 +459,8 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
           size_t added = 0;
           for (const Candidate& cand : f.candidates) {
             if (added >= e.prefetch_.window()) break;
-            if (e.Prunes() && cand.minmin > e.bound_) continue;
-            e.prefetch_.Add(cand.minmin, cand.p.page, cand.q.page);
+            if (e.Prunes() && cand.key > e.bound_) continue;
+            e.prefetch_.Add(cand.key, cand.p.page, cand.q.page);
             ++added;
           }
           prefetch_issued_ += e.prefetch_.Issue();
@@ -494,7 +496,7 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
         e.TightenBoundFromCandidates(candidates_scratch_);
         e.NoteBoundImprovement();
         for (const Candidate& cand : candidates_scratch_) {
-          if (cand.minmin > e.bound_) {
+          if (cand.key > e.bound_) {
             ++e.stats_->candidate_pairs_pruned;
             if (e.profile_ != nullptr) {
               e.profile_->PrunedIneq1(PairLevel(cand.p.level, cand.q.level),
@@ -505,7 +507,7 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
               ev.kind = obs::TraceEventKind::kPrune;
               ev.level_p = static_cast<int16_t>(cand.p.level);
               ev.level_q = static_cast<int16_t>(cand.q.level);
-              ev.value = cand.minmin;
+              ev.value = cand.key;
               ev.bound = e.bound_;
               e.trace_->RecordNow(ev);
             }
@@ -516,7 +518,7 @@ ResumableTask::StepResult ResumableCpqQuery::Step() {
             ev.kind = obs::TraceEventKind::kHeapPush;
             ev.level_p = static_cast<int16_t>(cand.p.level);
             ev.level_q = static_cast<int16_t>(cand.q.level);
-            ev.value = cand.minmin;
+            ev.value = cand.key;
             ev.bound = e.bound_;
             e.trace_->RecordNow(ev);
           }

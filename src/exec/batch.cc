@@ -56,6 +56,8 @@ void MapHsStats(const HsStats& hs, CpqStats* out) {
 HsOptions HsOptionsFrom(const CpqOptions& cpq, const QueryControl& merged,
                         QueryContext* ctx, size_t batch_prefetch_window) {
   HsOptions hs;
+  hs.family = cpq.family;
+  hs.query_rect = cpq.query_rect;
   hs.leaf_kernel = cpq.leaf_kernel;
   hs.prefetch_window =
       cpq.prefetch_window != 0 ? cpq.prefetch_window : batch_prefetch_window;

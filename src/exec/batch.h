@@ -35,7 +35,8 @@ enum class BatchQueryKind {
   kSemiClosestPairs,
   /// HsKClosestPairs(tree_p, tree_q, options.k): the incremental distance
   /// join with default traversal. Reuses the CpqOptions fields that make
-  /// sense for HS (k, control, context, prefetch_window, leaf_kernel);
+  /// sense for HS (k, family, query_rect, control, context,
+  /// prefetch_window, leaf_kernel);
   /// algorithm / tie-breaking fields are ignored. HsStats are mapped into
   /// CpqStats (items_popped -> node_pairs_processed, max_queue_size ->
   /// max_heap_size; disk / node / prefetch / park counters carry over).

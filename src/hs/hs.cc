@@ -6,6 +6,7 @@
 
 #include "cpq/leaf_kernel.h"
 #include "cpq/prefetch.h"
+#include "cpq/result_heap.h"
 #include "geometry/metrics.h"
 #include "hs/hybrid_queue.h"
 #include "hs/resumable.h"
@@ -41,8 +42,10 @@ class JoinImpl {
                     !options.control.IsUnlimited()),
         queue_(options.queue_distance_threshold, options.queue_page_size,
                options.tie_policy == HsTiePolicy::kDepthFirst),
-        k_bound_(options.k_bound,
-                 /*dummy id-based heap — see PruneBound below*/ 0) {}
+        objective_(options.family, Metric::kL2, options.query_rect),
+        k_bound_(options.k_bound) {
+    stats_.quality.bound_is_upper = objective_.BoundIsUpper();
+  }
 
   ~JoinImpl() { DrainSpeculation(); }
 
@@ -71,32 +74,23 @@ class JoinImpl {
 
  private:
   enum class TryOutcome { kOk, kParked, kDeadline, kError };
-  // The "incremental up to K" bound: a max-heap of the K smallest
-  // object-pair keys pushed so far. Queue items with a larger key cannot
-  // be among the first K results and are dropped at push time.
-  struct KBound {
-    KBound(size_t k, int) : k(k) {}
-    size_t k;
-    std::priority_queue<double> heap;
-
-    double Bound() const {
-      return k > 0 && heap.size() == k
-                 ? heap.top()
-                 : std::numeric_limits<double>::infinity();
-    }
-    void Offer(double key) {
-      if (k == 0) return;
-      if (heap.size() < k) {
-        heap.push(key);
-      } else if (key < heap.top()) {
-        heap.pop();
-        heap.push(key);
-      }
-    }
+  // The "incremental up to K" bound: the K smallest object-pair keys
+  // pushed so far, tracked by the same bounded heap the CPQ ResultHeap
+  // wraps (cpq/result_heap.h). Queue items with a larger key cannot be
+  // among the first K results and are dropped at push time.
+  struct KBoundKey {
+    double key;
   };
 
   Status Start();
   void PushItem(QueueItem item);
+  /// Range-restriction test for one queue-item side; always true for
+  /// unrestricted families.
+  bool SideEligible(const ItemSide& s) const {
+    if (!objective_.restricted()) return true;
+    return s.is_node ? objective_.SubtreeEligible(s.rect)
+                     : objective_.rect().Contains(s.rect);
+  }
   ItemSide NodeSide(const Entry& entry, int child_level) const;
   ItemSide ObjectSide(const Entry& entry) const;
   double KeyOf(const ItemSide& a, const ItemSide& b) const;
@@ -130,9 +124,9 @@ class JoinImpl {
   void NotePark(PageId page);
   void NoteResumed();
 
-  /// Latches `cause` and fills the quality certificate: `key_squared` is
-  /// the popped (or about-to-pop) queue key bounding everything unemitted.
-  void LatchStop(StopCause cause, double key_squared);
+  /// Latches `cause` and fills the quality certificate: `key` is the
+  /// popped (or about-to-pop) queue key bounding everything unemitted.
+  void LatchStop(StopCause cause, double key);
 
   /// Snapshots the per-join I/O counters (buffer misses, queue spills,
   /// speculation) into stats_ as deltas against the Start() baselines.
@@ -152,7 +146,10 @@ class JoinImpl {
   QueryContext* ctx_;
   bool accounting_;
   HybridQueue queue_;
-  KBound k_bound_;
+  /// Objective policy (family + rect); the join's keys are L2-only in
+  /// every family, so the metric is pinned to kL2.
+  QueryObjective objective_;
+  BoundedKeyHeap<KBoundKey> k_bound_;
   cpq_internal::SweepScratch<Entry> sweep_scratch_;
   /// Speculative reads for the W nearest children of each expansion
   /// (disabled unless options.prefetch_window > 0; see cpq/prefetch.h).
@@ -212,8 +209,11 @@ ItemSide JoinImpl::ObjectSide(const Entry& entry) const {
 
 double JoinImpl::KeyOf(const ItemSide& a, const ItemSide& b) const {
   // MINMINDIST degenerates to point-rect MINDIST and point-point distance
-  // for degenerate rects, so one formula covers all four item kinds.
-  return MinMinDistSquared(a.rect, b.rect);
+  // for degenerate rects, so one formula covers all four item kinds; the
+  // same holds for MAXMAXDIST, whose negation is the kFarthest key
+  // (ascending pop order then emits pairs farthest-first).
+  return objective_.minimizing() ? MinMinDistSquared(a.rect, b.rect)
+                                 : -MaxMaxDistSquared(a.rect, b.rect);
 }
 
 int32_t JoinImpl::TieLevelOf(const ItemSide& a, const ItemSide& b) const {
@@ -221,19 +221,27 @@ int32_t JoinImpl::TieLevelOf(const ItemSide& a, const ItemSide& b) const {
 }
 
 void JoinImpl::PushItem(QueueItem item) {
+  // Range-restricted joins drop ineligible items at the push choke point:
+  // a node side whose subtree is strictly outside the rect, or an object
+  // side not contained in it, can never yield a qualifying pair — and a
+  // skipped subtree is never expanded, so the saving compounds.
+  if (!SideEligible(item.a) || !SideEligible(item.b)) return;
   if (item.key > k_bound_.Bound()) return;  // cannot be in the first K
-  if (!item.a.is_node && !item.b.is_node) k_bound_.Offer(item.key);
+  if (!item.a.is_node && !item.b.is_node) k_bound_.Offer({item.key});
   item.seq = next_seq_++;
   queue_.Push(item);
   ++stats_.items_pushed;
   stats_.max_queue_size = std::max(stats_.max_queue_size, queue_.size());
 }
 
-void JoinImpl::LatchStop(StopCause cause, double key_squared) {
+void JoinImpl::LatchStop(StopCause cause, double key) {
   stop_ = cause;
   stats_.quality.stop_cause = cause;
   stats_.quality.pairs_found = results_emitted_;
-  stats_.quality.guaranteed_lower_bound = std::sqrt(key_squared);
+  // `key` is the popped (or about-to-pop) queue key: under kFarthest it is
+  // a negated squared distance and the certificate is an *upper* bound on
+  // everything unemitted (bound_is_upper, set at construction).
+  stats_.quality.guaranteed_lower_bound = objective_.KeyToDistance(key);
   stats_.quality.is_exact = false;
   DrainSpeculation();
   CaptureIoStats();
@@ -289,7 +297,7 @@ Status JoinImpl::Start() {
   if (accounting_) {
     const StopCause pre = ctx_->Check(0, 0);
     if (pre != StopCause::kNone) {
-      LatchStop(pre, 0.0);
+      LatchStop(pre, objective_.WeakestKey());
       return Status::OK();
     }
   }
@@ -300,7 +308,7 @@ Status JoinImpl::Start() {
   if (read_status.code() == StatusCode::kDeadlineExceeded) {
     // Storage abandoned a retry: the deadline is unmeetable. Same
     // certificate as the pre-trip — no pair was emitted yet.
-    LatchStop(StopCause::kDeadline, 0.0);
+    LatchStop(StopCause::kDeadline, objective_.WeakestKey());
     return Status::OK();
   }
   KCPQ_RETURN_IF_ERROR(read_status);
@@ -381,8 +389,11 @@ size_t JoinImpl::PushChildrenBoth(const Node& node_a, const Node& node_b) {
     }
     return true;
   };
-  if (options_.leaf_kernel == LeafKernel::kPlaneSweep && node_a.IsLeaf() &&
-      node_b.IsLeaf()) {
+  // The sweep's axis-gap skip lower-bounds a pair's *distance*, which only
+  // implies a droppable key for minimizing objectives — kFarthest always
+  // takes the nested loop.
+  if (options_.leaf_kernel == LeafKernel::kPlaneSweep &&
+      objective_.SweepUsable() && node_a.IsLeaf() && node_b.IsLeaf()) {
     // Object pairs the sweep skips have axis separation alone > the k_bound
     // prune threshold, so their key (>= that separation, squared space)
     // would fail PushItem's `key > Bound()` drop. The bound is re-read each
@@ -419,7 +430,7 @@ Result<std::optional<PairResult>> JoinImpl::Next() {
       ClosestPoints(item.a.rect, item.b.rect, &out.p, &out.q);
       out.p_id = item.a.id;
       out.q_id = item.b.id;
-      out.distance = std::sqrt(item.key);
+      out.distance = objective_.KeyToDistance(item.key);
       ++results_emitted_;
       stats_.quality.pairs_found = results_emitted_;
       // No drain here: the join is incremental and staged speculation may
@@ -540,7 +551,7 @@ JoinImpl::TryOutcome JoinImpl::TryStart(Status* error) {
     if (accounting_) {
       const StopCause pre = ctx_->Check(0, 0);
       if (pre != StopCause::kNone) {
-        LatchStop(pre, 0.0);
+        LatchStop(pre, objective_.WeakestKey());
         started_ = true;
         root_stage_ = 3;
         return TryOutcome::kOk;
@@ -557,7 +568,7 @@ JoinImpl::TryOutcome JoinImpl::TryStart(Status* error) {
       return TryOutcome::kParked;
     }
     if (s.code() == StatusCode::kDeadlineExceeded) {
-      LatchStop(StopCause::kDeadline, 0.0);
+      LatchStop(StopCause::kDeadline, objective_.WeakestKey());
       started_ = true;
       root_stage_ = 3;
       return TryOutcome::kOk;
@@ -579,7 +590,7 @@ JoinImpl::TryOutcome JoinImpl::TryStart(Status* error) {
       return TryOutcome::kParked;
     }
     if (s.code() == StatusCode::kDeadlineExceeded) {
-      LatchStop(StopCause::kDeadline, 0.0);
+      LatchStop(StopCause::kDeadline, objective_.WeakestKey());
       started_ = true;
       root_stage_ = 3;
       return TryOutcome::kOk;
@@ -733,7 +744,7 @@ JoinImpl::NextOutcome JoinImpl::TryNext(std::optional<PairResult>* out,
                       &res.q);
         res.p_id = pending_item_.a.id;
         res.q_id = pending_item_.b.id;
-        res.distance = std::sqrt(pending_item_.key);
+        res.distance = objective_.KeyToDistance(pending_item_.key);
         ++results_emitted_;
         stats_.quality.pairs_found = results_emitted_;
         CaptureIoStats();

@@ -41,6 +41,15 @@ struct HsOptions {
   HsTraversal traversal = HsTraversal::kSimultaneous;
   HsTiePolicy tie_policy = HsTiePolicy::kDepthFirst;
 
+  /// Query family (see CpqOptions::family). kFarthest emits pairs in
+  /// *descending* distance (queue keys are negated MAXMAXDIST, so the
+  /// ascending pop order is unchanged); kRangeClosest restricts results to
+  /// pairs with both objects inside `query_rect`. HS keys are L2-only in
+  /// every family.
+  QueryFamily family = QueryFamily::kClosest;
+  /// The restriction rectangle for kRangeClosest; ignored otherwise.
+  Rect query_rect{};
+
   /// Upper bound K on the number of pairs that will be requested. When > 0
   /// the queue prunes items that cannot be among the first K results
   /// (the "incremental up to K" variant of [11]). 0 = fully incremental.

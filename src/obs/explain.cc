@@ -92,7 +92,8 @@ std::string HumanBytes(uint64_t bytes) {
 std::string RenderExplainReport(const ExplainInputs& in,
                                 const PruningProfile& profile) {
   std::ostringstream os;
-  os << "EXPLAIN ANALYZE  k-closest-pairs"
+  os << "EXPLAIN ANALYZE  "
+     << (in.family.empty() ? "k-closest-pairs" : in.family)
      << "  algorithm=" << in.algorithm
      << "  leaf-kernel=" << in.leaf_kernel << "  k=" << in.k << "\n";
   os << "  results: " << in.results_returned;
@@ -103,7 +104,9 @@ std::string RenderExplainReport(const ExplainInputs& in,
     os << "  PARTIAL";
     if (!in.stop_cause.empty()) os << " [" << in.stop_cause << "]";
     if (in.quality_bound >= 0.0) {
-      os << "  missing pairs all >= " << Sci(in.quality_bound);
+      os << (in.bound_is_upper ? "  missing pairs all <= "
+                               : "  missing pairs all >= ")
+         << Sci(in.quality_bound);
     }
   }
   os << "\n";
@@ -114,9 +117,9 @@ std::string RenderExplainReport(const ExplainInputs& in,
   }
   os << "\n";
 
-  // Per-level pruning table, root first (leaves are level 0).
-  os << "Per-level pruning (Inequality 1 = MINMINDIST > T; order = "
-        "best-first cutoff)\n";
+  // Per-level pruning table, root first (leaves are level 0). The caption
+  // names the active objective's prune rule.
+  os << "Per-level pruning (" << in.prune_rule << ")\n";
   os << "  " << Pad("level", 5) << Pad("considered", 12)
      << Pad("pruned-ineq1", 14) << Pad("pruned-order", 14)
      << Pad("visited", 9) << Pad("deferred", 10) << Pad("pruned%", 9)
@@ -169,6 +172,12 @@ std::string RenderExplainReport(const ExplainInputs& in,
        << "  hits: " << Num(in.prefetch_hits)
        << "  wasted: " << Num(in.prefetch_wasted)
        << "  hit ratio: " << Percent(in.prefetch_hits, in.prefetch_issued);
+    if (!in.prefetch_pop_order.empty()) {
+      // "Wasted" means speculated-but-unclaimed relative to the objective's
+      // own pop order — a farthest run speculating in descending MAXMAXDIST
+      // is not mis-speculating just because the order isn't MINMINDIST.
+      os << "  pop order: " << in.prefetch_pop_order;
+    }
     if (in.prefetch_pending > 0) {
       os << "  PENDING: " << Num(in.prefetch_pending) << " (not drained)";
     }

@@ -76,6 +76,25 @@ class PruningProfile {
 struct ExplainInputs {
   std::string algorithm;    // e.g. "heap"
   std::string leaf_kernel;  // e.g. "plane-sweep"
+
+  // Objective policy (cpq/objective.h). The defaults reproduce the
+  // historical closest-pairs report byte-for-byte, so pre-policy goldens
+  // stay valid; other families override all three.
+  std::string family = "k-closest-pairs";  // header label
+  /// Pruning-rule caption of the per-level table. The accounting identity
+  /// (considered == visited + pruned + deferred) holds per objective: a
+  /// range-restricted query's ineligible subtrees are skipped *before*
+  /// candidate generation, so they are never "considered".
+  std::string prune_rule =
+      "Inequality 1 = MINMINDIST > T; order = best-first cutoff";
+  /// kFarthest: the partial-result bound is an *upper* bound (missing
+  /// pairs all <=), flipping the PARTIAL line's inequality.
+  bool bound_is_upper = false;
+  /// The objective's prefetch pop-order label (e.g. "MAXMAXDIST
+  /// descending"). Rendered in the Prefetch section so wasted-speculation
+  /// counts are read against the right order; empty omits it.
+  std::string prefetch_pop_order;
+
   uint64_t k = 0;
   uint64_t results_returned = 0;
   double result_max_distance = -1.0;  // kth distance; <0 -> n/a

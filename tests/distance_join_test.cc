@@ -176,6 +176,46 @@ TEST(DistanceJoinTest, EmptyTreesYieldEmpty) {
   EXPECT_TRUE(result.value().empty());
 }
 
+// A budget-stopped join certifies a capacity-weighted missing-pair count:
+// the bound must dominate the true number of qualifying pairs it failed to
+// report, and an exact run must leave it at zero.
+TEST(DistanceJoinTest, MissingPairBoundDominatesTrueDeficit) {
+  const auto p_items = MakeUniformItems(400, 1014);
+  const auto q_items = MakeUniformItems(400, 1015);
+  TreeFixture fp, fq;
+  KCPQ_ASSERT_OK(fp.Build(p_items));
+  KCPQ_ASSERT_OK(fq.Build(q_items));
+  const double epsilon = 0.08;
+  const std::vector<PairResult> full =
+      BruteForceDistanceRangeJoin(p_items, q_items, epsilon);
+  ASSERT_GT(full.size(), 50u);
+
+  bool saw_partial = false;
+  for (uint64_t budget : {3u, 10u, 40u, 160u}) {
+    DistanceJoinOptions options;
+    options.control.max_node_accesses = budget;
+    CpqStats stats;
+    auto result =
+        DistanceRangeJoin(fp.tree(), fq.tree(), epsilon, options, &stats);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (stats.quality.is_exact) {
+      EXPECT_EQ(stats.quality.missing_pair_bound, 0u) << budget;
+      continue;
+    }
+    saw_partial = true;
+    const uint64_t missing = full.size() - result.value().size();
+    EXPECT_GE(stats.quality.missing_pair_bound, missing) << budget;
+  }
+  EXPECT_TRUE(saw_partial) << "no budget produced a partial join";
+
+  // An unlimited run is exact and certifies nothing missing.
+  CpqStats stats;
+  auto result = DistanceRangeJoin(fp.tree(), fq.tree(), epsilon, {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(stats.quality.is_partial());
+  EXPECT_EQ(stats.quality.missing_pair_bound, 0u);
+}
+
 TEST(DistanceJoinTest, ResultsAscendingByDistance) {
   const auto p_items = MakeUniformItems(400, 1012);
   const auto q_items = MakeUniformItems(400, 1013);

@@ -35,24 +35,29 @@ struct ProfiledRun {
 
 // Runs one K-CPQ with a pruning profile attached; trees are built fresh
 // from fixed seeds so counts are deterministic.
-ProfiledRun RunProfiled(CpqAlgorithm algorithm, size_t n, size_t k,
-                        const QueryControl& control = {}) {
+ProfiledRun RunProfiledOptions(CpqOptions options, size_t n) {
   TreeFixture p;
   TreeFixture q;
   KCPQ_CHECK_OK(p.Build(MakeUniformItems(n, /*seed=*/42, UnitWorkspace())));
   KCPQ_CHECK_OK(q.Build(MakeUniformItems(n, /*seed=*/43, UnitWorkspace())));
 
   ProfiledRun run;
-  QueryContext ctx(control);
+  QueryContext ctx(options.control);
   ctx.set_profile(&run.profile);
-  CpqOptions options;
-  options.algorithm = algorithm;
-  options.k = k;
   options.context = &ctx;
   auto result = KClosestPairs(p.tree(), q.tree(), options, &run.stats);
   KCPQ_CHECK_OK(result.status());
   run.pairs = std::move(result).value();
   return run;
+}
+
+ProfiledRun RunProfiled(CpqAlgorithm algorithm, size_t n, size_t k,
+                        const QueryControl& control = {}) {
+  CpqOptions options;
+  options.algorithm = algorithm;
+  options.k = k;
+  options.control = control;
+  return RunProfiledOptions(options, n);
 }
 
 void ExpectIdentityHolds(const obs::PruningProfile& profile) {
@@ -132,19 +137,41 @@ TEST(ExplainProfileTest, BoundSampleDecimationKeepsEndpoints) {
   EXPECT_EQ(samples.back().node_pairs, 499u);
 }
 
-std::string GoldenPath() {
-  return std::string(KCPQ_TEST_GOLDEN_DIR) + "/explain_heap_k10.txt";
-}
-
-TEST(ExplainGoldenTest, ReportMatchesGoldenFile) {
-  const ProfiledRun run = RunProfiled(CpqAlgorithm::kHeap, 2000, 10);
-
+// Flattens a profiled run into renderer inputs the way the CLI does,
+// including the objective-dependent fields (family header, prune-rule
+// caption, certificate direction). kClosest keeps every default so the
+// pre-policy golden stays byte-identical.
+obs::ExplainInputs MakeInputs(const CpqOptions& options,
+                              const ProfiledRun& run) {
+  const QueryObjective objective(options.family, options.metric,
+                                 options.query_rect);
   obs::ExplainInputs inputs;
-  inputs.algorithm = CpqAlgorithmName(CpqAlgorithm::kHeap);
+  inputs.algorithm = CpqAlgorithmName(options.algorithm);
   inputs.leaf_kernel = "plane-sweep";
-  inputs.k = 10;
+  inputs.family = QueryFamilyName(options.family);
+  inputs.bound_is_upper = objective.BoundIsUpper();
+  switch (options.family) {
+    case QueryFamily::kClosest:
+      break;
+    case QueryFamily::kFarthest:
+      inputs.prune_rule =
+          "Inequality 1 = MAXMAXDIST < T; order = worst-first cutoff";
+      break;
+    case QueryFamily::kRangeClosest:
+      inputs.prune_rule =
+          "Inequality 1 = MINMINDIST > T; order = best-first cutoff; "
+          "rect-ineligible subtrees skipped before candidacy";
+      break;
+  }
+  if (options.family != QueryFamily::kClosest) {
+    inputs.prefetch_pop_order = objective.minimizing()
+                                    ? "MINMINDIST ascending"
+                                    : "MAXMAXDIST descending";
+  }
+  inputs.k = options.k;
   inputs.results_returned = run.pairs.size();
-  inputs.result_max_distance = run.pairs.back().distance;
+  inputs.result_max_distance =
+      run.pairs.empty() ? -1.0 : run.pairs.back().distance;
   inputs.node_pairs_processed = run.stats.node_pairs_processed;
   inputs.candidate_pairs_generated = run.stats.candidate_pairs_generated;
   inputs.candidate_pairs_pruned = run.stats.candidate_pairs_pruned;
@@ -156,23 +183,64 @@ TEST(ExplainGoldenTest, ReportMatchesGoldenFile) {
   inputs.buffer_hits = 0;  // pass-through buffer: every read is physical
   inputs.buffer_misses = run.stats.disk_accesses();
   inputs.measured_peak_bytes = 0;
-  inputs.seconds = -1.0;  // timing is nondeterministic; render "n/a"
-
-  const std::string report = RenderExplainReport(inputs, run.profile);
-
-  if (std::getenv("KCPQ_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath());
-    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
-    out << report;
-    GTEST_SKIP() << "golden updated: " << GoldenPath();
+  inputs.complete = !run.stats.quality.is_partial();
+  if (!inputs.complete) {
+    inputs.stop_cause = StopCauseName(run.stats.quality.stop_cause);
+    inputs.quality_bound = run.stats.quality.guaranteed_lower_bound;
   }
+  inputs.seconds = -1.0;  // timing is nondeterministic; render "n/a"
+  return inputs;
+}
 
-  std::ifstream in(GoldenPath());
-  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+void CheckGolden(const std::string& file, const std::string& report) {
+  const std::string path = std::string(KCPQ_TEST_GOLDEN_DIR) + "/" + file;
+  if (std::getenv("KCPQ_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << report;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
                          << " (run with KCPQ_UPDATE_GOLDEN=1)";
   std::stringstream want;
   want << in.rdbuf();
   EXPECT_EQ(report, want.str());
+}
+
+TEST(ExplainGoldenTest, ReportMatchesGoldenFile) {
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 10;
+  const ProfiledRun run = RunProfiledOptions(options, 2000);
+  CheckGolden("explain_heap_k10.txt",
+              RenderExplainReport(MakeInputs(options, run), run.profile));
+}
+
+TEST(ExplainGoldenTest, FarthestReportMatchesGoldenFile) {
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 10;
+  options.family = QueryFamily::kFarthest;
+  const ProfiledRun run = RunProfiledOptions(options, 2000);
+  ExpectIdentityHolds(run.profile);
+  CheckGolden("explain_farthest_k10.txt",
+              RenderExplainReport(MakeInputs(options, run), run.profile));
+}
+
+TEST(ExplainGoldenTest, RangeClosestReportMatchesGoldenFile) {
+  CpqOptions options;
+  options.algorithm = CpqAlgorithm::kHeap;
+  options.k = 10;
+  options.family = QueryFamily::kRangeClosest;
+  options.query_rect.lo[0] = 0.2;
+  options.query_rect.lo[1] = 0.2;
+  options.query_rect.hi[0] = 0.7;
+  options.query_rect.hi[1] = 0.65;
+  const ProfiledRun run = RunProfiledOptions(options, 2000);
+  ExpectIdentityHolds(run.profile);
+  CheckGolden("explain_rcp_k10.txt",
+              RenderExplainReport(MakeInputs(options, run), run.profile));
 }
 
 }  // namespace

@@ -100,6 +100,37 @@ Result<LeafKernel> ParseKernel(const std::string& name) {
                                  "' (nested|sweep)");
 }
 
+Result<QueryFamily> ParseFamily(const std::string& name) {
+  if (name == "closest") return QueryFamily::kClosest;
+  if (name == "farthest") return QueryFamily::kFarthest;
+  if (name == "rcp") return QueryFamily::kRangeClosest;
+  return Status::InvalidArgument("unknown query family '" + name +
+                                 "' (closest|farthest|rcp)");
+}
+
+// Parses --rect=x1,y1,x2,y2 (the kRangeClosest restriction rectangle).
+Status ParseRectFlag(const std::string& spec, Rect* rect) {
+  double v[4];
+  size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    size_t end = spec.find(',', pos);
+    if ((i < 3) != (end != std::string::npos)) {
+      return Status::InvalidArgument("--rect wants x1,y1,x2,y2: " + spec);
+    }
+    if (end == std::string::npos) end = spec.size();
+    KCPQ_RETURN_IF_ERROR(ParseNumber(spec.substr(pos, end - pos), &v[i]));
+    pos = end + 1;
+  }
+  rect->lo[0] = v[0];
+  rect->lo[1] = v[1];
+  rect->hi[0] = v[2];
+  rect->hi[1] = v[3];
+  if (!rect->IsValid()) {
+    return Status::InvalidArgument("--rect has x1 > x2 or y1 > y2");
+  }
+  return Status::OK();
+}
+
 Result<AdmissionMode> ParseAdmissionMode(const std::string& name) {
   if (name == "off") return AdmissionMode::kOff;
   if (name == "advisory") return AdmissionMode::kAdvisory;
@@ -350,12 +381,18 @@ Status ParsePrefetchFlags(const Flags& flags, size_t* window) {
 void PrintQuality(std::FILE* out, const QueryQuality& quality) {
   if (!quality.is_partial()) return;
   std::fprintf(out,
-               "# partial (%s): %llu pairs, guaranteed lower bound %g, "
+               "# partial (%s): %llu pairs, guaranteed %s bound %g, "
                "exact: %s\n",
                StopCauseName(quality.stop_cause),
                static_cast<unsigned long long>(quality.pairs_found),
+               quality.bound_is_upper ? "upper" : "lower",
                quality.guaranteed_lower_bound,
                quality.is_exact ? "yes" : "no");
+  if (quality.missing_pair_bound > 0) {
+    std::fprintf(out, "# quality: at most %llu qualifying pairs missing\n",
+                 static_cast<unsigned long long>(
+                     quality.missing_pair_bound));
+  }
 }
 
 void PrintPairs(std::FILE* out, const std::vector<PairResult>& pairs) {
@@ -579,6 +616,7 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   if (flags.positional.size() != 3) {
     return Status::InvalidArgument(
         "usage: kcp <p.db> <q.db> <K> [--algorithm=heap] [--metric=l2] "
+        "[--query=closest|farthest|rcp] [--rect=x1,y1,x2,y2] "
         "[--buffer=N] [--fix-at-leaves] [--self] [--kernel=nested|sweep] "
         "[--threads=N] [--repeat=N] [--deadline-ms=N] "
         "[--max-node-accesses=N] [--io-retries=N] [--fail-fast] "
@@ -631,6 +669,17 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   }
   if (const auto it = flags.named.find("metric"); it != flags.named.end()) {
     KCPQ_ASSIGN_OR_RETURN(options.metric, ParseMetric(it->second));
+  }
+  if (const auto it = flags.named.find("query"); it != flags.named.end()) {
+    KCPQ_ASSIGN_OR_RETURN(options.family, ParseFamily(it->second));
+  }
+  if (const auto it = flags.named.find("rect"); it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseRectFlag(it->second, &options.query_rect));
+  }
+  if ((options.family == QueryFamily::kRangeClosest) !=
+      (flags.named.count("rect") > 0)) {
+    return Status::InvalidArgument(
+        "--query=rcp and --rect=x1,y1,x2,y2 go together (both or neither)");
   }
   if (const auto it = flags.named.find("kernel"); it != flags.named.end()) {
     KCPQ_ASSIGN_OR_RETURN(options.leaf_kernel, ParseKernel(it->second));
@@ -828,11 +877,36 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                                    : BatchQueryKind::kClosestPairs;
     query.options = options;
 
+    const QueryObjective objective(options.family, options.metric,
+                                   options.query_rect);
     obs::ExplainInputs inputs;
     inputs.algorithm = CpqAlgorithmName(options.algorithm);
     inputs.leaf_kernel = options.leaf_kernel == LeafKernel::kPlaneSweep
                              ? "plane-sweep"
                              : "nested-loop";
+    inputs.family = QueryFamilyName(options.family);
+    inputs.bound_is_upper = objective.BoundIsUpper();
+    switch (options.family) {
+      case QueryFamily::kClosest:
+        break;  // keep the default caption (and the pre-policy goldens)
+      case QueryFamily::kFarthest:
+        inputs.prune_rule =
+            "Inequality 1 = MAXMAXDIST < T; order = worst-first cutoff";
+        break;
+      case QueryFamily::kRangeClosest:
+        inputs.prune_rule =
+            "Inequality 1 = MINMINDIST > T; order = best-first cutoff; "
+            "rect-ineligible subtrees skipped before candidacy";
+        break;
+    }
+    // The objective's prefetch pop order, so the wasted count is read
+    // against the right speculation order (closest keeps the legacy
+    // unlabelled rendering).
+    if (options.family != QueryFamily::kClosest) {
+      inputs.prefetch_pop_order = objective.minimizing()
+                                      ? "MINMINDIST ascending"
+                                      : "MAXMAXDIST descending";
+    }
     inputs.k = options.k;
     inputs.results_returned = pairs.size();
     inputs.result_max_distance =
@@ -1115,7 +1189,9 @@ void PrintUsage(std::FILE* out) {
       "  kcpq build <in.csv> <out.db> [--bulk] [--page-size=N]\n"
       "  kcpq stats <db>\n"
       "  kcpq kcp <p.db> <q.db> <K> [--algorithm=naive|exh|sim|std|heap]\n"
-      "       [--metric=l1|l2|linf] [--buffer=N] [--fix-at-leaves] [--self]\n"
+      "       [--metric=l1|l2|linf] [--query=closest|farthest|rcp]\n"
+      "       [--rect=x1,y1,x2,y2]\n"
+      "       [--buffer=N] [--fix-at-leaves] [--self]\n"
       "       [--kernel=nested|sweep] [--threads=N] [--repeat=N]\n"
       "       [--deadline-ms=N] [--max-node-accesses=N] [--io-retries=N]\n"
       "       [--fail-fast] [--admission=off|advisory|enforce]\n"
