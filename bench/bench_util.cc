@@ -176,6 +176,45 @@ void BenchJson::AddScalar(const std::string& key, double value) {
   scalars_.emplace_back(key, value);
 }
 
+void BenchJson::AddHistogramStats(const std::string& key,
+                                  const std::string& metric_name) {
+  const obs::MetricsSnapshot delta =
+      obs::MetricsSnapshot::Delta(metrics_baseline_, CaptureMetrics());
+  const obs::MetricsSnapshot::HistogramValue* h =
+      delta.FindHistogram(metric_name);
+  if (h == nullptr || h->count == 0) return;
+
+  // Quantile from the cumulative bucket counts, linearly interpolated
+  // within the winning bucket. The +inf bucket has no width; report its
+  // lower edge (the last finite bound).
+  const auto quantile = [h](double q) {
+    const uint64_t rank = static_cast<uint64_t>(
+        q * static_cast<double>(h->count - 1)) + 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->bucket_counts.size(); ++i) {
+      const uint64_t in_bucket = h->bucket_counts[i];
+      if (cumulative + in_bucket < rank) {
+        cumulative += in_bucket;
+        continue;
+      }
+      const double lo = i == 0 ? 0.0 : h->bounds[i - 1];
+      if (i >= h->bounds.size()) return lo;  // +inf bucket
+      const double hi = h->bounds[i];
+      const double frac = in_bucket == 0
+                              ? 0.0
+                              : static_cast<double>(rank - cumulative) /
+                                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    return h->bounds.empty() ? 0.0 : h->bounds.back();
+  };
+
+  AddScalar(key + "_count", static_cast<double>(h->count));
+  AddScalar(key + "_mean", h->sum / static_cast<double>(h->count));
+  AddScalar(key + "_p50", quantile(0.50));
+  AddScalar(key + "_p99", quantile(0.99));
+}
+
 void BenchJson::AddTable(const std::string& key, const Table& table) {
   tables_.emplace_back(key, table);
 }

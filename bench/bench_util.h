@@ -132,6 +132,15 @@ class BenchJson {
   void AddScalar(const std::string& key, double value);
   void AddTable(const std::string& key, const Table& table);
 
+  /// Summarizes a registry histogram's activity since this BenchJson was
+  /// constructed as scalars: `<key>_count`, `<key>_mean`, `<key>_p50`,
+  /// `<key>_p99` (quantiles linearly interpolated within the winning
+  /// bucket, so precision is the bucket width; the +inf bucket reports
+  /// the last finite bound). No-op when the metric is absent or saw no
+  /// observations — a bench with the exporter off emits no stray zeros.
+  void AddHistogramStats(const std::string& key,
+                         const std::string& metric_name);
+
   /// Writes the file and prints its path; failures are reported to stderr
   /// (a bench's numbers on stdout are never lost to a JSON I/O error).
   void Write() const;

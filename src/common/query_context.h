@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/query_control.h"
+#include "obs/query_observation.h"
 
 namespace kcpq {
 
@@ -163,6 +164,12 @@ class QueryContext {
   /// budget even with tiny candidate state.
   StopCause Check(uint64_t node_accesses, uint64_t engine_bytes) {
     accountant_.SetEngineBytes(engine_bytes);
+    if (observation_ != nullptr) {
+      observation_->node_accesses.store(node_accesses,
+                                        std::memory_order_relaxed);
+      observation_->engine_bytes.store(engine_bytes,
+                                       std::memory_order_relaxed);
+    }
     return control_.Check(node_accesses, accountant_.total_bytes());
   }
 
@@ -170,6 +177,9 @@ class QueryContext {
   void OnPageRead(uint64_t buffer_instance, uint64_t page_id,
                   uint64_t page_size) {
     accountant_.ChargeBufferPage(buffer_instance, page_id, page_size);
+    if (observation_ != nullptr) {
+      observation_->pages_read.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   /// Optional observability sinks (obs/trace.h, obs/explain.h). Both are
@@ -181,6 +191,14 @@ class QueryContext {
   void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
   obs::PruningProfile* profile() const { return profile_; }
   void set_profile(obs::PruningProfile* profile) { profile_ = profile; }
+
+  /// Live telemetry sink (obs/query_registry.h): borrowed like trace(),
+  /// but its fields are relaxed atomics because the HTTP exporter thread
+  /// reads them while the query runs. Null (default) = unobserved.
+  obs::QueryObservation* observation() const { return observation_; }
+  void set_observation(obs::QueryObservation* observation) {
+    observation_ = observation;
+  }
 
   /// Replication outcome tallies, mutable through the const context the
   /// storage read path carries (same pattern as trace(): the context is
@@ -194,6 +212,7 @@ class QueryContext {
   ResourceAccountant accountant_;
   obs::TraceBuffer* trace_ = nullptr;
   obs::PruningProfile* profile_ = nullptr;
+  obs::QueryObservation* observation_ = nullptr;
   mutable ReplicationStats replication_;
 };
 

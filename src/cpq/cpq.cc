@@ -15,7 +15,7 @@ namespace {
 
 /// Folds a finished query's stats into the process-wide metrics registry.
 /// `seconds < 0` means the caller skipped timing (metrics disabled).
-void FoldCpqMetrics(const CpqStats& s, double seconds) {
+void FoldCpqMetrics(const CpqStats& s, double seconds, QueryFamily family) {
 #if KCPQ_METRICS
   if (!obs::Enabled()) return;
   const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
@@ -26,10 +26,14 @@ void FoldCpqMetrics(const CpqStats& s, double seconds) {
   m.cpq_distance_computations_total->Add(s.point_distance_computations);
   m.cpq_leaf_pairs_skipped_total->Add(s.leaf_pairs_skipped);
   m.cpq_query_node_accesses->Observe(static_cast<double>(s.node_accesses));
-  if (seconds >= 0.0) m.cpq_query_seconds->Observe(seconds);
+  if (seconds >= 0.0) {
+    m.cpq_query_seconds->Observe(seconds);
+    FamilyQuerySeconds(family)->Observe(seconds);
+  }
 #else
   (void)s;
   (void)seconds;
+  (void)family;
 #endif
 }
 
@@ -82,6 +86,19 @@ const char* QueryFamilyName(QueryFamily f) {
   return "?";
 }
 
+obs::Histogram* FamilyQuerySeconds(QueryFamily f) {
+  const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
+  switch (f) {
+    case QueryFamily::kClosest:
+      return m.query_seconds_closest;
+    case QueryFamily::kFarthest:
+      return m.query_seconds_farthest;
+    case QueryFamily::kRangeClosest:
+      return m.query_seconds_rcp;
+  }
+  return m.query_seconds_closest;
+}
+
 const char* LeafKernelName(LeafKernel k) {
   switch (k) {
     case LeafKernel::kNestedLoop:
@@ -104,7 +121,7 @@ Result<std::vector<PairResult>> KClosestPairs(const RStarTree& tree_p,
   cpq_internal::CpqEngine engine(tree_p, tree_q, options, s);
   std::vector<PairResult> out;
   KCPQ_RETURN_IF_ERROR(engine.Run(&out));
-  FoldCpqMetrics(*s, SecondsSince(start, timed));
+  FoldCpqMetrics(*s, SecondsSince(start, timed), options.family);
   return out;
 }
 
@@ -256,7 +273,7 @@ Result<std::vector<PairResult>> SemiClosestPairs(const RStarTree& tree_p,
     s->quality.guaranteed_lower_bound = 0.0;
     s->quality.is_exact = false;
   }
-  FoldCpqMetrics(*s, -1.0);
+  FoldCpqMetrics(*s, -1.0, QueryFamily::kClosest);
   return out;
 }
 

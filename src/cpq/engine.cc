@@ -229,6 +229,11 @@ void CpqEngine::NoteBoundImprovement() {
     e.a = stats_->node_pairs_processed;
     trace_->RecordNow(e);
   }
+  if (obs::QueryObservation* live = context_->observation(); live != nullptr) {
+    // The live registry reports real distance units (what the final
+    // quality certificate will say), not the engine's power-space key.
+    live->NoteBound(objective_.KeyToDistance(bound_));
+  }
 }
 
 bool CpqEngine::ShouldStop(uint64_t extra_bytes) {

@@ -62,6 +62,15 @@ enum class QueryFamily {
 
 const char* QueryFamilyName(QueryFamily f);
 
+namespace obs {
+class Histogram;  // obs/metrics.h
+}  // namespace obs
+
+/// The per-family latency histogram (kcpq_query_seconds_<family>) every
+/// engine folds its wall clock into, so family p50/p99 are derivable from
+/// /metrics alone. Defined in cpq.cc next to the name table.
+obs::Histogram* FamilyQuerySeconds(QueryFamily f);
+
 /// Value-type policy consumed by CpqEngine, the resumable state machines,
 /// the HS hybrid queue, and the CLI/EXPLAIN edges. Cheap to copy.
 class QueryObjective {

@@ -13,6 +13,8 @@
 #include "hs/hs.h"
 #include "hs/resumable.h"
 #include "obs/kcpq_metrics.h"
+#include "obs/log.h"
+#include "obs/query_registry.h"
 
 namespace kcpq {
 
@@ -33,6 +35,86 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
 }
 
 namespace {
+
+/// Registry-facing kind names (static storage, as Register requires).
+const char* BatchQueryKindName(BatchQueryKind kind) {
+  switch (kind) {
+    case BatchQueryKind::kClosestPairs:
+      return "kcp";
+    case BatchQueryKind::kSelfClosestPairs:
+      return "self";
+    case BatchQueryKind::kSemiClosestPairs:
+      return "semi";
+    case BatchQueryKind::kHsClosestPairs:
+      return "hs";
+  }
+  return "?";
+}
+
+/// Flight-recorder record for one finished (or shed) query: everything
+/// `/queries?state=done` and the slow-query log render, self-contained.
+obs::QuerySummary MakeSummary(const BatchQuery& query,
+                              const BatchQueryResult& result,
+                              const char* scheduler, double seconds) {
+  obs::QuerySummary s;
+  s.kind = BatchQueryKindName(query.kind);
+  s.family = QueryFamilyName(query.options.family);
+  s.scheduler = scheduler;
+  s.outcome = QueryOutcomeName(result.outcome);
+  s.seconds = seconds;
+  s.k = query.options.k;
+  s.pairs = result.pairs.size();
+  s.node_accesses = result.stats.node_accesses;
+  s.disk_accesses = result.stats.disk_accesses();
+  s.io_parks = result.stats.io_parks;
+  const QueryQuality& q = result.stats.quality;
+  s.bound_is_upper = q.bound_is_upper;
+  if (q.is_partial()) {
+    // Anytime certificate: the bound the partial result is certified
+    // against (lower for minimizing families, upper for farthest).
+    s.stop_cause = StopCauseName(q.stop_cause);
+    s.certified_bound = q.guaranteed_lower_bound;
+    s.exact = q.is_exact;
+  } else if (!result.pairs.empty()) {
+    // Complete run: the K-th (worst kept) result distance is the bound.
+    s.certified_bound = result.pairs.back().distance;
+    s.exact = true;
+  } else {
+    s.exact = result.status.ok();
+  }
+  s.admission_estimate_bytes = result.admission.estimated_bytes;
+  s.peak_memory_bytes = result.peak_memory_bytes;
+  return s;
+}
+
+/// Retires a finished query into the registry / slow-query log (both
+/// optional). `live` is null for queries that never started (rejected).
+void RetireQuery(const BatchOptions& options, const BatchQuery& query,
+                 const BatchQueryResult& result, const char* scheduler,
+                 double seconds,
+                 const std::shared_ptr<obs::QueryObservation>& live) {
+  if (options.query_registry == nullptr && options.slow_log == nullptr) {
+    return;
+  }
+  obs::QuerySummary s = MakeSummary(query, result, scheduler, seconds);
+  if (live != nullptr) {
+    // Complete() would backfill these too, but the slow log reads the
+    // summary first.
+    s.id = live->id;
+    s.pages_read = live->pages_read.load(std::memory_order_relaxed);
+    if (s.io_parks == 0) {
+      s.io_parks = live->io_parks.load(std::memory_order_relaxed);
+    }
+  }
+  if (options.slow_log != nullptr) options.slow_log->MaybeRecord(s);
+  if (options.query_registry != nullptr) {
+    if (live != nullptr) {
+      options.query_registry->Complete(live, std::move(s));
+    } else {
+      options.query_registry->Record(std::move(s));
+    }
+  }
+}
 
 /// The HS fields of CpqStats: a 1:1 copy where the counters mean the same
 /// thing, plus the documented popped->pairs and queue->heap renames (see
@@ -88,7 +170,8 @@ QueryOutcome OutcomeOf(const BatchQueryResult& result) {
 
 void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
             const BatchQuery& query, const BatchOptions& batch_options,
-            const CancellationToken& batch_token, BatchQueryResult* result) {
+            const CancellationToken& batch_token,
+            obs::QueryObservation* live, BatchQueryResult* result) {
   // Effective control: the query's own limits tightened by the batch-wide
   // ones, plus the batch cancellation token (fail-fast and external batch
   // cancels both flow through it).
@@ -102,6 +185,7 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
   // ResourceAccountant unifies the engine's candidate/heap bytes with the
   // buffer pages read on this query's behalf.
   QueryContext ctx(merged);
+  ctx.set_observation(live);
 
   Result<std::vector<PairResult>> r = [&] {
     switch (query.kind) {
@@ -145,8 +229,11 @@ void RunOne(const RStarTree& tree_p, const RStarTree& tree_q,
 }
 
 /// Per-query batch metrics: outcome counters plus latency / peak-memory
-/// distributions. One call per finished (or shed) query.
-void FoldBatchQueryMetrics(const BatchQueryResult& result, double seconds) {
+/// distributions (overall and per scheduler mode, so p50/p99 for each
+/// executor are derivable from `/metrics` alone). One call per finished
+/// (or shed) query.
+void FoldBatchQueryMetrics(const BatchQueryResult& result, double seconds,
+                           SchedulerMode mode) {
 #if KCPQ_METRICS
   if (!obs::Enabled()) return;
   const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
@@ -166,12 +253,18 @@ void FoldBatchQueryMetrics(const BatchQueryResult& result, double seconds) {
       m.batch_rejected_total->Increment();
       return;  // shed before running: no latency/memory sample
   }
-  if (seconds >= 0.0) m.batch_query_seconds->Observe(seconds);
+  if (seconds >= 0.0) {
+    m.batch_query_seconds->Observe(seconds);
+    (mode == SchedulerMode::kResumable ? m.batch_query_seconds_resumable
+                                       : m.batch_query_seconds_blocking)
+        ->Observe(seconds);
+  }
   m.batch_query_peak_memory_bytes->Observe(
       static_cast<double>(result.peak_memory_bytes));
 #else
   (void)result;
   (void)seconds;
+  (void)mode;
 #endif
 }
 
@@ -221,6 +314,7 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
     HsStats hs_stats;  // kHsClosestPairs only; mapped into CpqStats on done
     bool timed = false;
     std::chrono::steady_clock::time_point start;
+    std::shared_ptr<obs::QueryObservation> live;  // registry attached only
   };
   std::vector<Slot> slots(queries.size());
 
@@ -232,13 +326,20 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
       if (!result.admission.admitted) {
         result.status = Status::ResourceExhausted(result.admission.reason);
         result.outcome = QueryOutcome::kRejected;
-        FoldBatchQueryMetrics(result, -1.0);
+        FoldBatchQueryMetrics(result, -1.0, SchedulerMode::kResumable);
+        RetireQuery(options, queries[i], result, "resumable", -1.0, nullptr);
         return nullptr;
       }
     }
     Slot& slot = slots[i];
     slot.timed = MetricsTimingOn();
     if (slot.timed) slot.start = std::chrono::steady_clock::now();
+    if (options.query_registry != nullptr) {
+      slot.live = options.query_registry->Register(
+          BatchQueryKindName(queries[i].kind),
+          QueryFamilyName(queries[i].options.family), "resumable",
+          queries[i].options.k);
+    }
 
     QueryControl batch_control = options.control;
     batch_control.cancel =
@@ -250,6 +351,7 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
       case BatchQueryKind::kClosestPairs:
       case BatchQueryKind::kSelfClosestPairs: {
         slot.ctx = std::make_unique<QueryContext>(merged);
+        slot.ctx->set_observation(slot.live.get());
         CpqOptions o = queries[i].options;
         o.control = merged;
         o.context = slot.ctx.get();
@@ -264,6 +366,7 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
       }
       case BatchQueryKind::kHsClosestPairs: {
         slot.ctx = std::make_unique<QueryContext>(merged);
+        slot.ctx->set_observation(slot.live.get());
         HsOptions hs = HsOptionsFrom(queries[i].options, merged,
                                      slot.ctx.get(), options.prefetch_window);
         return std::make_unique<ResumableHsQuery>(
@@ -276,7 +379,7 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
         // single Step.
         return std::make_unique<BlockingStepTask>([&, i] {
           RunOne(tree_p, tree_q, queries[i], options, batch_token,
-                 &(*results)[i]);
+                 slots[i].live.get(), &(*results)[i]);
         });
     }
     return nullptr;
@@ -317,7 +420,17 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
                     .count();
     }
     result.seconds = seconds;
-    FoldBatchQueryMetrics(result, seconds);
+    FoldBatchQueryMetrics(result, seconds, SchedulerMode::kResumable);
+    if ((queries[i].kind == BatchQueryKind::kClosestPairs ||
+         queries[i].kind == BatchQueryKind::kSelfClosestPairs) &&
+        seconds >= 0.0) {
+      // The resumable CPQ engine never reaches FoldCpqMetrics (the
+      // blocking entry point), so the per-family latency fold happens
+      // here; HS folds its own in ResumableHsQuery::Step.
+      KCPQ_METRIC_OBSERVE(FamilyQuerySeconds(queries[i].options.family),
+                          seconds);
+    }
+    RetireQuery(options, queries[i], result, "resumable", seconds, slot.live);
     if (admission != nullptr) {
       admission->Release(result.admission);
       admission->RecordOutcome(result.admission, result.peak_memory_bytes,
@@ -332,6 +445,13 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
   ResumableScheduler::Options sched;
   sched.workers = options.threads;        // 0 -> DefaultThreads
   sched.max_inflight = options.max_inflight;  // 0 -> 256
+  if (options.query_registry != nullptr) {
+    sched.on_park = [&slots](size_t i) {
+      if (slots[i].live != nullptr) {
+        slots[i].live->io_parks.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+  }
   ResumableScheduler::Run(queries.size(), factory, on_done, sched);
 
   // Settle leftover speculation (and any staged demand entries) while the
@@ -370,14 +490,24 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
         results[i].status =
             Status::ResourceExhausted(results[i].admission.reason);
         results[i].outcome = QueryOutcome::kRejected;
-        FoldBatchQueryMetrics(results[i], -1.0);
+        FoldBatchQueryMetrics(results[i], -1.0, SchedulerMode::kBlocking);
+        RetireQuery(options, queries[i], results[i], "blocking", -1.0,
+                    nullptr);
         return;
       }
+    }
+    std::shared_ptr<obs::QueryObservation> live;
+    if (options.query_registry != nullptr) {
+      live = options.query_registry->Register(
+          BatchQueryKindName(queries[i].kind),
+          QueryFamilyName(queries[i].options.family), "blocking",
+          queries[i].options.k);
     }
     const bool timed = MetricsTimingOn();
     const auto start = timed ? std::chrono::steady_clock::now()
                              : std::chrono::steady_clock::time_point();
-    RunOne(tree_p, tree_q, queries[i], options, batch_token, &results[i]);
+    RunOne(tree_p, tree_q, queries[i], options, batch_token, live.get(),
+           &results[i]);
     double seconds = -1.0;
     if (timed) {
       seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -385,7 +515,8 @@ std::vector<BatchQueryResult> BatchKClosestPairs(
                     .count();
     }
     results[i].seconds = seconds;
-    FoldBatchQueryMetrics(results[i], seconds);
+    FoldBatchQueryMetrics(results[i], seconds, SchedulerMode::kBlocking);
+    RetireQuery(options, queries[i], results[i], "blocking", seconds, live);
     if (admission != nullptr) {
       admission->Release(results[i].admission);
       // Close the loop: the measured peak and buffer behaviour of every

@@ -26,6 +26,11 @@
 
 namespace kcpq {
 
+namespace obs {
+class QueryRegistry;
+class SlowQueryLog;
+}  // namespace obs
+
 enum class BatchQueryKind {
   /// KClosestPairs(tree_p, tree_q, options).
   kClosestPairs,
@@ -143,6 +148,20 @@ struct BatchOptions {
   /// many in-flight queries. 0 = 256. Ignored under kBlocking, where
   /// `threads` itself is the cap.
   size_t max_inflight = 0;
+
+  /// Live telemetry (obs/query_registry.h). When set, every query of the
+  /// batch registers a live QueryObservation on start — visible in the
+  /// exporter's `/queries` endpoint with its current certified bound —
+  /// and retires into the registry's flight recorder on completion.
+  /// Rejected queries are recorded without ever going live. Null (the
+  /// default) costs nothing. Results and the paper's disk-access metric
+  /// are identical either way.
+  obs::QueryRegistry* query_registry = nullptr;
+
+  /// Structured slow-query log (obs/log.h). When set, every finished
+  /// timed query is offered to the log, which appends one self-contained
+  /// JSONL record per offender over its threshold. Null = off.
+  obs::SlowQueryLog* slow_log = nullptr;
 };
 
 /// Whole-batch aggregates (sums over the per-query stats).

@@ -798,7 +798,7 @@ namespace {
 
 /// Folds a finished join's stats into the metrics registry. `seconds < 0`
 /// means timing was skipped (metrics disabled at entry).
-void FoldHsMetrics(const HsStats& s, double seconds) {
+void FoldHsMetrics(const HsStats& s, double seconds, QueryFamily family) {
 #if KCPQ_METRICS
   if (!obs::Enabled()) return;
   const obs::KcpqMetrics& m = obs::KcpqMetrics::Get();
@@ -807,10 +807,14 @@ void FoldHsMetrics(const HsStats& s, double seconds) {
   m.hs_items_popped_total->Add(s.items_popped);
   m.hs_queue_spill_reads_total->Add(s.queue_spill_reads);
   m.hs_queue_spill_writes_total->Add(s.queue_spill_writes);
-  if (seconds >= 0.0) m.hs_query_seconds->Observe(seconds);
+  if (seconds >= 0.0) {
+    m.hs_query_seconds->Observe(seconds);
+    FamilyQuerySeconds(family)->Observe(seconds);
+  }
 #else
   (void)s;
   (void)seconds;
+  (void)family;
 #endif
 }
 
@@ -841,7 +845,8 @@ Result<std::vector<PairResult>> HsKClosestPairs(const RStarTree& tree_p,
                 timed ? std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count()
-                      : -1.0);
+                      : -1.0,
+                options.family);
   return out;
 }
 
@@ -849,7 +854,7 @@ ResumableHsQuery::ResumableHsQuery(const RStarTree& tree_p,
                                    const RStarTree& tree_q, size_t k,
                                    HsOptions options, HsStats* stats,
                                    Waker waker)
-    : k_(k), stats_(stats) {
+    : k_(k), stats_(stats), family_(options.family) {
   options.k_bound = k;
   impl_ = std::make_unique<hs_internal::JoinImpl>(tree_p, tree_q, options);
   impl_->EnableResumable(std::move(waker));
@@ -887,7 +892,8 @@ ResumableTask::StepResult ResumableHsQuery::Step() {
                 timed_ ? std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_)
                              .count()
-                       : -1.0);
+                       : -1.0,
+                family_);
   final_status_ = Status::OK();
   done_ = true;
   return StepResult::kDone;

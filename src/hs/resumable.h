@@ -43,6 +43,7 @@ class ResumableHsQuery final : public ResumableTask {
   std::unique_ptr<hs_internal::JoinImpl> impl_;
   size_t k_;
   HsStats* stats_;  // may be null
+  QueryFamily family_ = QueryFamily::kClosest;  // for the metrics fold
   std::vector<PairResult> results_;
   Status final_status_;
   bool done_ = false;

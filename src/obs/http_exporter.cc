@@ -1,0 +1,331 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/kcpq_metrics.h"
+#include "obs/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/query_registry.h"
+
+namespace kcpq {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kPollTimeoutMs = 200;
+const std::string kLoopback = "127.0.0.1";
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+/// `/queries?state=done` -> "done"; absent/empty -> "" (live).
+std::string QueryStateParam(const std::string& target) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  const std::string params = target.substr(q + 1);
+  size_t pos = 0;
+  while (pos < params.size()) {
+    size_t amp = params.find('&', pos);
+    if (amp == std::string::npos) amp = params.size();
+    const std::string kv = params.substr(pos, amp - pos);
+    const size_t eq = kv.find('=');
+    if (eq != std::string::npos && kv.substr(0, eq) == "state") {
+      return kv.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+/// Parses "/queries/<id>/<verb>"; returns false unless the id is a
+/// decimal integer and the verb is present.
+bool ParseQueryIdTarget(const std::string& path, uint64_t* id,
+                        std::string* verb) {
+  const std::string prefix = "/queries/";
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  const size_t slash = path.find('/', prefix.size());
+  if (slash == std::string::npos) return false;
+  const std::string id_str = path.substr(prefix.size(), slash - prefix.size());
+  if (id_str.empty()) return false;
+  uint64_t value = 0;
+  for (char c : id_str) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *id = value;
+  *verb = path.substr(slash + 1);
+  return true;
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, std::string* out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;  // peer closed
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+bool HttpExporter::Start(uint16_t port, QueryRegistry* registry,
+                         std::string* error) {
+  if (running()) {
+    if (error != nullptr) *error = "exporter already running";
+    return false;
+  }
+  registry_ = registry != nullptr ? registry : &QueryRegistry::Global();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::ServeConnection(int fd) const {
+  // Read until the end of the request headers (we never accept bodies).
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 1000) <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  Response resp;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp.status = 400;
+    resp.body = "malformed request\n";
+  } else if (line.substr(0, sp1) != "GET") {
+    resp.status = 405;
+    resp.body = "GET only\n";
+  } else {
+    resp = Handle(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      resp.status, StatusText(resp.status), resp.content_type.c_str(),
+      resp.body.size());
+  if (header_len <= 0) return;
+  if (!SendAll(fd, header, static_cast<size_t>(header_len))) return;
+  SendAll(fd, resp.body.data(), resp.body.size());
+}
+
+HttpExporter::Response HttpExporter::Handle(const std::string& target) const {
+  Response resp;
+#if KCPQ_METRICS
+  const bool timed = Enabled();
+#else
+  const bool timed = false;
+#endif
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+  const KcpqMetrics& m = KcpqMetrics::Get();
+  KCPQ_METRIC_INC(m.obs_http_requests_total);
+  // With -DKCPQ_METRICS=0 every KCPQ_METRIC_* below erases its operands.
+  (void)start;
+  (void)m;
+
+  const size_t q = target.find('?');
+  const std::string path = q == std::string::npos ? target : target.substr(0, q);
+
+  if (path == "/healthz") {
+    resp.body = "ok\n";
+  } else if (path == "/metrics") {
+    resp.body = MetricsRegistry::Global().Snapshot().ToPrometheusText();
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    KCPQ_METRIC_INC(m.obs_scrapes_total);
+    if (timed) {
+      KCPQ_METRIC_OBSERVE(
+          m.obs_scrape_seconds,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
+  } else if (path == "/stats.json") {
+    resp.body = MetricsRegistry::Global().Snapshot().ToJson();
+    resp.content_type = "application/json";
+  } else if (path == "/queries") {
+    const std::string state = QueryStateParam(target);
+    if (state.empty() || state == "live" || state == "done" ||
+        state == "all") {
+      resp.body = registry_->QueriesJson(state);
+      resp.content_type = "application/json";
+    } else {
+      resp.status = 400;
+      resp.body = "state must be live|done|all\n";
+    }
+  } else {
+    uint64_t id = 0;
+    std::string verb;
+    if (ParseQueryIdTarget(path, &id, &verb) &&
+        (verb == "trace" || verb == "explain")) {
+      QuerySummary summary;
+      if (!registry_->FindSummary(id, &summary)) {
+        resp.status = 404;
+        resp.body = "no such query\n";
+      } else if (verb == "trace" && !summary.trace_json.empty()) {
+        // Byte-identical to what `--trace-out` writes (incl. newline).
+        resp.body = summary.trace_json + "\n";
+        resp.content_type = "application/json";
+      } else if (verb == "explain" && !summary.explain_text.empty()) {
+        resp.body = summary.explain_text;
+      } else {
+        resp.status = 404;
+        resp.body = "query recorded without " + verb + "\n";
+      }
+    } else {
+      resp.status = 404;
+      resp.body = "unknown endpoint\n";
+    }
+  }
+  return resp;
+}
+
+bool HttpGet(const std::string& host, uint16_t port,
+             const std::string& target, std::string* body,
+             int* status_code) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // No resolver: dotted-quad only, with the one loopback name spelled
+  // out so `kcpq_top localhost:9100` works as documented.
+  const std::string& ip = host == "localhost" ? kLoopback : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::string raw;
+  const bool ok = SendAll(fd, request.data(), request.size()) &&
+                  RecvAll(fd, &raw);
+  ::close(fd);
+  if (!ok) return false;
+
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  int status = 0;
+  if (std::sscanf(raw.c_str(), "HTTP/1.1 %d", &status) != 1) return false;
+  if (status_code != nullptr) *status_code = status;
+  if (body != nullptr) *body = raw.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace kcpq

@@ -1,0 +1,86 @@
+// Embedded poll-based HTTP/1.1 exporter: the pull side of the telemetry
+// service. Dependency-free (POSIX sockets only), loopback-only, off by
+// default — the CLI starts it with `--obs-port=N` and the future
+// kcpq_server mounts the same routes unchanged.
+//
+// Endpoints:
+//   /healthz               200 "ok" liveness probe
+//   /metrics               Prometheus text exposition (registry snapshot)
+//   /stats.json            registry snapshot as JSON
+//   /queries[?state=...]   in-flight (live), flight-recorder (done), or all
+//   /queries/<id>/trace    Chrome trace JSON of a completed query
+//   /queries/<id>/explain  rendered EXPLAIN report of a completed query
+//
+// Threading: one accept thread, poll()-based with a short timeout so
+// Stop() is prompt; requests are served serially on that thread (scrape
+// traffic, not user traffic). Queries never block on the exporter — the
+// shared state is the lock-free observation structs and the registry
+// mutex taken only at snapshot/render time.
+
+#ifndef KCPQ_OBS_HTTP_EXPORTER_H_
+#define KCPQ_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace kcpq {
+namespace obs {
+
+class QueryRegistry;
+
+class HttpExporter {
+ public:
+  HttpExporter() = default;
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread. `registry` null means the process-global
+  /// QueryRegistry. Returns false (with `*error` set) on bind failure.
+  bool Start(uint16_t port, QueryRegistry* registry = nullptr,
+             std::string* error = nullptr);
+
+  /// Idempotent; joins the accept thread.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolved after Start with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Route dispatch on a request target (path + optional query string),
+  /// shared with tests; fills status/content type/body.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response Handle(const std::string& target) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  QueryRegistry* registry_ = nullptr;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP/1.1 GET used by kcpq_top, bench_obs, and the
+/// endpoint tests (Connection: close; reads to EOF). Returns false on
+/// connect/transport failure; on success fills `*body` and, when
+/// non-null, `*status_code`.
+bool HttpGet(const std::string& host, uint16_t port,
+             const std::string& target, std::string* body,
+             int* status_code = nullptr);
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_HTTP_EXPORTER_H_

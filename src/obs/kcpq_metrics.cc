@@ -76,6 +76,19 @@ KcpqMetrics Register() {
   m.cpq_query_node_accesses =
       r.GetHistogram("kcpq_cpq_query_node_accesses", kAccesses);
 
+  m.query_seconds_closest =
+      r.GetHistogram("kcpq_query_seconds_closest", kLatency,
+                     "Per-query wall clock, k-closest-pairs family "
+                     "(all engines)");
+  m.query_seconds_farthest =
+      r.GetHistogram("kcpq_query_seconds_farthest", kLatency,
+                     "Per-query wall clock, k-farthest-pairs family "
+                     "(all engines)");
+  m.query_seconds_rcp =
+      r.GetHistogram("kcpq_query_seconds_rcp", kLatency,
+                     "Per-query wall clock, k-range-closest-pairs family "
+                     "(all engines)");
+
   m.hs_queries_total = r.GetCounter("kcpq_hs_queries_total");
   m.hs_items_pushed_total = r.GetCounter("kcpq_hs_items_pushed_total");
   m.hs_items_popped_total = r.GetCounter("kcpq_hs_items_popped_total");
@@ -94,6 +107,12 @@ KcpqMetrics Register() {
       r.GetHistogram("kcpq_batch_query_seconds", kLatency);
   m.batch_query_peak_memory_bytes =
       r.GetHistogram("kcpq_batch_query_peak_memory_bytes", kBytes);
+  m.batch_query_seconds_blocking =
+      r.GetHistogram("kcpq_batch_query_seconds_blocking", kLatency,
+                     "Per-query wall clock under the blocking thread pool");
+  m.batch_query_seconds_resumable =
+      r.GetHistogram("kcpq_batch_query_seconds_resumable", kLatency,
+                     "Per-query wall clock under the resumable scheduler");
 
   m.admission_admitted_total =
       r.GetCounter("kcpq_admission_admitted_total");
@@ -108,6 +127,15 @@ KcpqMetrics Register() {
   m.scheduler_parked = r.GetGauge("kcpq_scheduler_parked");
   m.scheduler_runnable = r.GetGauge("kcpq_scheduler_runnable");
   m.scheduler_inflight_peak = r.GetGauge("kcpq_scheduler_inflight_peak");
+
+  m.obs_http_requests_total =
+      r.GetCounter("kcpq_obs_http_requests_total",
+                   "Requests served by the embedded telemetry exporter");
+  m.obs_scrapes_total =
+      r.GetCounter("kcpq_obs_scrapes_total", "/metrics scrapes served");
+  m.obs_scrape_seconds =
+      r.GetHistogram("kcpq_obs_scrape_seconds", kLatency,
+                     "Snapshot + render time of one /metrics scrape");
   return m;
 }
 

@@ -70,6 +70,12 @@ struct KcpqMetrics {
   Histogram* cpq_query_seconds;
   Histogram* cpq_query_node_accesses;
 
+  // -- per-family latency (CPQ engines and HS fold into the same three,
+  //    so /metrics alone yields family p50/p99 regardless of engine) ----
+  Histogram* query_seconds_closest;
+  Histogram* query_seconds_farthest;
+  Histogram* query_seconds_rcp;
+
   // -- hs (incremental distance semi-join / heap engines) ---------------
   Counter* hs_queries_total;
   Counter* hs_items_pushed_total;
@@ -86,6 +92,9 @@ struct KcpqMetrics {
   Counter* batch_rejected_total;
   Histogram* batch_query_seconds;
   Histogram* batch_query_peak_memory_bytes;
+  // per-scheduler latency split of batch_query_seconds
+  Histogram* batch_query_seconds_blocking;
+  Histogram* batch_query_seconds_resumable;
 
   // -- admission --------------------------------------------------------
   Counter* admission_admitted_total;
@@ -99,6 +108,11 @@ struct KcpqMetrics {
   Gauge* scheduler_parked;                 // tasks currently parked
   Gauge* scheduler_runnable;               // tasks queued runnable
   Gauge* scheduler_inflight_peak;          // high-water mark of in-flight
+
+  // -- telemetry exporter (src/obs/http_exporter.h) ---------------------
+  Counter* obs_http_requests_total;        // every request served
+  Counter* obs_scrapes_total;              // /metrics requests
+  Histogram* obs_scrape_seconds;           // /metrics render+snapshot time
 
   /// The singleton handle bundle; instruments are registered on first use.
   static const KcpqMetrics& Get();

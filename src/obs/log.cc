@@ -1,0 +1,26 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace kcpq {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(std::string path, double threshold_ms)
+    : path_(std::move(path)), threshold_ms_(threshold_ms) {}
+
+bool SlowQueryLog::MaybeRecord(const QuerySummary& summary) {
+  if (summary.seconds < 0.0) return false;  // timing was off
+  if (summary.seconds * 1000.0 < threshold_ms_) return false;
+  const std::string line = SummaryJson(summary, /*include_pruning=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  ++records_written_;
+  return true;
+}
+
+}  // namespace obs
+}  // namespace kcpq

@@ -1,0 +1,43 @@
+// Structured slow-query log: one self-contained JSONL record per query
+// whose wall clock crossed the configured threshold, including its EXPLAIN
+// pruning totals when a profile was attached. Appends are mutex-guarded
+// (one write per offending query, off the hot path); records are exactly
+// one JSON object per line so `python3 -m json.tool` / jq can consume the
+// file line-by-line.
+
+#ifndef KCPQ_OBS_LOG_H_
+#define KCPQ_OBS_LOG_H_
+
+#include <mutex>
+#include <string>
+
+#include "obs/query_registry.h"
+
+namespace kcpq {
+namespace obs {
+
+class SlowQueryLog {
+ public:
+  /// Queries slower than `threshold_ms` are appended to `path`. A
+  /// threshold of 0 logs every timed query.
+  SlowQueryLog(std::string path, double threshold_ms);
+
+  /// Appends one record if the summary is timed (`seconds >= 0`) and over
+  /// threshold. Returns true when a record was written.
+  bool MaybeRecord(const QuerySummary& summary);
+
+  const std::string& path() const { return path_; }
+  double threshold_ms() const { return threshold_ms_; }
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::string path_;
+  double threshold_ms_;
+  std::mutex mu_;
+  uint64_t records_written_ = 0;
+};
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_LOG_H_

@@ -93,7 +93,6 @@ class Histogram {
     size_t i = 0;
     while (i < bounds_.size() && v > bounds_[i]) ++i;
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
@@ -106,11 +105,20 @@ class Histogram {
     }
     return out;
   }
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Derived from the buckets rather than kept as a separate atomic: a
+  /// standalone counter could be read ahead of (or behind) the bucket
+  /// array under concurrent Observe, transiently breaking the invariant
+  /// count == sum(buckets) that snapshot deltas assert.
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      total += b.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
   }
 
@@ -118,7 +126,6 @@ class Histogram {
   std::vector<double> bounds_;
   /// deque-free stable storage: the vector is sized once in the ctor.
   std::vector<std::atomic<uint64_t>> buckets_;
-  std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
 

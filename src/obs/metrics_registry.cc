@@ -1,10 +1,12 @@
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
 #include <sstream>
 
 namespace kcpq {
@@ -57,6 +59,36 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Prometheus text exposition format, escaping rules (version 0.0.4):
+// HELP text escapes backslash and newline; label values additionally
+// escape double quotes. Other bytes pass through verbatim.
+std::string PromEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
@@ -104,8 +136,16 @@ MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before,
       d.count = d.count >= prior->count ? d.count - prior->count : 0;
       d.sum -= prior->sum;
     }
+    // `count` is derived from the bucket array in both snapshots (the
+    // histogram keeps no separate count atomic that a concurrent Observe
+    // could advance ahead of the buckets), so the subtracted count must
+    // equal the subtracted bucket total exactly.
+    assert(d.count == std::accumulate(d.bucket_counts.begin(),
+                                      d.bucket_counts.end(), uint64_t{0}) &&
+           "histogram delta: sum(buckets) != count");
     out.histograms.push_back(std::move(d));
   }
+  out.help = after.help;
   return out;
 }
 
@@ -145,20 +185,30 @@ std::string MetricsSnapshot::ToJson() const {
 
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::ostringstream os;
+  const auto emit_help = [&](const std::string& name) {
+    auto it = help.find(name);
+    if (it != help.end()) {
+      os << "# HELP " << name << " " << PromEscapeHelp(it->second) << "\n";
+    }
+  };
   for (const auto& [name, v] : counters) {
+    emit_help(name);
     os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
   }
   for (const auto& [name, v] : gauges) {
+    emit_help(name);
     os << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
   }
   for (const auto& h : histograms) {
+    emit_help(h.name);
     os << "# TYPE " << h.name << " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
       cumulative += h.bucket_counts[b];
       std::string le =
           b < h.bounds.size() ? FormatDouble(h.bounds[b]) : "+Inf";
-      os << h.name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+      os << h.name << "_bucket{le=\"" << PromEscapeLabelValue(le) << "\"} "
+         << cumulative << "\n";
     }
     os << h.name << "_sum " << FormatDouble(h.sum) << "\n";
     os << h.name << "_count " << h.count << "\n";
@@ -171,7 +221,8 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *instance;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
@@ -184,10 +235,12 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
                  name.c_str());
     std::abort();
   }
+  if (it->second.help.empty()) it->second.help = help;
   return it->second.counter.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
@@ -200,11 +253,13 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
                  name.c_str());
     std::abort();
   }
+  if (it->second.help.empty()) it->second.help = help;
   return it->second.gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> upper_bounds) {
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
@@ -217,6 +272,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                  name.c_str());
     std::abort();
   }
+  if (it->second.help.empty()) it->second.help = help;
   return it->second.histogram.get();
 }
 
@@ -236,12 +292,17 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         h.name = name;
         h.bounds = entry.histogram->bounds();
         h.bucket_counts = entry.histogram->bucket_counts();
-        h.count = entry.histogram->count();
+        // Derive the count from the bucket vector just read — a second
+        // read of the live buckets could include observations that landed
+        // in between, putting count ahead of the copied buckets.
+        h.count = std::accumulate(h.bucket_counts.begin(),
+                                  h.bucket_counts.end(), uint64_t{0});
         h.sum = entry.histogram->sum();
         snap.histograms.push_back(std::move(h));
         break;
       }
     }
+    if (!entry.help.empty()) snap.help.emplace(name, entry.help);
   }
   return snap;
 }

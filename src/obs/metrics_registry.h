@@ -31,13 +31,16 @@ struct MetricsSnapshot {
     std::string name;
     std::vector<double> bounds;          // finite upper bounds
     std::vector<uint64_t> bucket_counts; // bounds.size()+1, last = +inf
-    uint64_t count = 0;
+    uint64_t count = 0;                  // always == sum(bucket_counts)
     double sum = 0.0;
   };
 
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, uint64_t>> gauges;
   std::vector<HistogramValue> histograms;
+  /// name -> help text for instruments registered with one; exported as
+  /// `# HELP` lines (escaped per the exposition format).
+  std::map<std::string, std::string> help;
 
   /// Value of a named counter, 0 if absent.
   uint64_t CounterValue(const std::string& name) const;
@@ -66,11 +69,14 @@ class MetricsRegistry {
   /// Idempotent by name: re-registering returns the existing instrument.
   /// Returned pointers are valid for the registry's lifetime. A name must
   /// keep one kind; requesting the same name as a different kind aborts
-  /// (programming error, names are compile-time constants).
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  /// (programming error, names are compile-time constants). `help` (first
+  /// non-empty registration wins) becomes the `# HELP` line in the
+  /// Prometheus export; arbitrary text is fine — export escapes it.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> upper_bounds);
+                          std::vector<double> upper_bounds,
+                          const std::string& help = "");
 
   MetricsSnapshot Snapshot() const;
 
@@ -84,6 +90,7 @@ class MetricsRegistry {
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
+    std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

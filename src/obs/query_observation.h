@@ -1,0 +1,85 @@
+// Live progress record for one in-flight query, shared between the query
+// thread (writer) and the HTTP exporter (reader). Every field the exporter
+// renders is a relaxed atomic so `/queries` can be served while the query
+// runs without locks on the hot path; identity fields (id, kind, family,
+// scheduler, k, start) are written once before the observation is
+// published to the registry and never change afterwards.
+//
+// This header is deliberately dependency-free (standard library only) so
+// `common/query_context.h` can include it without the common -> obs layer
+// inversion: obs depends on common, never the reverse.
+
+#ifndef KCPQ_OBS_QUERY_OBSERVATION_H_
+#define KCPQ_OBS_QUERY_OBSERVATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+namespace kcpq {
+namespace obs {
+
+namespace observation_internal {
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double BitsToDouble(uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// quiet NaN: "no certified bound yet". Rendered as JSON null.
+inline constexpr uint64_t kNoBoundBits = 0x7ff8000000000000ULL;
+
+}  // namespace observation_internal
+
+struct QueryObservation {
+  // --- identity: written once before publication, immutable afterwards ---
+  uint64_t id = 0;
+  const char* kind = "";       // e.g. "kcp", "self", "hs", "semi"
+  const char* family = "";     // QueryFamilyName(): "k-closest-pairs", ...
+  const char* scheduler = "";  // "blocking" | "resumable" | "inline"
+  uint64_t k = 0;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+
+  // --- live progress: relaxed atomics, exporter reads mid-flight ---
+  std::atomic<uint64_t> node_accesses{0};
+  std::atomic<uint64_t> engine_bytes{0};
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> io_parks{0};
+  std::atomic<uint64_t> bound_updates{0};
+  std::atomic<uint64_t> bound_bits{observation_internal::kNoBoundBits};
+
+  /// Record a new certified bound (real distance units, same as the final
+  /// QueryQuality certificate).
+  void NoteBound(double distance) {
+    bound_bits.store(observation_internal::DoubleBits(distance),
+                     std::memory_order_relaxed);
+    bound_updates.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// NaN until the first NoteBound.
+  double bound() const {
+    return observation_internal::BitsToDouble(
+        bound_bits.load(std::memory_order_relaxed));
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+};
+
+}  // namespace obs
+}  // namespace kcpq
+
+#endif  // KCPQ_OBS_QUERY_OBSERVATION_H_

@@ -3,8 +3,12 @@
 // snapshot consistency (exercised under TSan in CI), and the per-query
 // trace ring buffer with its Chrome trace_event export.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -201,6 +205,237 @@ TEST(RegistryTest, ConcurrentSnapshotConsistency) {
             static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(h->count() - h_start,
             static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, EdgeObservations) {
+  // Empty bounds: a single implicit +inf bucket swallows everything.
+  Histogram inf_only({});
+  inf_only.Observe(0.0);
+  inf_only.Observe(1e18);
+  ASSERT_EQ(inf_only.bucket_counts().size(), 1u);
+  EXPECT_EQ(inf_only.bucket_counts()[0], 2u);
+  EXPECT_EQ(inf_only.count(), 2u);
+
+  Histogram h({0.001, 1.0, 1000.0});
+  h.Observe(0.0);       // below every bound: first bucket
+  h.Observe(-5.0);      // negative: still the first bucket, sum goes down
+  h.Observe(0.001);     // exactly on a boundary: inclusive (le semantics)
+  h.Observe(0.5);       // interior of the second bucket
+  h.Observe(1.0000001); // just over a boundary: spills to the next bucket
+  h.Observe(1000.0);    // last finite boundary: inclusive
+  h.Observe(1e9);       // beyond the last bound: +inf bucket
+  const std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 3u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(),
+                   0.0 - 5.0 + 0.001 + 0.5 + 1.0000001 + 1000.0 + 1e9);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+// Minimal Prometheus text-exposition checker: every line must be a
+// well-formed comment or sample, TYPE values must be known, and every
+// histogram family must satisfy the format's invariants — cumulative
+// non-decreasing buckets ending in le="+Inf", with _count equal to the
+// +Inf bucket and a _sum sample present. Returns human-readable
+// violations; empty means the text parses clean.
+std::vector<std::string> CheckExposition(const std::string& text) {
+  std::vector<std::string> errors;
+  if (text.empty() || text.back() != '\n') {
+    errors.push_back("exposition must end with a newline");
+  }
+  auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':';
+      if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+    }
+    return true;
+  };
+  // Per histogram family: last cumulative bucket value, whether +Inf was
+  // seen, and the _count / _sum samples.
+  struct HistState {
+    double last_bucket = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool saw_count = false;
+    double count_value = 0.0;
+    bool saw_sum = false;
+  };
+  std::map<std::string, HistState> hists;
+  std::map<std::string, std::string> types;
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      const std::string rest = line.substr(7);
+      const size_t sp = rest.find(' ');
+      const std::string name = rest.substr(0, sp);
+      if (!valid_name(name)) {
+        errors.push_back("bad metric name in comment: " + line);
+      }
+      if (is_type) {
+        const std::string type =
+            sp == std::string::npos ? "" : rest.substr(sp + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram") {
+          errors.push_back("unknown TYPE: " + line);
+        }
+        if (types.count(name) != 0) {
+          errors.push_back("duplicate TYPE for " + name);
+        }
+        types[name] = type;
+        if (type == "histogram") hists[name];  // expect family samples
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // free-form comment
+
+    // Sample line: name[{labels}] value
+    const size_t brace = line.find('{');
+    const size_t name_end = std::min(brace, line.find(' '));
+    if (name_end == std::string::npos) {
+      errors.push_back("sample without value: " + line);
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!valid_name(name)) {
+      errors.push_back("bad sample name: " + line);
+      continue;
+    }
+    std::string labels;
+    size_t value_at = name_end;
+    if (brace != std::string::npos && brace == name_end) {
+      const size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        errors.push_back("unterminated label set: " + line);
+        continue;
+      }
+      labels = line.substr(brace + 1, close - brace - 1);
+      value_at = close + 1;
+    }
+    if (value_at >= line.size() || line[value_at] != ' ') {
+      errors.push_back("missing value separator: " + line);
+      continue;
+    }
+    const std::string value_text = line.substr(value_at + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    const bool is_inf = value_text == "+Inf";
+    if (!is_inf && (end == value_text.c_str() || *end != '\0')) {
+      errors.push_back("unparsable value: " + line);
+      continue;
+    }
+
+    // Histogram family bookkeeping.
+    auto family_of = [&](const char* suffix) -> std::string {
+      const size_t len = std::strlen(suffix);
+      if (name.size() <= len ||
+          name.compare(name.size() - len, len, suffix) != 0) {
+        return "";
+      }
+      const std::string family = name.substr(0, name.size() - len);
+      return hists.count(family) != 0 ? family : "";
+    };
+    const std::string bucket_family = family_of("_bucket");
+    if (!bucket_family.empty()) {
+      HistState& st = hists[bucket_family];
+      const std::string le_prefix = "le=\"";
+      const size_t le = labels.find(le_prefix);
+      if (le == std::string::npos) {
+        errors.push_back("bucket without le label: " + line);
+        continue;
+      }
+      const size_t le_end = labels.find('"', le + le_prefix.size());
+      const std::string le_value =
+          labels.substr(le + le_prefix.size(), le_end - le - le_prefix.size());
+      if (value + 1e-9 < st.last_bucket) {
+        errors.push_back("non-cumulative buckets: " + line);
+      }
+      st.last_bucket = value;
+      if (le_value == "+Inf") {
+        st.saw_inf = true;
+        st.inf_value = value;
+      }
+    } else if (!family_of("_count").empty()) {
+      HistState& st = hists[family_of("_count")];
+      st.saw_count = true;
+      st.count_value = value;
+    } else if (!family_of("_sum").empty()) {
+      hists[family_of("_sum")].saw_sum = true;
+    } else if (types.count(name) == 0) {
+      errors.push_back("sample without TYPE: " + line);
+    }
+  }
+
+  for (const auto& [family, st] : hists) {
+    if (!st.saw_inf) errors.push_back(family + ": no +Inf bucket");
+    if (!st.saw_count) errors.push_back(family + ": no _count sample");
+    if (!st.saw_sum) errors.push_back(family + ": no _sum sample");
+    if (st.saw_inf && st.saw_count && st.inf_value != st.count_value) {
+      errors.push_back(family + ": _count disagrees with +Inf bucket");
+    }
+  }
+  return errors;
+}
+
+TEST(RegistryTest, ExpositionFormatParsesClean) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("obs_test_expo_counter", "a counter")->Add(3);
+  r.GetGauge("obs_test_expo_gauge", "a gauge")->Set(7);
+  Histogram* h = r.GetHistogram("obs_test_expo_hist", {0.5, 2.0},
+                                "a histogram");
+  h->Observe(0.1);
+  h->Observe(1.0);
+  h->Observe(100.0);
+
+  const std::string prom = r.Snapshot().ToPrometheusText();
+  const std::vector<std::string> errors = CheckExposition(prom);
+  std::string joined;
+  for (const std::string& e : errors) joined += e + "\n";
+  EXPECT_TRUE(errors.empty()) << joined;
+
+  // And the checker is not vacuous: it rejects obviously broken text.
+  EXPECT_FALSE(CheckExposition("kcpq_x 1").empty());           // no newline
+  EXPECT_FALSE(CheckExposition("1bad_name 1\n").empty());      // bad name
+  EXPECT_FALSE(CheckExposition("# TYPE x summary\n").empty()); // bad type
+  EXPECT_FALSE(
+      CheckExposition("# TYPE h histogram\n"
+                      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+                      "h_sum 1\nh_count 3\n")
+          .empty());  // non-cumulative buckets
+}
+
+TEST(RegistryTest, HelpEscapingInExposition) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("obs_test_expo_escape", "line1\nline2 back\\slash")
+      ->Increment();
+  const std::string prom = r.Snapshot().ToPrometheusText();
+  EXPECT_NE(prom.find("# HELP obs_test_expo_escape "
+                      "line1\\nline2 back\\\\slash"),
+            std::string::npos);
+  // No raw newline escaped into the HELP line: the comment stays one line.
+  const size_t at = prom.find("# HELP obs_test_expo_escape");
+  ASSERT_NE(at, std::string::npos);
+  const std::string help_line =
+      prom.substr(at, prom.find('\n', at) - at);
+  EXPECT_EQ(help_line.find("line2"), help_line.rfind("line2"));
+  EXPECT_EQ(CheckExposition(prom).size(), 0u);
 }
 
 TEST(TraceBufferTest, RecordsAndUnwrapsRing) {

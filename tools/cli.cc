@@ -1,8 +1,10 @@
 #include "tools/cli.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "buffer/buffer_manager.h"
 #include "common/query_context.h"
@@ -16,7 +18,10 @@
 #include "datagen/datagen.h"
 #include "exec/batch.h"
 #include "obs/explain.h"
+#include "obs/http_exporter.h"
+#include "obs/log.h"
 #include "obs/metrics_registry.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "rtree/rtree.h"
 #include "storage/file_storage.h"
@@ -212,6 +217,60 @@ Status ParseDiagnosticsFlags(const Flags& flags, uint64_t threads,
       return Status::InvalidArgument(
           std::string(flag) +
           " runs outside the batch path; drop --admission");
+    }
+  }
+  return Status::OK();
+}
+
+// Live telemetry flags: --obs-port starts the embedded HTTP exporter
+// (obs/http_exporter.h; 0 = ephemeral port, printed on stdout so scripts
+// can scrape it), --obs-linger-ms keeps it up after the command finishes
+// so one-shot scrapers catch the final state, and --slow-query-log /
+// --slow-query-ms configure the structured JSONL slow-query log.
+struct ObsFlags {
+  bool exporter = false;
+  uint64_t port = 0;
+  uint64_t linger_ms = 0;
+  std::string slow_log_path;  // empty = slow-query log off
+  double slow_query_ms = 0.0;
+};
+
+Status ParseObsFlags(const Flags& flags, ObsFlags* obs_flags) {
+  if (const auto it = flags.named.find("obs-port"); it != flags.named.end()) {
+    if (it->second.empty() || it->second == "true") {
+      return Status::InvalidArgument(
+          "--obs-port needs a port number (0 = ephemeral)");
+    }
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &obs_flags->port));
+    if (obs_flags->port > 65535) {
+      return Status::InvalidArgument("--obs-port must be in [0, 65535]");
+    }
+    obs_flags->exporter = true;
+  }
+  if (const auto it = flags.named.find("obs-linger-ms");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &obs_flags->linger_ms));
+    if (!obs_flags->exporter) {
+      return Status::InvalidArgument("--obs-linger-ms requires --obs-port");
+    }
+  }
+  if (const auto it = flags.named.find("slow-query-log");
+      it != flags.named.end()) {
+    if (it->second.empty() || it->second == "true") {
+      return Status::InvalidArgument("--slow-query-log needs a path: "
+                                     "--slow-query-log=slow.jsonl");
+    }
+    obs_flags->slow_log_path = it->second;
+  }
+  if (const auto it = flags.named.find("slow-query-ms");
+      it != flags.named.end()) {
+    KCPQ_RETURN_IF_ERROR(ParseNumber(it->second, &obs_flags->slow_query_ms));
+    if (obs_flags->slow_query_ms < 0) {
+      return Status::InvalidArgument("--slow-query-ms must be >= 0");
+    }
+    if (obs_flags->slow_log_path.empty()) {
+      return Status::InvalidArgument(
+          "--slow-query-ms requires --slow-query-log=PATH");
     }
   }
   return Status::OK();
@@ -625,7 +684,9 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
         "[--prefetch-window=N] [--io-backend=sync|pool|uring] "
         "[--scheduler=blocking|resumable] [--max-inflight=N] "
         "[--replicas=N] [--hedge=off|static|adaptive] [--hedge-after-us=N] "
-        "[--scrub] [--explain] [--trace-out=PATH] [--stats-json=PATH]");
+        "[--scrub] [--explain] [--trace-out=PATH] [--stats-json=PATH] "
+        "[--obs-port=N] [--obs-linger-ms=N] [--slow-query-log=PATH] "
+        "[--slow-query-ms=T]");
   }
   Database p, q;
   ReplicationFlags rep;
@@ -726,6 +787,39 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     return WriteTextFile(diag.stats_json_path, delta.ToJson() + "\n");
   };
 
+  // Live telemetry: the embedded exporter (scraped while the queries run)
+  // and the slow-query log. Both feed off the global QueryRegistry, which
+  // every query of this command registers with when either is on.
+  ObsFlags obs_flags;
+  KCPQ_RETURN_IF_ERROR(ParseObsFlags(flags, &obs_flags));
+  std::unique_ptr<obs::SlowQueryLog> slow_log;
+  if (!obs_flags.slow_log_path.empty()) {
+    slow_log = std::make_unique<obs::SlowQueryLog>(obs_flags.slow_log_path,
+                                                   obs_flags.slow_query_ms);
+  }
+  obs::HttpExporter exporter;
+  if (obs_flags.exporter) {
+    std::string error;
+    if (!exporter.Start(static_cast<uint16_t>(obs_flags.port),
+                        &obs::QueryRegistry::Global(), &error)) {
+      return Status::IoError("cannot start telemetry exporter: " + error);
+    }
+    // Scripts (tools/kcpq_top, CI smokes) parse this line for the bound
+    // port, so it is flushed before any query work starts.
+    std::fprintf(out, "# obs: exporter listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(exporter.port()));
+    std::fflush(out);
+  }
+  const bool obs_on = obs_flags.exporter || slow_log != nullptr;
+  // Keeps the exporter scrapeable after the last query completes, so
+  // one-shot scrapers racing the batch still see the final state.
+  const auto finish_obs = [&] {
+    if (exporter.running() && obs_flags.linger_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(obs_flags.linger_ms));
+    }
+  };
+
   if (threads > 1 || repeat > 1 || admission.mode != AdmissionMode::kOff) {
     // Batch mode: the same query `repeat` times across `threads` workers —
     // the multi-client throughput scenario (src/exec/batch.h). The
@@ -740,6 +834,8 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
     batch_options.admission = admission;
     batch_options.scheduler = scheduler;
     batch_options.max_inflight = max_inflight;
+    if (obs_on) batch_options.query_registry = &obs::QueryRegistry::Global();
+    batch_options.slow_log = slow_log.get();
     BatchStats batch_stats;
     Timer timer;
     const std::vector<BatchQueryResult> results = BatchKClosestPairs(
@@ -792,6 +888,7 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
           static_cast<unsigned long long>(batch_stats.hedge_wins));
     }
     finish_scrub(out);
+    finish_obs();
     return write_stats_json();
   }
 
@@ -800,14 +897,26 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   // Single-query instrumentation: a context owning the pruning profile
   // (--explain) and/or the trace ring (--trace-out), plus the buffer
   // counters of this thread before the query so the report can show the
-  // query's own hits/misses.
+  // query's own hits/misses. With telemetry on, both are attached
+  // unconditionally so the flight recorder can serve
+  // /queries/<id>/trace and /queries/<id>/explain afterwards.
   QueryContext ctx(options.control);
   obs::PruningProfile profile;
   obs::TraceBuffer trace;
-  if (diag.explain || !diag.trace_path.empty()) {
-    if (diag.explain) ctx.set_profile(&profile);
-    if (!diag.trace_path.empty()) ctx.set_trace(&trace);
+  const bool want_profile = diag.explain || obs_on;
+  const bool want_trace = !diag.trace_path.empty() || obs_on;
+  if (want_profile || want_trace) {
+    if (want_profile) ctx.set_profile(&profile);
+    if (want_trace) ctx.set_trace(&trace);
     options.context = &ctx;
+  }
+  std::shared_ptr<obs::QueryObservation> live;
+  if (obs_on) {
+    live = obs::QueryRegistry::Global().Register(
+        options.self_join ? "self" : "kcp", QueryFamilyName(options.family),
+        scheduler == SchedulerMode::kResumable ? "resumable" : "inline",
+        options.k);
+    ctx.set_observation(live.get());
   }
   const BufferStats buffer_before_p = p.buffer->ThreadStats();
   const BufferStats buffer_before_q = q.buffer->ThreadStats();
@@ -861,7 +970,9 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
                  static_cast<unsigned long long>(rstats.hedge_wins));
   }
 
-  if (diag.explain) {
+  std::string explain_text;
+  uint64_t admission_estimate_bytes = 0;
+  if (want_profile) {
     const BufferStats after_p = p.buffer->ThreadStats();
     const BufferStats after_q = q.buffer->ThreadStats();
 
@@ -964,19 +1075,66 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
       inputs.quality_bound = stats.quality.guaranteed_lower_bound;
     }
     inputs.seconds = seconds;
-    std::fputs(RenderExplainReport(inputs, profile).c_str(), out);
+    admission_estimate_bytes = inputs.admission_estimate_bytes;
+    explain_text = RenderExplainReport(inputs, profile);
+    if (diag.explain) std::fputs(explain_text.c_str(), out);
   }
 
+  // Rendered once so the --trace-out file and the exporter's
+  // /queries/<id>/trace body come from the same bytes.
+  std::string trace_json;
+  if (want_trace) trace_json = obs::ChromeTraceJson(trace);
   if (!diag.trace_path.empty()) {
-    if (!obs::WriteChromeTrace(trace, diag.trace_path)) {
-      return Status::IoError("cannot write trace to " + diag.trace_path);
-    }
+    KCPQ_RETURN_IF_ERROR(WriteTextFile(diag.trace_path, trace_json + "\n"));
     std::fprintf(out, "# trace: %llu events (%llu dropped) -> %s\n",
                  static_cast<unsigned long long>(trace.total_recorded()),
                  static_cast<unsigned long long>(trace.dropped()),
                  diag.trace_path.c_str());
   }
+
+  if (obs_on) {
+    obs::QuerySummary s;
+    s.kind = options.self_join ? "self" : "kcp";
+    s.family = QueryFamilyName(options.family);
+    s.scheduler =
+        scheduler == SchedulerMode::kResumable ? "resumable" : "inline";
+    QueryOutcome outcome = QueryOutcome::kOk;
+    if (stats.quality.stop_cause == StopCause::kCancelled) {
+      outcome = QueryOutcome::kCancelled;
+    } else if (stats.quality.is_partial()) {
+      outcome = QueryOutcome::kPartial;
+    }
+    s.outcome = QueryOutcomeName(outcome);
+    s.seconds = seconds;
+    s.k = options.k;
+    s.pairs = pairs.size();
+    s.node_accesses = stats.node_accesses;
+    s.disk_accesses = stats.disk_accesses();
+    s.io_parks = stats.io_parks;
+    s.bound_is_upper = stats.quality.bound_is_upper;
+    if (stats.quality.is_partial()) {
+      s.stop_cause = StopCauseName(stats.quality.stop_cause);
+      s.certified_bound = stats.quality.guaranteed_lower_bound;
+      s.exact = stats.quality.is_exact;
+    } else if (!pairs.empty()) {
+      s.certified_bound = pairs.back().distance;
+      s.exact = true;
+    } else {
+      s.exact = true;
+    }
+    s.admission_estimate_bytes = admission_estimate_bytes;
+    s.peak_memory_bytes = ctx.accountant().peak_total_bytes();
+    s.pruning = profile.Totals();
+    s.has_pruning = true;
+    s.trace_json = trace_json;
+    s.explain_text = explain_text;
+    s.id = live->id;
+    s.pages_read = live->pages_read.load(std::memory_order_relaxed);
+    if (slow_log != nullptr) slow_log->MaybeRecord(s);
+    obs::QueryRegistry::Global().Complete(live, std::move(s));
+  }
   finish_scrub(out);
+  finish_obs();
   return write_stats_json();
 }
 
@@ -1202,6 +1360,8 @@ void PrintUsage(std::FILE* out) {
       "       [--replicas=N] [--hedge=off|static|adaptive]\n"
       "       [--hedge-after-us=N] [--scrub]\n"
       "       [--explain] [--trace-out=PATH] [--stats-json=PATH]\n"
+      "       [--obs-port=N] [--obs-linger-ms=N]\n"
+      "       [--slow-query-log=PATH] [--slow-query-ms=T]\n"
       "  kcpq join <p.db> <q.db> <epsilon> [--metric=...] [--buffer=N]\n"
       "       [--max-results=N] [--self] [--deadline-ms=N]\n"
       "       [--max-node-accesses=N] [--io-retries=N]\n"
