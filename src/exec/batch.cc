@@ -8,6 +8,7 @@
 #include "buffer/buffer_manager.h"
 #include "common/resumable.h"
 #include "cpq/resumable.h"
+#include "cpq/resumable_semi.h"
 #include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 #include "hs/hs.h"
@@ -278,22 +279,6 @@ bool MetricsTimingOn() {
 #endif
 }
 
-/// Adapter for query kinds that have no resumable engine yet: the whole
-/// blocking execution is one Step. Correct under the scheduler (the task
-/// simply never parks) but it holds its worker for the duration.
-class BlockingStepTask final : public ResumableTask {
- public:
-  explicit BlockingStepTask(std::function<void()> body)
-      : body_(std::move(body)) {}
-  StepResult Step() override {
-    body_();
-    return StepResult::kDone;
-  }
-
- private:
-  std::function<void()> body_;
-};
-
 /// The completion-driven executor: every query is a ResumableTask and
 /// `options.threads` workers multiplex up to `options.max_inflight` of
 /// them, parking on buffer misses (see exec/scheduler.h and docs/io.md).
@@ -373,14 +358,14 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
             tree_p, tree_q, queries[i].options.k, std::move(hs),
             &slot.hs_stats, std::move(waker));
       }
-      case BatchQueryKind::kSemiClosestPairs:
-        // Not resumable yet: run the blocking implementation (with its own
-        // private context, exactly as the blocking executor would) as a
-        // single Step.
-        return std::make_unique<BlockingStepTask>([&, i] {
-          RunOne(tree_p, tree_q, queries[i], options, batch_token,
-                 slots[i].live.get(), &(*results)[i]);
-        });
+      case BatchQueryKind::kSemiClosestPairs: {
+        slot.ctx = std::make_unique<QueryContext>(merged);
+        slot.ctx->set_observation(slot.live.get());
+        return std::make_unique<ResumableSemiQuery>(tree_p, tree_q,
+                                                    &result.stats, merged,
+                                                    slot.ctx.get(),
+                                                    std::move(waker));
+      }
     }
     return nullptr;
   };
@@ -403,16 +388,17 @@ void RunResumableBatch(const RStarTree& tree_p, const RStarTree& tree_q,
         MapHsStats(slot.hs_stats, &result.stats);
         break;
       }
-      case BatchQueryKind::kSemiClosestPairs:
-        // RunOne filled status / pairs / stats / peak / outcome already.
+      case BatchQueryKind::kSemiClosestPairs: {
+        auto* q = static_cast<ResumableSemiQuery*>(task);
+        result.status = q->status();
+        if (result.status.ok()) result.pairs = q->TakeResults();
         break;
+      }
     }
-    if (queries[i].kind != BatchQueryKind::kSemiClosestPairs) {
-      result.peak_memory_bytes =
-          slot.ctx != nullptr ? slot.ctx->accountant().peak_total_bytes() : 0;
-      if (slot.ctx != nullptr) CopyReplication(*slot.ctx, &result);
-      result.outcome = OutcomeOf(result);
-    }
+    result.peak_memory_bytes =
+        slot.ctx != nullptr ? slot.ctx->accountant().peak_total_bytes() : 0;
+    if (slot.ctx != nullptr) CopyReplication(*slot.ctx, &result);
+    result.outcome = OutcomeOf(result);
     double seconds = -1.0;
     if (slot.timed) {
       seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -57,9 +57,9 @@ enum class SchedulerMode {
   /// over the worker pool, parking on buffer misses instead of blocking
   /// (exec/scheduler.h, docs/io.md). Per-query results, certificates, and
   /// disk-access counts are bit-identical to kBlocking; only wall-clock
-  /// and the achievable in-flight query count change.
-  /// kSemiClosestPairs queries are not resumable yet and run as blocking
-  /// steps on a worker (correct, but they occupy their worker).
+  /// and the achievable in-flight query count change. Every kind —
+  /// including kSemiClosestPairs (cpq/resumable_semi.h) — runs as a
+  /// parking state machine.
   kResumable,
 };
 

@@ -192,6 +192,24 @@ std::string RenderExplainReport(const ExplainInputs& in,
        << "  parked: " << Fixed(in.io_parked_seconds * 1e3, 1) << " ms\n\n";
   }
 
+  // Rendered only when the native uring completion loop served the query:
+  // pool/sync-backed reports (and every pre-uring golden) stay byte-stable.
+  if (in.io_backend == "uring") {
+    os << "IO\n";
+    os << "  backend: uring"
+       << (in.uring_sqpoll ? "  sqpoll: on" : "")
+       << "  buffers: " << (in.uring_fixed_buffers ? "fixed" : "copied")
+       << "\n";
+    os << "  batches: " << Num(in.uring_batches)
+       << "  reads: " << Num(in.uring_reads)
+       << "  cqe wakes: " << Num(in.uring_cqe_wakes)
+       << "  sq-full stalls: " << Num(in.uring_sq_full_stalls) << "\n\n";
+  } else if (!in.io_backend.empty() && !in.io_fallback_reason.empty()) {
+    os << "IO\n";
+    os << "  backend: " << in.io_backend
+       << "  (fallback: " << in.io_fallback_reason << ")\n\n";
+  }
+
   // Rendered only for a mirrored stack (>= 2 replicas): single-replica
   // reports — and their goldens — stay byte-stable.
   if (in.replicas > 1) {

@@ -129,6 +129,19 @@ struct ExplainInputs {
   uint64_t io_parks = 0;
   double io_parked_seconds = 0.0;
 
+  // Async I/O backend (docs/io.md, "Native completion event loop"): the
+  // section renders only when `io_backend` == "uring", so pool/sync
+  // reports — and all pre-uring goldens — stay byte-stable. The counters
+  // come from FileStorageManager::UringStats().
+  std::string io_backend;            // "uring" -> section rendered
+  std::string io_fallback_reason;    // non-empty -> degraded to pool
+  bool uring_sqpoll = false;         // kernel-side submission polling live
+  bool uring_fixed_buffers = false;  // READ_FIXED into registered frames
+  uint64_t uring_batches = 0;        // SubmitReads calls reaching the ring
+  uint64_t uring_reads = 0;          // SQEs submitted
+  uint64_t uring_cqe_wakes = 0;      // reaper wake-ups
+  uint64_t uring_sq_full_stalls = 0; // submissions that waited for a slot
+
   // Replication (storage/mirrored_storage.h): rendered only when
   // replicas > 1, so single-replica reports — and their goldens — are
   // byte-identical to the pre-replication renderer.

@@ -121,6 +121,26 @@ KcpqMetrics Register() {
   m.admission_feedback_updates_total =
       r.GetCounter("kcpq_admission_feedback_updates_total");
 
+  m.io_backend_active =
+      r.GetGauge("kcpq_io_backend_active",
+                 "Active async I/O backend: 0=sync, 1=pool, 2=uring "
+                 "(after any fallback)");
+  m.uring_sqe_batch_size =
+      r.GetHistogram("kcpq_uring_sqe_batch_size", kAccesses,
+                     "SQEs submitted per event-loop batch");
+  m.uring_cqes_per_wake =
+      r.GetHistogram("kcpq_uring_cqes_per_wake", kAccesses,
+                     "CQEs drained per reaper wakeup");
+  m.uring_sq_full_stalls_total =
+      r.GetCounter("kcpq_uring_sq_full_stalls_total",
+                   "Submissions that blocked on a full SQ or slot pool");
+  m.uring_fixed_buffer_reads_total =
+      r.GetCounter("kcpq_uring_fixed_buffer_reads_total",
+                   "Reads served through registered fixed buffers");
+  m.uring_unfixed_reads_total =
+      r.GetCounter("kcpq_uring_unfixed_reads_total",
+                   "Reads served as plain IORING_OP_READ");
+
   m.scheduler_parks_total = r.GetCounter("kcpq_scheduler_parks_total");
   m.scheduler_wakes_total = r.GetCounter("kcpq_scheduler_wakes_total");
   m.scheduler_steps_total = r.GetCounter("kcpq_scheduler_steps_total");

@@ -101,6 +101,14 @@ struct KcpqMetrics {
   Counter* admission_rejected_total;
   Counter* admission_feedback_updates_total;
 
+  // -- io backend / native uring event loop (docs/io.md) ----------------
+  Gauge* io_backend_active;                // 0=sync, 1=pool, 2=uring
+  Histogram* uring_sqe_batch_size;         // SQEs per SubmitReads flush
+  Histogram* uring_cqes_per_wake;          // CQEs drained per reaper wake
+  Counter* uring_sq_full_stalls_total;     // submit blocked on SQ/slots
+  Counter* uring_fixed_buffer_reads_total; // READ_FIXED into registered frame
+  Counter* uring_unfixed_reads_total;      // plain READ (registration refused)
+
   // -- completion-driven scheduler (docs/io.md) -------------------------
   Counter* scheduler_parks_total;          // task yielded on a page miss
   Counter* scheduler_wakes_total;          // parked task re-queued

@@ -154,11 +154,16 @@ std::vector<double> ExponentialBounds(double start, double factor, size_t n);
   do {                                                   \
     if (::kcpq::obs::Enabled()) (h)->SetMax(v);          \
   } while (0)
+#define KCPQ_METRIC_SET(h, v)                            \
+  do {                                                   \
+    if (::kcpq::obs::Enabled()) (h)->Set(v);             \
+  } while (0)
 #else
 #define KCPQ_METRIC_ADD(h, n) ((void)0)
 #define KCPQ_METRIC_INC(h) ((void)0)
 #define KCPQ_METRIC_OBSERVE(h, v) ((void)0)
 #define KCPQ_METRIC_SET_MAX(h, v) ((void)0)
+#define KCPQ_METRIC_SET(h, v) ((void)0)
 #endif
 
 #endif  // KCPQ_OBS_METRICS_H_

@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "obs/kcpq_metrics.h"
-#include "storage/async_io.h"
-#include "storage/io_uring_backend.h"
+#include "storage/uring_ring.h"
 
 namespace kcpq {
 
@@ -34,7 +33,13 @@ std::string Errno(const std::string& what) {
 
 FileStorageManager::FileStorageManager(int fd, std::string path,
                                        size_t page_size)
-    : StorageManager(page_size), fd_(fd), path_(std::move(path)) {}
+    : StorageManager(page_size), fd_(fd), path_(std::move(path)) {
+  // The portable completion loop serves kThreadPool (and a degraded
+  // kUring); it routes through the virtual ReadPage so counting and any
+  // future decoration stay identical to the base async path.
+  pool_loop_ = std::make_unique<ThreadPoolEventLoop>(
+      [this](PageId id, Page* page) { return ReadPage(id, page, nullptr); });
+}
 
 FileStorageManager::~FileStorageManager() {
   if (fd_ >= 0) {
@@ -131,55 +136,83 @@ Status FileStorageManager::Free(PageId id) {
 }
 
 bool FileStorageManager::SupportsIoBackend(IoBackend backend) const {
-  if (backend == IoBackend::kUring) return IoUringSupported();
+  if (backend == IoBackend::kUring) return UringAvailable();
   return StorageManager::SupportsIoBackend(backend);
+}
+
+Status FileStorageManager::DoSetIoBackend(IoBackend backend) {
+  // Rebuilt (not reused) on every kUring selection so ConfigureUring
+  // changes take effect; the backend contract forbids switching with
+  // async reads in flight, so tearing the old loop down here is safe.
+  uring_loop_.reset();
+  uring_fallback_reason_.clear();
+  if (backend != IoBackend::kUring) return Status::OK();
+#if defined(__linux__) && KCPQ_HAVE_IOURING
+  UringEventLoop::Options options;
+  options.sq_depth = uring_options_.sq_depth;
+  options.sqpoll = uring_options_.sqpoll;
+  options.fixed_buffers = uring_options_.fixed_buffers;
+  std::string error;
+  uring_loop_ = UringEventLoop::Create(fd_, kSuperblockSize, page_size(),
+                                       options, &error);
+  if (uring_loop_ == nullptr) uring_fallback_reason_ = error;
+#else
+  uring_fallback_reason_ = UringUnavailableReason();
+#endif
+  // Ring-setup failure degrades to the pool loop instead of failing the
+  // call: SupportsIoBackend already said yes, and callers surface the
+  // recorded reason (ActiveIoBackend != io_backend).
+  return Status::OK();
+}
+
+IoBackend FileStorageManager::ActiveIoBackend() const {
+  if (io_backend() == IoBackend::kUring && uring_loop_ == nullptr) {
+    return IoBackend::kThreadPool;
+  }
+  return io_backend();
+}
+
+IoEventLoopStats FileStorageManager::UringStats() const {
+  return uring_loop_ != nullptr ? uring_loop_->stats() : IoEventLoopStats{};
 }
 
 void FileStorageManager::DoReadPagesAsync(const PageId* ids, size_t count,
                                           const AsyncReadCallback& callback) {
-  if (io_backend() != IoBackend::kUring) {
+  const IoBackend backend = io_backend();
+  if (backend == IoBackend::kSync) {
     StorageManager::DoReadPagesAsync(ids, count, callback);
     return;
   }
-  // One pool task services the whole batch: the ring overlaps the reads
-  // internally, so a single submission thread is enough, and completions
-  // still arrive off the caller's thread as the async contract promises.
-  // Out-of-range ids fail up front (the ring never sees them); a ring
-  // setup failure falls back to per-page synchronous reads through
-  // DoReadPage so the exactly-once completion contract holds either way.
-  std::vector<PageId> batch(ids, ids + count);
-  IoThreadPool::Shared().Submit([this, batch = std::move(batch), callback] {
-    std::vector<PageId> valid;
-    valid.reserve(batch.size());
-    for (PageId id : batch) {
-      if (id >= page_count_) {
-        AsyncPageRead done;
-        done.id = id;
-        done.status = Status::OutOfRange("read of unknown page");
-        callback(std::move(done));
-      } else {
-        valid.push_back(id);
-      }
-    }
-    if (valid.empty()) return;
-    // Count before delivery, matching DoReadPage (which counts the
-    // attempt, not the success).
-    auto counted = [this, &callback](AsyncPageRead done) {
-      CountRead();
-      KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_reads_total);
-      callback(std::move(done));
-    };
-    if (IoUringReadBatch(fd_, valid.data(), valid.size(), page_size(),
-                         kSuperblockSize, counted)) {
-      return;
-    }
-    for (PageId id : valid) {
+  IoEventLoop* loop =
+      backend == IoBackend::kUring ? uring_loop_.get() : nullptr;
+  if (loop == nullptr) {
+    pool_loop_->SubmitReads(ids, count, callback);
+    return;
+  }
+  // Native path: SQEs go straight into the persistent ring from this
+  // thread (no dispatch task) and the reaper invokes `callback` directly.
+  // Out-of-range ids fail up front — the ring never sees them.
+  std::vector<PageId> valid;
+  valid.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (ids[i] >= page_count_) {
       AsyncPageRead done;
-      done.id = id;
-      done.status = DoReadPage(id, &done.page, nullptr);
+      done.id = ids[i];
+      done.status = Status::OutOfRange("read of unknown page");
       callback(std::move(done));
+    } else {
+      valid.push_back(ids[i]);
     }
-  });
+  }
+  if (valid.empty()) return;
+  // The ring bypasses DoReadPage, so count here at completion, matching
+  // the attempt-not-success semantics of the synchronous path.
+  AsyncReadCallback counted = [this, callback](AsyncPageRead done) {
+    CountRead();
+    KCPQ_METRIC_INC(obs::KcpqMetrics::Get().storage_reads_total);
+    callback(std::move(done));
+  };
+  loop->SubmitReads(valid.data(), valid.size(), std::move(counted));
 }
 
 Status FileStorageManager::DoReadPage(PageId id, Page* page,

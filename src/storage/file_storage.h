@@ -11,12 +11,22 @@
 #include <memory>
 #include <string>
 
+#include "storage/io_event_loop.h"
 #include "storage/storage_manager.h"
 
 namespace kcpq {
 
 class FileStorageManager final : public StorageManager {
  public:
+  /// Tuning for the native uring event loop; applied the next time
+  /// SetIoBackend(kUring) runs (docs/io.md, "Native completion event
+  /// loop").
+  struct UringOptions {
+    unsigned sq_depth = 64;     ///< SQ entries; in-flight bound is 2x this
+    bool sqpoll = false;        ///< kernel-side submission polling
+    bool fixed_buffers = true;  ///< register slot frames as fixed buffers
+  };
+
   /// Creates a new store at `path` (truncating any existing file).
   static Result<std::unique_ptr<FileStorageManager>> Create(
       const std::string& path, size_t page_size = kDefaultPageSize);
@@ -37,15 +47,40 @@ class FileStorageManager final : public StorageManager {
   /// (KCPQ_IOURING) and the running kernel accepts ring setup.
   bool SupportsIoBackend(IoBackend backend) const override;
 
+  /// Stores uring tuning; takes effect on the next SetIoBackend(kUring)
+  /// (configure before selecting the backend).
+  void ConfigureUring(const UringOptions& options) { uring_options_ = options; }
+
+  /// kUring when the persistent ring is live, otherwise what io_backend()
+  /// says (kUring degrades to the pool loop when ring setup failed).
+  IoBackend ActiveIoBackend() const override;
+  std::string IoBackendFallbackReason() const override {
+    return uring_fallback_reason_;
+  }
+
+  /// The uring loop's counters (zeroes when the ring never came up).
+  IoEventLoopStats UringStats() const;
+  /// Null unless the uring loop is live. Exposes SQPOLL / fixed-buffer
+  /// status for the CLI's active-backend report.
+  const IoEventLoop* uring_loop() const { return uring_loop_.get(); }
+
  protected:
   Status DoReadPage(PageId id, Page* page, const QueryContext* ctx) override;
 
-  /// With io_backend() == kUring, dispatches one pool task that services
-  /// the whole batch through a dedicated ring (storage/io_uring_backend.h),
-  /// falling back to per-page pread on ring-setup failure. Other backends
-  /// delegate to the base implementation.
+  /// kUring submits the batch into the persistent uring event loop (the
+  /// reaper thread invokes `callback` directly — no IoThreadPool hop);
+  /// kThreadPool goes through the portable ThreadPoolEventLoop; kSync
+  /// delegates to the base inline implementation. A uring loop that
+  /// failed to come up degrades to the pool loop (see
+  /// IoBackendFallbackReason).
   void DoReadPagesAsync(const PageId* ids, size_t count,
                         const AsyncReadCallback& callback) override;
+
+  /// Builds (kUring) or tears down the persistent ring. Ring-setup
+  /// failure is not an error: the manager records the fallback reason and
+  /// serves kUring through the pool loop so callers can surface the
+  /// degradation instead of dying.
+  Status DoSetIoBackend(IoBackend backend) override;
 
  private:
   FileStorageManager(int fd, std::string path, size_t page_size);
@@ -59,6 +94,11 @@ class FileStorageManager final : public StorageManager {
   std::string path_;
   uint64_t page_count_ = 0;
   PageId free_head_ = kInvalidPageId;
+
+  UringOptions uring_options_;
+  std::unique_ptr<ThreadPoolEventLoop> pool_loop_;
+  std::unique_ptr<IoEventLoop> uring_loop_;
+  std::string uring_fallback_reason_;
 };
 
 }  // namespace kcpq

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -30,11 +31,24 @@ enum class IoBackend {
   /// through the full virtual ReadPage stack, so every decorator
   /// (latency/retry/fault-injection/checksum) composes. Portable default.
   kThreadPool,
-  /// Batched io_uring submission (FileStorageManager on Linux, built with
-  /// -DKCPQ_IOURING=ON and liburing present). Bypasses decorators: only
-  /// valid on a bare file store.
+  /// Native io_uring completion event loop (FileStorageManager on Linux,
+  /// built with -DKCPQ_IOURING=ON; no liburing needed — raw syscalls).
+  /// Bypasses decorators: only valid on a bare file store.
   kUring,
 };
+
+/// Stable lower-case tag for CLI / stats-json / EXPLAIN output.
+inline const char* IoBackendName(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kSync:
+      return "sync";
+    case IoBackend::kThreadPool:
+      return "pool";
+    case IoBackend::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
 
 /// One completed asynchronous page read.
 struct AsyncPageRead {
@@ -118,7 +132,8 @@ class StorageManager {
 
   /// True when this implementation (including anything it decorates) can
   /// service ReadPagesAsync with `backend`. Every store supports kSync and
-  /// kThreadPool; kUring requires FileStorageManager built with liburing.
+  /// kThreadPool; kUring requires a bare FileStorageManager built with
+  /// KCPQ_IOURING on a kernel whose io_uring probe passes.
   virtual bool SupportsIoBackend(IoBackend backend) const {
     return backend == IoBackend::kSync || backend == IoBackend::kThreadPool;
   }
@@ -131,12 +146,23 @@ class StorageManager {
       return Status::InvalidArgument(
           "io backend not supported by this storage stack");
     }
+    KCPQ_RETURN_IF_ERROR(DoSetIoBackend(backend));
     io_backend_.store(backend, std::memory_order_relaxed);
     return Status::OK();
   }
   IoBackend io_backend() const {
     return io_backend_.load(std::memory_order_relaxed);
   }
+
+  /// The backend actually servicing async reads. Differs from
+  /// io_backend() only when an implementation degraded after accepting
+  /// the request (e.g. kUring was configured but the ring could not be
+  /// built at runtime); the CLI surfaces the difference instead of
+  /// downgrading silently.
+  virtual IoBackend ActiveIoBackend() const { return io_backend(); }
+
+  /// Why ActiveIoBackend() != io_backend(); empty when they match.
+  virtual std::string IoBackendFallbackReason() const { return std::string(); }
 
   /// Writes `page` (must be exactly page_size bytes) to `id`. Counts one
   /// write.
@@ -163,6 +189,14 @@ class StorageManager {
   /// ReadPage implementation hook. `ctx` may be null.
   virtual Status DoReadPage(PageId id, Page* page,
                             const QueryContext* ctx) = 0;
+
+  /// SetIoBackend hook, invoked after the SupportsIoBackend check and
+  /// before the new backend takes effect — implementations build or tear
+  /// down backend state here (FileStorageManager constructs its uring
+  /// event loop). Returning an error leaves the previous backend active.
+  virtual Status DoSetIoBackend(IoBackend /*backend*/) {
+    return Status::OK();
+  }
 
   /// ReadPagesAsync implementation hook (`count` >= 1). The default
   /// honours io_backend(): kSync completes inline; kThreadPool dispatches

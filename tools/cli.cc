@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -12,6 +13,7 @@
 #include "common/timer.h"
 #include "cpq/cpq.h"
 #include "cpq/resumable.h"
+#include "cpq/resumable_semi.h"
 #include "cpq/distance_join.h"
 #include "cpq/multiway.h"
 #include "cpq/planner.h"
@@ -19,6 +21,7 @@
 #include "exec/batch.h"
 #include "obs/explain.h"
 #include "obs/http_exporter.h"
+#include "obs/kcpq_metrics.h"
 #include "obs/log.h"
 #include "obs/metrics_registry.h"
 #include "obs/query_registry.h"
@@ -29,6 +32,7 @@
 #include "storage/retrying_storage.h"
 #include "storage/scrub.h"
 #include "storage/stack.h"
+#include "storage/uring_ring.h"
 #include "tools/csv.h"
 
 namespace kcpq {
@@ -612,9 +616,32 @@ Status CmdStats(const Flags& flags, std::FILE* out) {
   return Status::OK();
 }
 
+/// What --io-backend actually resolved to for the opened pair. `active`
+/// differs from `want` (and `reason` is non-empty) when uring degraded to
+/// the portable pool — commands print the banner line from this instead of
+/// letting the downgrade pass silently.
+struct IoBackendReport {
+  bool requested = false;  // --io-backend was given at all
+  IoBackend want = IoBackend::kThreadPool;
+  IoBackend active = IoBackend::kThreadPool;
+  std::string reason;
+
+  void Print(std::FILE* out) const {
+    if (!requested) return;
+    if (reason.empty() && active == want) {
+      std::fprintf(out, "# io: backend=%s\n", IoBackendName(active));
+    } else {
+      std::fprintf(out, "# io: backend=%s (requested %s: %s)\n",
+                   IoBackendName(active), IoBackendName(want),
+                   reason.c_str());
+    }
+  }
+};
+
 // Shared flag handling for the two-database query commands.
 Status OpenPair(const Flags& flags, Database* p, Database* q,
-                ReplicationFlags* rep_out = nullptr) {
+                ReplicationFlags* rep_out = nullptr,
+                IoBackendReport* io_out = nullptr) {
   uint64_t buffer_pages = 0;
   if (const auto it = flags.named.find("buffer"); it != flags.named.end()) {
     KCPQ_RETURN_IF_ERROR(ParseCount(it->second, &buffer_pages));
@@ -647,10 +674,12 @@ Status OpenPair(const Flags& flags, Database* p, Database* q,
                             RStarTree::Open(db->buffer.get(), kMetaPage));
     }
   }
-  // Async read backend for prefetching. `uring` is rejected here when the
-  // binary was built without liburing or when --io-retries put a decorator
-  // on top of the file store (decorators route async reads through the
-  // portable thread pool so the retry logic still applies).
+  // Async read backend for prefetching. `uring` degrades gracefully:
+  // when the kernel refuses rings, the build lacks KCPQ_IOURING, or a
+  // decorator (--io-retries / --replicas) routes async reads through the
+  // portable pool, the pair falls back to `pool` and the reason is
+  // surfaced via `io_out` (and the kcpq_io_backend_active gauge) instead
+  // of silently downgrading or hard-failing.
   if (const auto it = flags.named.find("io-backend");
       it != flags.named.end()) {
     IoBackend backend;
@@ -664,9 +693,62 @@ Status OpenPair(const Flags& flags, Database* p, Database* q,
       return Status::InvalidArgument(
           "--io-backend must be sync, pool, or uring");
     }
-    for (Database* db : {p, q}) {
-      KCPQ_RETURN_IF_ERROR(db->top_storage()->SetIoBackend(backend));
+    std::string fallback_reason;
+    if (backend == IoBackend::kUring) {
+      // Ring tuning: the SQ depth rides --max-inflight (a deeper ring
+      // buys nothing beyond the scheduler's in-flight bound), SQPOLL
+      // stays opt-in.
+      FileStorageManager::UringOptions uopt;
+      if (const auto mi = flags.named.find("max-inflight");
+          mi != flags.named.end()) {
+        uint64_t inflight = 0;
+        KCPQ_RETURN_IF_ERROR(ParseCount(mi->second, &inflight));
+        if (inflight > 0) {
+          uopt.sq_depth = static_cast<unsigned>(
+              std::min<uint64_t>(std::max<uint64_t>(inflight, 8), 1024));
+        }
+      }
+      uopt.sqpoll = flags.named.count("uring-sqpoll") > 0;
+      for (Database* db : {p, q}) {
+        if (auto* file =
+                dynamic_cast<FileStorageManager*>(db->top_storage())) {
+          file->ConfigureUring(uopt);
+        }
+      }
     }
+    for (Database* db : {p, q}) {
+      StorageManager* top = db->top_storage();
+      IoBackend chosen = backend;
+      if (backend == IoBackend::kUring &&
+          !top->SupportsIoBackend(IoBackend::kUring)) {
+        chosen = IoBackend::kThreadPool;
+        if (fallback_reason.empty()) {
+          fallback_reason =
+              UringAvailable()
+                  ? "storage stack routes async reads through the portable "
+                    "pool (--io-retries / --replicas decorators)"
+                  : UringUnavailableReason();
+        }
+      }
+      KCPQ_RETURN_IF_ERROR(top->SetIoBackend(chosen));
+      // Ring setup can still fail after the capability probe said yes
+      // (e.g. RLIMIT_MEMLOCK); the manager records why and serves the
+      // pool loop.
+      if (top->ActiveIoBackend() != chosen && fallback_reason.empty()) {
+        fallback_reason = top->IoBackendFallbackReason();
+      }
+    }
+    // Both databases sit on identically-shaped stacks, so one report
+    // covers the pair.
+    const IoBackend active = p->top_storage()->ActiveIoBackend();
+    if (io_out != nullptr) {
+      io_out->requested = true;
+      io_out->want = backend;
+      io_out->active = active;
+      io_out->reason = fallback_reason;
+    }
+    KCPQ_METRIC_SET(obs::KcpqMetrics::Get().io_backend_active,
+                    static_cast<uint64_t>(active));
   }
   return Status::OK();
 }
@@ -690,7 +772,9 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
   }
   Database p, q;
   ReplicationFlags rep;
-  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q, &rep));
+  IoBackendReport io_report;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q, &rep, &io_report));
+  io_report.Print(out);
 
   // Online scrub: background repair threads that walk the mirrors while
   // the buffers are idle (storage/scrub.h). Started before the query so
@@ -1069,6 +1153,35 @@ Status CmdKcp(const Flags& flags, std::FILE* out) {
       inputs.io_parked_seconds =
           static_cast<double>(stats.io_parked_ns) / 1e9;
     }
+    if (io_report.requested) {
+      inputs.io_backend = IoBackendName(io_report.active);
+      inputs.io_fallback_reason = io_report.reason;
+      if (io_report.active == IoBackend::kUring) {
+        IoEventLoopStats uring{};
+        for (Database* db : {&p, &q}) {
+          if (auto* file =
+                  dynamic_cast<FileStorageManager*>(db->top_storage())) {
+            const IoEventLoopStats s = file->UringStats();
+            uring.batches_submitted += s.batches_submitted;
+            uring.reads_submitted += s.reads_submitted;
+            uring.cqe_wakes += s.cqe_wakes;
+            uring.sq_full_stalls += s.sq_full_stalls;
+            if (const IoEventLoop* loop = file->uring_loop()) {
+#if defined(__linux__) && KCPQ_HAVE_IOURING
+              const auto* ul = static_cast<const UringEventLoop*>(loop);
+              inputs.uring_sqpoll = inputs.uring_sqpoll || ul->sqpoll_active();
+              inputs.uring_fixed_buffers =
+                  inputs.uring_fixed_buffers || ul->fixed_buffers_active();
+#endif
+            }
+          }
+        }
+        inputs.uring_batches = uring.batches_submitted;
+        inputs.uring_reads = uring.reads_submitted;
+        inputs.uring_cqe_wakes = uring.cqe_wakes;
+        inputs.uring_sq_full_stalls = uring.sq_full_stalls;
+      }
+    }
     inputs.complete = !stats.quality.is_partial();
     if (!inputs.complete) {
       inputs.stop_cause = StopCauseName(stats.quality.stop_cause);
@@ -1273,17 +1386,38 @@ Status CmdSemi(const Flags& flags, std::FILE* out) {
   if (flags.positional.size() != 2) {
     return Status::InvalidArgument(
         "usage: semi <p.db> <q.db> [--buffer=N] [--deadline-ms=N] "
-        "[--max-node-accesses=N] [--io-retries=N] — nearest Q point for "
-        "every P point");
+        "[--max-node-accesses=N] [--io-retries=N] "
+        "[--io-backend=sync|pool|uring] [--scheduler=blocking|resumable] "
+        "— nearest Q point for every P point");
   }
   Database p, q;
-  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q));
+  IoBackendReport io_report;
+  KCPQ_RETURN_IF_ERROR(OpenPair(flags, &p, &q, nullptr, &io_report));
+  io_report.Print(out);
   QueryControl control;
   KCPQ_RETURN_IF_ERROR(ParseControlFlags(flags, &control));
+  SchedulerMode scheduler = SchedulerMode::kBlocking;
+  size_t max_inflight = 0;
+  KCPQ_RETURN_IF_ERROR(ParseSchedulerFlags(flags, &scheduler, &max_inflight));
   CpqStats stats;
   Timer timer;
-  KCPQ_ASSIGN_OR_RETURN(const std::vector<PairResult> pairs,
-                        SemiClosestPairs(*p.tree, *q.tree, &stats, control));
+  std::vector<PairResult> pairs;
+  if (scheduler == SchedulerMode::kResumable) {
+    // Same single-query diagnostic shape as kcp: the state machine runs
+    // to completion inline, parking and resuming through InlineWakerGate.
+    QueryContext ctx(control);
+    InlineWakerGate gate;
+    ResumableSemiQuery task(*p.tree, *q.tree, &stats, control, &ctx,
+                            gate.waker());
+    gate.RunToCompletion(task);
+    p.buffer->DrainPrefetches();
+    if (q.buffer.get() != p.buffer.get()) q.buffer->DrainPrefetches();
+    KCPQ_RETURN_IF_ERROR(task.status());
+    pairs = task.TakeResults();
+  } else {
+    KCPQ_ASSIGN_OR_RETURN(
+        pairs, SemiClosestPairs(*p.tree, *q.tree, &stats, control));
+  }
   PrintPairs(out, pairs);
   PrintQuality(out, stats.quality);
   PrintQueryStats(out, stats, timer.ElapsedSeconds());
@@ -1355,7 +1489,7 @@ void PrintUsage(std::FILE* out) {
       "       [--fail-fast] [--admission=off|advisory|enforce]\n"
       "       [--memory-pool-bytes=N] [--admission-feedback=ALPHA]\n"
       "       [--prefetch=on|off] [--prefetch-window=N]\n"
-      "       [--io-backend=sync|pool|uring]\n"
+      "       [--io-backend=sync|pool|uring] [--uring-sqpoll]\n"
       "       [--scheduler=blocking|resumable] [--max-inflight=N]\n"
       "       [--replicas=N] [--hedge=off|static|adaptive]\n"
       "       [--hedge-after-us=N] [--scrub]\n"
@@ -1367,6 +1501,8 @@ void PrintUsage(std::FILE* out) {
       "       [--max-node-accesses=N] [--io-retries=N]\n"
       "  kcpq semi <p.db> <q.db> [--buffer=N] [--deadline-ms=N]\n"
       "       [--max-node-accesses=N] [--io-retries=N]\n"
+      "       [--io-backend=sync|pool|uring]\n"
+      "       [--scheduler=blocking|resumable] [--max-inflight=N]\n"
       "  kcpq plan <p.db> <q.db> <K> [--buffer=N]\n"
       "  kcpq multiway <db1> <db2> [<db3> ...] <K> [--edges=0-1,1-2]\n"
       "  kcpq knn <db> <x> <y> <k>\n"
